@@ -1,0 +1,336 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dist"
+	"repro/internal/figures"
+	"repro/internal/markov"
+	"repro/internal/qbd"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transient"
+)
+
+// One benchmark per table/figure in the paper's evaluation, plus ablation
+// benches for the design choices called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches execute the same experiment code as cmd/mus-figures
+// (Quick variants where a figure needs long simulations) and report the
+// headline metric through b.ReportMetric so the regenerated values are
+// visible in benchmark output.
+
+var (
+	benchOps    = dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091})
+	benchRepair = dist.Exp(25)
+)
+
+func benchFigure(b *testing.B, build func(figures.Options) (*figures.Figure, error), opts figures.Options) {
+	b.Helper()
+	var fig *figures.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = build(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := figures.Render(io.Discard, fig); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFigure3 regenerates the §2 operative-period density fit
+// (empirical histogram + fitted H2 + KS decisions) on the synthetic log.
+func BenchmarkFigure3(b *testing.B) {
+	benchFigure(b, figures.Figure3, figures.Options{Quick: true, Seed: 1})
+}
+
+// BenchmarkFigure4 regenerates the §2 inoperative-period density fit.
+func BenchmarkFigure4(b *testing.B) {
+	benchFigure(b, figures.Figure4, figures.Options{Quick: true, Seed: 1})
+}
+
+// BenchmarkFigure5 regenerates the cost-vs-N curves (λ = 7, 8, 8.5) and
+// their optima (paper: N* = 11, 12, 13).
+func BenchmarkFigure5(b *testing.B) {
+	var fig *figures.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = figures.Figure5(figures.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range fig.Series {
+		b.ReportMetric(s.ArgminY(), "optN_"+s.Label)
+	}
+}
+
+// BenchmarkFigure6 regenerates queue size vs operative-period C²
+// (λ = 8.5, 8.6; simulated C² = 0 point).
+func BenchmarkFigure6(b *testing.B) {
+	benchFigure(b, figures.Figure6, figures.Options{Quick: true, Seed: 1})
+}
+
+// BenchmarkFigure7 regenerates queue size vs mean repair time for
+// exponential vs hyperexponential operative periods.
+func BenchmarkFigure7(b *testing.B) {
+	benchFigure(b, figures.Figure7, figures.Options{})
+}
+
+// BenchmarkFigure8 regenerates the exact-vs-approximation load sweep.
+func BenchmarkFigure8(b *testing.B) {
+	benchFigure(b, figures.Figure8, figures.Options{})
+}
+
+// BenchmarkFigure9 regenerates response time vs N (exact and approximate)
+// and the min-N-for-SLA answer (paper: 9).
+func BenchmarkFigure9(b *testing.B) {
+	benchFigure(b, figures.Figure9, figures.Options{})
+}
+
+// BenchmarkFitPipeline regenerates the §2 in-text "table": moments, fitted
+// H2 parameters and KS statistics for both period types.
+func BenchmarkFitPipeline(b *testing.B) {
+	events, err := dataset.Generate(dataset.GenConfig{Events: 20000, Servers: 40, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep *figures.FitReport
+	for i := 0; i < b.N; i++ {
+		rep, err = figures.AnalyzeDataset(events)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Operative.CV2, "opCV2")
+	b.ReportMetric(rep.Operative.KSH2.D, "opKS_D")
+}
+
+// --- Ablation benches (DESIGN.md) ---
+
+func benchParams(b *testing.B, n int, lambda float64) qbd.Params {
+	b.Helper()
+	env, err := markov.NewEnv(n, benchOps, benchRepair)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return qbd.Params{Lambda: lambda, A: env.AMatrix(), ServiceDiag: env.ServiceDiag(1)}
+}
+
+// BenchmarkSolverComparison measures the three exact solution methods as
+// the environment grows: spectral expansion vs matrix-geometric vs the
+// truncated-chain oracle.
+func BenchmarkSolverComparison(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		p := benchParams(b, n, 0.8*float64(n))
+		b.Run(fmt.Sprintf("spectral/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := qbd.SolveSpectral(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("matrixgeometric/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := qbd.SolveMatrixGeometric(p, qbd.MGOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("truncated/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := qbd.SolveTruncated(p, 300); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBoundaryElimination contrasts the O(N·s³) staged boundary
+// elimination against the naive dense (N+1)s×(N+1)s assembly of the same
+// spectral solution.
+func BenchmarkBoundaryElimination(b *testing.B) {
+	for _, n := range []int{4, 8} {
+		p := benchParams(b, n, 0.8*float64(n))
+		b.Run(fmt.Sprintf("staged/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := qbd.SolveSpectral(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("dense/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := qbd.SolveSpectralDense(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDominantEigenvalue contrasts the determinant-scan path used by
+// the geometric approximation with extracting z_s from the full companion
+// eigensolve.
+func BenchmarkDominantEigenvalue(b *testing.B) {
+	p := benchParams(b, 10, 8)
+	b.Run("detscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := qbd.DominantEigenvalue(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fulleigensolve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sol, err := qbd.SolveSpectral(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = sol.TailDecay()
+		}
+	})
+}
+
+// BenchmarkFitting contrasts the three hyperexponential fitting routes on
+// the paper's operative-period moments.
+func BenchmarkFitting(b *testing.B) {
+	moments := make([]float64, 5)
+	for k := 1; k <= 5; k++ {
+		moments[k-1] = benchOps.Moment(k)
+	}
+	b.Run("closedform3moments", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dist.FitH2Moments(moments[0], moments[1], moments[2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("newton", func(b *testing.B) {
+		start := dist.MustHyperExp([]float64{0.5, 0.5}, []float64{0.1, 0.02})
+		for i := 0; i < b.N; i++ {
+			if _, err := dist.FitHNNewton(start, moments[:3]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("brutesearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dist.FitHNSearch(2, moments[:3]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimulation measures the discrete-event simulator on the Figure 6
+// configuration (N = 10, heavy load).
+func BenchmarkSimulation(b *testing.B) {
+	cfg := sim.Config{
+		Servers:   10,
+		Lambda:    8.5,
+		Mu:        1,
+		Operative: benchOps,
+		Repair:    dist.Exp(0.2),
+		Warmup:    1000,
+		Horizon:   20000,
+		Seed:      1,
+	}
+	var res sim.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanQueue, "L")
+}
+
+// BenchmarkKolmogorovSmirnov measures the §2 goodness-of-fit test on a
+// 50-bin histogram.
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	events, err := dataset.Generate(dataset.GenConfig{Events: 20000, Servers: 40, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean := dataset.Clean(events)
+	h, err := stats.NewHistogram(clean.Operative, 50, 0, 250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cdf := benchOps.CDF
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = stats.KolmogorovSmirnov(h, cdf)
+	}
+}
+
+// BenchmarkEnvEnumeration measures mode-space construction (eq. 12) as N
+// grows toward the paper's reported numerical limit (N ≈ 24).
+func BenchmarkEnvEnumeration(b *testing.B) {
+	for _, n := range []int{10, 24} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env, err := markov.NewEnv(n, benchOps, benchRepair)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = env.AMatrix()
+			}
+		})
+	}
+}
+
+// BenchmarkTransient measures the uniformization extension: the transient
+// distribution of a cold-started cluster at t = 100.
+func BenchmarkTransient(b *testing.B) {
+	p := benchParams(b, 4, 2.5)
+	sv, err := transient.NewSolver(p, transient.Options{MaxLevel: 120})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v0, err := sv.InitialState(0, p.Size()-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var d *transient.Distribution
+	for i := 0; i < b.N; i++ {
+		d, err = sv.At(v0, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.MeanQueue(), "EZt100")
+}
+
+// BenchmarkOptimizeServers measures the full Figure 5 style optimisation
+// (sweep + exact solve per point) for one arrival rate.
+func BenchmarkOptimizeServers(b *testing.B) {
+	sys := core.System{
+		ArrivalRate: 8,
+		ServiceRate: 1,
+		Operative:   benchOps,
+		Repair:      benchRepair,
+	}
+	cm := core.CostModel{HoldingCost: 4, ServerCost: 1}
+	var best core.ServerSweepPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		best, err = core.OptimizeServers(sys, cm, 9, 17, core.Spectral)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(best.Servers), "optN")
+}

@@ -1,0 +1,97 @@
+// Command mus-figures regenerates every table and figure of Palmer &
+// Mitrani (DSN 2006): the §2 density fits (Figures 3–4) from the synthetic
+// Sun-style breakdown log, and the §4 performance experiments
+// (Figures 5–9). Output is an aligned text table per figure; -dat also
+// writes gnuplot-style series files.
+//
+//	mus-figures            # everything, paper-scale
+//	mus-figures -fig 5     # one figure
+//	mus-figures -quick     # smoke-test scale (short simulations)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mus-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mus-figures", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "all", "figure to regenerate: 3|4|5|6|7|8|9|fit|all")
+		quick = fs.Bool("quick", false, "reduced sweeps and simulation horizons")
+		seed  = fs.Int64("seed", 0, "random seed override for data generation / simulation")
+		dat   = fs.String("dat", "", "directory for gnuplot-style .dat series files")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := figures.Options{Quick: *quick, Seed: *seed}
+
+	if *fig == "fit" {
+		return printFitReport(opts)
+	}
+	builders := map[string]func(figures.Options) (*figures.Figure, error){
+		"3": figures.Figure3,
+		"4": figures.Figure4,
+		"5": figures.Figure5,
+		"6": figures.Figure6,
+		"7": figures.Figure7,
+		"8": figures.Figure8,
+		"9": figures.Figure9,
+	}
+	var figs []*figures.Figure
+	if *fig == "all" {
+		all, err := figures.All(opts)
+		if err != nil {
+			return err
+		}
+		figs = all
+		if err := printFitReport(opts); err != nil {
+			return err
+		}
+	} else {
+		b, ok := builders[*fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", *fig)
+		}
+		f, err := b(opts)
+		if err != nil {
+			return err
+		}
+		figs = []*figures.Figure{f}
+	}
+	for _, f := range figs {
+		if err := figures.Render(os.Stdout, f); err != nil {
+			return err
+		}
+		fmt.Println()
+		if *dat != "" {
+			if err := os.MkdirAll(*dat, 0o755); err != nil {
+				return err
+			}
+			if err := f.WriteDat(*dat); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func printFitReport(opts figures.Options) error {
+	rep, err := figures.Sec2Report(opts)
+	if err != nil {
+		return err
+	}
+	figures.RenderFitReport(os.Stdout, rep)
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleFigureQuick(t *testing.T) {
+	if err := run([]string{"-fig", "7", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesDatFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "9", "-dat", dir}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig9_*.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("expected 2 .dat series, found %v", matches)
+	}
+	body, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Error("empty .dat file")
+	}
+}
+
+func TestRunFitReport(t *testing.T) {
+	if err := run([]string{"-fig", "fit", "-quick", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}

@@ -1,0 +1,81 @@
+// Command mus-fit runs the §2 statistical pipeline of Palmer & Mitrani on a
+// breakdown event log: clean the anomalous rows, derive operative and
+// inoperative periods, estimate moments, fit hyperexponential distributions
+// and report Kolmogorov–Smirnov goodness-of-fit decisions.
+//
+//	mus-gendata -out sun.csv && mus-fit -in sun.csv
+//	mus-fit                      # generates a synthetic log internally
+//	mus-fit -in sun.csv -phases 3  # the paper's 3-phase brute-force search
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/dist"
+	"repro/internal/figures"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mus-fit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mus-fit", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input CSV (default: generate the synthetic data set)")
+		phases = fs.Int("phases", 2, "hyperexponential phases for the extra moment-search fit (2 or 3)")
+		seed   = fs.Int64("seed", 0, "seed for the generated data set")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var events []dataset.Event
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err = dataset.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		events, err = dataset.Generate(dataset.GenConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println("(no -in given: analysing a freshly generated synthetic data set)")
+	}
+	rep, err := figures.AnalyzeDataset(events)
+	if err != nil {
+		return err
+	}
+	figures.RenderFitReport(os.Stdout, rep)
+
+	if *phases >= 3 {
+		// The paper's n=3 experiment: brute-force rate search on 5 moments;
+		// finding two nearly equal rates means H2 suffices.
+		clean := dataset.Clean(events)
+		moments := make([]float64, 5)
+		for k := 1; k <= 5; k++ {
+			moments[k-1] = stats.RawMoment(clean.Operative, k)
+		}
+		res, err := dist.FitHNSearch(*phases, moments)
+		if err != nil {
+			return fmt.Errorf("H%d search: %w", *phases, err)
+		}
+		fmt.Printf("\n-- %d-phase brute-force search (operative periods, paper eq. 8) --\n", *phases)
+		fmt.Printf("fit: %v (objective %.3g)\n", res.Dist, res.Objective)
+		fmt.Println("paper observation: two of the three rates come out almost equal — a 2-phase fit suffices")
+	}
+	return nil
+}

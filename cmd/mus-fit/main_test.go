@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func writeLog(t *testing.T, events int) string {
+	t.Helper()
+	evs, err := dataset.Generate(dataset.GenConfig{Events: events, Servers: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "log.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, evs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOnGeneratedFile(t *testing.T) {
+	path := writeLog(t, 30000)
+	if err := run([]string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunThreePhaseSearch(t *testing.T) {
+	path := writeLog(t, 30000)
+	if err := run([]string{"-in", path, "-phases", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"-in", "/nonexistent/file.csv"}); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "log.csv")
+	err := run([]string{"-out", out, "-events", "500", "-servers", "5", "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 501 { // header + 500 rows
+		t.Fatalf("got %d lines, want 501", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "event_id,") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-events", "-5"}); err == nil {
+		t.Error("negative events should fail")
+	}
+	if err := run([]string{"-anomaly", "2"}); err == nil {
+		t.Error("anomaly ≥ 1 should fail")
+	}
+}

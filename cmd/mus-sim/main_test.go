@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestRunHyperexponential(t *testing.T) {
+	err := run([]string{
+		"-servers", "3", "-lambda", "1.5", "-op-cv2", "4.6",
+		"-warmup", "100", "-horizon", "5000", "-qmax", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDeterministicOperative(t *testing.T) {
+	// The Figure 6 C²=0 shape.
+	err := run([]string{
+		"-servers", "3", "-lambda", "1.5", "-op-cv2", "0",
+		"-warmup", "100", "-horizon", "5000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErlangOperative(t *testing.T) {
+	err := run([]string{
+		"-servers", "2", "-lambda", "1", "-op-cv2", "0.25",
+		"-warmup", "100", "-horizon", "5000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadDistribution(t *testing.T) {
+	if err := run([]string{"-op-mean", "-1"}); err == nil {
+		t.Fatal("expected error for negative mean")
+	}
+	if err := run([]string{"-rep-cv2", "-2"}); err == nil {
+		t.Fatal("expected error for negative CV²")
+	}
+}

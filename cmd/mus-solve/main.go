@@ -1,0 +1,120 @@
+// Command mus-solve evaluates one multi-server system with unreliable
+// servers (Palmer & Mitrani, DSN 2006) and prints its steady-state
+// performance: mean queue length L, mean response time W, queue-length
+// distribution and, optionally, the cost C = c₁L + c₂N.
+//
+// The default flags reproduce the paper's Figure 5 setting at λ = 8:
+//
+//	mus-solve -servers 12 -lambda 8 -c1 4 -c2 1
+//
+// Methods: spectral (exact, default), approx (geometric approximation),
+// mg (matrix-geometric), sim (discrete-event simulation), or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mus-solve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mus-solve", flag.ContinueOnError)
+	var (
+		servers    = fs.Int("servers", 10, "number of servers N")
+		lambda     = fs.Float64("lambda", 8, "Poisson arrival rate λ")
+		mu         = fs.Float64("mu", 1, "service rate µ of one operative server")
+		opWeights  = fs.String("op-weights", "0.7246,0.2754", "operative-period phase weights α")
+		opRates    = fs.String("op-rates", "0.1663,0.0091", "operative-period phase rates ξ")
+		repWeights = fs.String("rep-weights", "1", "repair-period phase weights β")
+		repRates   = fs.String("rep-rates", "25", "repair-period phase rates η")
+		method     = fs.String("method", "spectral", "spectral | approx | mg | sim | all")
+		c1         = fs.Float64("c1", 0, "holding cost per job per unit time (0 = skip cost)")
+		c2         = fs.Float64("c2", 0, "cost per server per unit time")
+		qmax       = fs.Int("qmax", 0, "print P(queue = j) for j ≤ qmax")
+		horizon    = fs.Float64("sim-horizon", 300000, "simulation horizon (sim method)")
+		seed       = fs.Int64("sim-seed", 0, "simulation seed (sim method)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	op, err := cliutil.ParseHyperExp(*opWeights, *opRates)
+	if err != nil {
+		return fmt.Errorf("operative distribution: %w", err)
+	}
+	rep, err := cliutil.ParseHyperExp(*repWeights, *repRates)
+	if err != nil {
+		return fmt.Errorf("repair distribution: %w", err)
+	}
+	sys := core.System{
+		Servers:     *servers,
+		ArrivalRate: *lambda,
+		ServiceRate: *mu,
+		Operative:   op,
+		Repair:      rep,
+	}
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintf(w, "system\tN=%d λ=%g µ=%g\n", sys.Servers, sys.ArrivalRate, sys.ServiceRate)
+	fmt.Fprintf(w, "operative\t%v (mean %.4g, C²=%.3g)\n", op, op.Mean(), op.CV2())
+	fmt.Fprintf(w, "repair\t%v (mean %.4g)\n", rep, rep.Mean())
+	fmt.Fprintf(w, "availability\t%.6g\n", sys.Availability())
+	fmt.Fprintf(w, "offered load\t%.6g\n", sys.Load())
+	fmt.Fprintf(w, "modes s\t%d\n", sys.Modes())
+	if !sys.Stable() {
+		fmt.Fprintf(w, "stability\tUNSTABLE (eq. 11 violated) — need N ≥ %d\n", core.MinServersForStability(sys))
+		return nil
+	}
+
+	methods := map[string][]core.Method{
+		"spectral": {core.Spectral},
+		"approx":   {core.Approximation},
+		"mg":       {core.MatrixGeometric},
+		"all":      {core.Spectral, core.Approximation, core.MatrixGeometric},
+	}
+	if *method == "sim" || *method == "all" {
+		res, err := sys.Simulate(core.SimOptions{Seed: *seed, Horizon: *horizon})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "sim\tL=%.6g ± %.3g, W=%.6g, availability=%.5g, completed=%d\n",
+			res.MeanQueue, res.MeanQueueHalfWidth, res.MeanResponse, res.Availability, res.Completed)
+		if *method == "sim" {
+			return nil
+		}
+	}
+	ms, ok := methods[*method]
+	if !ok {
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	for _, m := range ms {
+		perf, err := sys.SolveWith(m)
+		if err != nil {
+			return fmt.Errorf("%v: %w", m, err)
+		}
+		fmt.Fprintf(w, "%v\tL=%.6g, W=%.6g, tail z=%.6g\n", m, perf.MeanJobs, perf.MeanResponse, perf.TailDecay)
+		if *c1 > 0 || *c2 > 0 {
+			cm := core.CostModel{HoldingCost: *c1, ServerCost: *c2}
+			fmt.Fprintf(w, "\tcost C = c1·L + c2·N = %.6g\n", cm.Cost(perf.MeanJobs, sys.Servers))
+		}
+		if *qmax > 0 && m == core.Spectral {
+			for j := 0; j <= *qmax; j++ {
+				fmt.Fprintf(w, "\tP(queue=%d) = %.6g\n", j, perf.QueueProb(j))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestRunDefaultsAndMethods(t *testing.T) {
+	for _, method := range []string{"spectral", "approx", "mg"} {
+		if err := run([]string{"-servers", "4", "-lambda", "2", "-method", method}); err != nil {
+			t.Errorf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestRunSimulation(t *testing.T) {
+	err := run([]string{"-servers", "2", "-lambda", "1", "-method", "sim", "-sim-horizon", "2000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCostAndQueue(t *testing.T) {
+	err := run([]string{"-servers", "4", "-lambda", "2", "-c1", "4", "-c2", "1", "-qmax", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnstableReportsGracefully(t *testing.T) {
+	// Unstable systems print the stability diagnosis instead of failing.
+	if err := run([]string{"-servers", "2", "-lambda", "50"}); err != nil {
+		t.Fatalf("unstable system should be reported, not errored: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-method", "bogus"},
+		{"-op-weights", "x"},
+		{"-rep-rates", ""},
+		{"-servers", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

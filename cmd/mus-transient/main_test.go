@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunColdStart(t *testing.T) {
+	err := run([]string{"-servers", "2", "-lambda", "1", "-horizon", "100", "-points", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBacklogDrain(t *testing.T) {
+	err := run([]string{
+		"-servers", "2", "-lambda", "0.8", "-initial-jobs", "40",
+		"-horizon", "200", "-points", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnstable(t *testing.T) {
+	// Unstable systems still get a transient trajectory plus a warning.
+	err := run([]string{"-servers", "2", "-lambda", "10", "-horizon", "20", "-points", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-op-rates", "x"},
+		{"-points", "1"},
+		{"-horizon", "-5"},
+		{"-servers", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package repro is a complete Go reproduction of J. Palmer & I. Mitrani,
+// "Empirical and Analytical Evaluation of Systems with Multiple Unreliable
+// Servers" (University of Newcastle CS-TR-936; DSN 2006).
+//
+// The library models a cluster of N parallel servers serving a Poisson
+// stream from one unbounded queue, where every server alternates between
+// hyperexponentially distributed operative periods and repair periods. It
+// contains:
+//
+//   - internal/core — the public model: System, exact/approximate solvers,
+//     cost optimisation and capacity planning;
+//   - internal/qbd — the spectral-expansion solver (paper §3.1), the
+//     geometric heavy-traffic approximation (§3.2), a matrix-geometric
+//     baseline and a truncated-chain oracle;
+//   - internal/markov — the operational-mode state space (eq. 9, 12);
+//   - internal/dist, internal/stats, internal/optimize — the §2 statistics:
+//     hyperexponential fitting, histograms, Kolmogorov–Smirnov testing;
+//   - internal/dataset — a synthetic stand-in for the proprietary Sun
+//     breakdown log;
+//   - internal/sim — a discrete-event simulator used for the C² = 0 point
+//     of Figure 6 and as an independent oracle;
+//   - internal/figures — one experiment per paper figure;
+//   - cmd/* — CLI tools; examples/* — runnable walkthroughs.
+//
+// bench_test.go regenerates every figure of the evaluation as a Go
+// benchmark; see EXPERIMENTS.md for the paper-vs-measured record.
+package repro

@@ -1,0 +1,46 @@
+// Package cliutil holds the small parsing helpers shared by the cmd/
+// binaries: comma-separated float lists and hyperexponential specifications.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+)
+
+// ParseFloats parses a comma-separated list like "0.7246,0.2754".
+func ParseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: %q is not a number: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty list %q", s)
+	}
+	return out, nil
+}
+
+// ParseHyperExp builds a hyperexponential from comma-separated weights and
+// rates flags.
+func ParseHyperExp(weights, rates string) (*dist.HyperExp, error) {
+	w, err := ParseFloats(weights)
+	if err != nil {
+		return nil, fmt.Errorf("weights: %w", err)
+	}
+	r, err := ParseFloats(rates)
+	if err != nil {
+		return nil, fmt.Errorf("rates: %w", err)
+	}
+	return dist.NewHyperExp(w, r)
+}

@@ -1,0 +1,44 @@
+package cliutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats(" 1, 2.5 ,3e-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 0.03}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := ParseFloats("a,b"); err == nil {
+		t.Error("expected error for non-numeric input")
+	}
+	if _, err := ParseFloats(""); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestParseHyperExp(t *testing.T) {
+	h, err := ParseHyperExp("0.7246,0.2754", "0.1663,0.0091")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Phases() != 2 {
+		t.Fatalf("phases = %d", h.Phases())
+	}
+	if math.Abs(h.Mean()-34.62) > 0.2 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if _, err := ParseHyperExp("1", "x"); err == nil {
+		t.Error("expected rate parse error")
+	}
+	if _, err := ParseHyperExp("0.5", "1,2"); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+}

@@ -1,0 +1,298 @@
+// Package core is the public face of the reproduction: the multi-server
+// system with unreliable servers of Palmer & Mitrani (DSN 2006). A System
+// describes N parallel servers fed from one unbounded FIFO queue by a
+// Poisson stream, each server alternating between hyperexponential
+// operative periods and hyperexponential repair periods; jobs interrupted
+// by a breakdown resume later without loss of work.
+//
+// The package answers the three questions posed in the paper's
+// introduction:
+//
+//  1. How does the system perform? — Solve / SolveApprox /
+//     SolveMatrixGeometric / Simulate return the mean queue length, mean
+//     response time and full queue-length distribution.
+//  2. What is the minimum number of servers ensuring a target level of
+//     performance? — MinServersForResponseTime.
+//  3. What number of servers minimises the holding-plus-provisioning cost
+//     C = c₁L + c₂N? — OptimizeServers.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/markov"
+	"repro/internal/qbd"
+	"repro/internal/sim"
+)
+
+// System describes a service-provisioning cluster (paper §3).
+type System struct {
+	// Servers is N, the number of parallel servers.
+	Servers int
+	// ArrivalRate is λ, the Poisson arrival rate.
+	ArrivalRate float64
+	// ServiceRate is µ, the exponential service rate of one operative server.
+	ServiceRate float64
+	// Operative is the distribution of operative periods (n-phase
+	// hyperexponential; use dist.Exp for the classical exponential model).
+	Operative *dist.HyperExp
+	// Repair is the distribution of inoperative periods.
+	Repair *dist.HyperExp
+}
+
+// Validate checks the system description.
+func (s System) Validate() error {
+	if s.Servers < 1 {
+		return fmt.Errorf("core: %d servers, need at least 1", s.Servers)
+	}
+	if s.ArrivalRate <= 0 {
+		return fmt.Errorf("core: arrival rate %v must be positive", s.ArrivalRate)
+	}
+	if s.ServiceRate <= 0 {
+		return fmt.Errorf("core: service rate %v must be positive", s.ServiceRate)
+	}
+	if s.Operative == nil || s.Repair == nil {
+		return errors.New("core: operative and repair distributions are required")
+	}
+	return nil
+}
+
+// Env enumerates the Markovian environment for this system.
+func (s System) Env() (*markov.Env, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return markov.NewEnv(s.Servers, s.Operative, s.Repair)
+}
+
+// Params assembles the queueing parameters for the qbd solvers.
+func (s System) Params() (qbd.Params, error) {
+	_, p, err := s.envParams()
+	return p, err
+}
+
+func (s System) envParams() (*markov.Env, qbd.Params, error) {
+	env, err := s.Env()
+	if err != nil {
+		return nil, qbd.Params{}, err
+	}
+	return env, qbd.Params{
+		Lambda:      s.ArrivalRate,
+		A:           env.AMatrix(),
+		ServiceDiag: env.ServiceDiag(s.ServiceRate),
+	}, nil
+}
+
+// Modes returns s, the number of operational modes (paper eq. 12).
+func (s System) Modes() int {
+	return markov.NumModes(s.Servers, s.Operative.Phases(), s.Repair.Phases())
+}
+
+// Availability returns η/(ξ+η), the long-run fraction of time one server is
+// operative; it depends only on the mean period lengths (paper §3).
+func (s System) Availability() float64 {
+	xi := s.Operative.Rate()
+	eta := s.Repair.Rate()
+	return eta / (xi + eta)
+}
+
+// Load returns the offered load relative to capacity,
+// (λ/µ) / (N·η/(ξ+η)); the system is stable iff Load < 1 (paper eq. 11).
+func (s System) Load() float64 {
+	return s.ArrivalRate / s.ServiceRate / (float64(s.Servers) * s.Availability())
+}
+
+// Stable reports whether the ergodicity condition (eq. 11) holds.
+func (s System) Stable() bool { return s.Load() < 1 }
+
+// Performance packages the steady-state metrics from a solution.
+type Performance struct {
+	// MeanJobs is L, the mean number of jobs present.
+	MeanJobs float64
+	// MeanResponse is W = L/λ (Little's law).
+	MeanResponse float64
+	// TailDecay is the geometric decay rate z_s of the queue-length tail.
+	TailDecay float64
+	// Load echoes the offered load.
+	Load float64
+
+	sol      qbd.Solution
+	opCounts []int // operative servers per mode
+}
+
+// OperativeStat describes the system conditioned on the number of operative
+// servers.
+type OperativeStat struct {
+	// Operative is x, the number of working servers.
+	Operative int
+	// Prob is P(x servers operative).
+	Prob float64
+	// MeanQueue is E[jobs present | x servers operative]; NaN when Prob is
+	// numerically zero.
+	MeanQueue float64
+}
+
+// OperativeBreakdown decomposes the steady state by the number of operative
+// servers — the mode structure of the solution makes "how much queue builds
+// while k servers are down" directly available, which no scalar-load model
+// can provide. Entries are indexed by x = 0..N.
+func (p *Performance) OperativeBreakdown() []OperativeStat {
+	n := 0
+	for _, x := range p.opCounts {
+		if x > n {
+			n = x
+		}
+	}
+	prob := make([]float64, n+1)
+	mass := make([]float64, n+1) // Σ_j j·P(j jobs, x operative)
+	// Sum levels until the geometric tail is exhausted.
+	z := p.TailDecay
+	maxJ := 200
+	if z > 0 && z < 1 {
+		maxJ = int(math.Log(1e-13)/math.Log(z)) + 4*n + 16
+	}
+	for j := 0; j <= maxJ; j++ {
+		lv := p.sol.Level(j)
+		for i, x := range p.opCounts {
+			prob[x] += lv[i]
+			mass[x] += float64(j) * lv[i]
+		}
+	}
+	out := make([]OperativeStat, n+1)
+	for x := 0; x <= n; x++ {
+		st := OperativeStat{Operative: x, Prob: prob[x], MeanQueue: math.NaN()}
+		if prob[x] > 1e-300 {
+			st.MeanQueue = mass[x] / prob[x]
+		}
+		out[x] = st
+	}
+	return out
+}
+
+// QueueProb returns P(exactly j jobs present).
+func (p *Performance) QueueProb(j int) float64 { return p.sol.LevelProb(j) }
+
+// QueueTail returns P(at least j jobs present).
+func (p *Performance) QueueTail(j int) float64 {
+	if j <= 0 {
+		return 1
+	}
+	t := p.sol.TotalProbability()
+	for k := 0; k < j; k++ {
+		t -= p.sol.LevelProb(k)
+	}
+	return t
+}
+
+// ModeMarginals exposes the marginal mode distribution Σ_j v_j.
+func (p *Performance) ModeMarginals() []float64 { return p.sol.ModeMarginals() }
+
+// Solution exposes the underlying solver output for advanced callers.
+func (p *Performance) Solution() qbd.Solution { return p.sol }
+
+func (s System) wrap(env *markov.Env, sol qbd.Solution) *Performance {
+	l := sol.MeanQueue()
+	return &Performance{
+		MeanJobs:     l,
+		MeanResponse: l / s.ArrivalRate,
+		TailDecay:    sol.TailDecay(),
+		Load:         s.Load(),
+		sol:          sol,
+		opCounts:     env.OperativeCounts(),
+	}
+}
+
+// Solve computes the exact steady state by spectral expansion (paper §3.1).
+func (s System) Solve() (*Performance, error) {
+	env, p, err := s.envParams()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := qbd.SolveSpectral(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(env, sol), nil
+}
+
+// SolveApprox computes the geometric approximation (paper §3.2), which is
+// cheap, numerically robust for large N, and asymptotically exact under
+// heavy load.
+func (s System) SolveApprox() (*Performance, error) {
+	env, p, err := s.envParams()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := qbd.SolveApprox(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(env, sol), nil
+}
+
+// SolveMatrixGeometric computes the exact steady state by the R-matrix
+// method — the classical alternative the spectral expansion is usually
+// compared against.
+func (s System) SolveMatrixGeometric() (*Performance, error) {
+	env, p, err := s.envParams()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := qbd.SolveMatrixGeometric(p, qbd.MGOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(env, sol), nil
+}
+
+// SimOptions tunes Simulate. The zero value picks defaults suited to the
+// paper's parameter ranges.
+type SimOptions struct {
+	// Seed fixes the random stream (0 = default).
+	Seed int64
+	// Warmup is the discarded initial period (default 5,000 time units).
+	Warmup float64
+	// Horizon is the measured period (default 300,000 time units).
+	Horizon float64
+	// Operative / Repair override the system's distributions — this is how
+	// non-hyperexponential shapes (Erlang, deterministic) enter, since the
+	// analytical model cannot represent them.
+	Operative dist.Distribution
+	Repair    dist.Distribution
+}
+
+// Simulate estimates the steady state by discrete-event simulation; it
+// accepts arbitrary period distributions via SimOptions (e.g. the
+// deterministic operative periods of Figure 6's C² = 0 point).
+func (s System) Simulate(opts SimOptions) (sim.Result, error) {
+	if err := s.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	if opts.Warmup == 0 {
+		opts.Warmup = 5000
+	}
+	if opts.Horizon == 0 {
+		opts.Horizon = 300000
+	}
+	op := opts.Operative
+	if op == nil {
+		op = s.Operative
+	}
+	rep := opts.Repair
+	if rep == nil {
+		rep = s.Repair
+	}
+	return sim.Run(sim.Config{
+		Servers:   s.Servers,
+		Lambda:    s.ArrivalRate,
+		Mu:        s.ServiceRate,
+		Operative: op,
+		Repair:    rep,
+		Seed:      opts.Seed,
+		Warmup:    opts.Warmup,
+		Horizon:   opts.Horizon,
+	})
+}

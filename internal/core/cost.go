@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// CostModel is the paper's linear trade-off (eq. 22): holding a job costs
+// c₁ per unit time, providing a server costs c₂ per unit time, so the
+// steady-state total cost of an N-server cluster is C = c₁L + c₂N.
+type CostModel struct {
+	// HoldingCost is c₁.
+	HoldingCost float64
+	// ServerCost is c₂.
+	ServerCost float64
+}
+
+// Cost evaluates C = c₁L + c₂N.
+func (c CostModel) Cost(meanJobs float64, servers int) float64 {
+	return c.HoldingCost*meanJobs + c.ServerCost*float64(servers)
+}
+
+// Method selects the solver used by the optimisation helpers.
+type Method int
+
+const (
+	// Spectral is the exact spectral-expansion solution.
+	Spectral Method = iota
+	// Approximation is the one-eigenvalue geometric approximation.
+	Approximation
+	// MatrixGeometric is the exact R-matrix solution.
+	MatrixGeometric
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Spectral:
+		return "spectral"
+	case Approximation:
+		return "approximation"
+	case MatrixGeometric:
+		return "matrix-geometric"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// SolveWith dispatches to the chosen solver.
+func (s System) SolveWith(m Method) (*Performance, error) {
+	switch m {
+	case Spectral:
+		return s.Solve()
+	case Approximation:
+		return s.SolveApprox()
+	case MatrixGeometric:
+		return s.SolveMatrixGeometric()
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", m)
+	}
+}
+
+// ServerSweepPoint is one entry of a sweep over the number of servers.
+type ServerSweepPoint struct {
+	Servers int
+	Perf    *Performance
+	Cost    float64
+}
+
+// SweepServers solves the system for every N in [minN, maxN] (skipping
+// unstable configurations) and returns the per-N performance and cost in
+// ascending N order. The solves are independent, so they run on a bounded
+// worker pool; results stay deterministic because each worker writes only
+// its own slot.
+func SweepServers(base System, cm CostModel, minN, maxN int, m Method) ([]ServerSweepPoint, error) {
+	if minN < 1 || maxN < minN {
+		return nil, fmt.Errorf("core: invalid server range [%d, %d]", minN, maxN)
+	}
+	type slot struct {
+		pt  ServerSweepPoint
+		err error
+		ok  bool
+	}
+	slots := make([]slot, maxN-minN+1)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for n := minN; n <= maxN; n++ {
+		sys := base
+		sys.Servers = n
+		if !sys.Stable() {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, n int, sys System) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			perf, err := sys.SolveWith(m)
+			if err != nil {
+				slots[i] = slot{err: fmt.Errorf("core: N = %d: %w", n, err)}
+				return
+			}
+			slots[i] = slot{
+				pt: ServerSweepPoint{Servers: n, Perf: perf, Cost: cm.Cost(perf.MeanJobs, n)},
+				ok: true,
+			}
+		}(n-minN, n, sys)
+	}
+	wg.Wait()
+	var out []ServerSweepPoint
+	for _, s := range slots {
+		if s.err != nil {
+			return nil, s.err
+		}
+		if s.ok {
+			out = append(out, s.pt)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("core: no stable configuration in the requested range")
+	}
+	return out, nil
+}
+
+// OptimizeServers returns the N in [minN, maxN] minimising C = c₁L + c₂N —
+// the paper's third introduction question, answered in Figure 5. Because L
+// decreases in N while c₂N grows linearly, the cost is unimodal in N; the
+// search therefore stops early once the cost has risen for three
+// consecutive stable configurations, which keeps the expensive large-N
+// solves out of the loop.
+func OptimizeServers(base System, cm CostModel, minN, maxN int, m Method) (ServerSweepPoint, error) {
+	if minN < 1 || maxN < minN {
+		return ServerSweepPoint{}, fmt.Errorf("core: invalid server range [%d, %d]", minN, maxN)
+	}
+	var best ServerSweepPoint
+	found := false
+	rises := 0
+	prev := math.Inf(1)
+	for n := minN; n <= maxN; n++ {
+		sys := base
+		sys.Servers = n
+		if !sys.Stable() {
+			continue
+		}
+		perf, err := sys.SolveWith(m)
+		if err != nil {
+			return ServerSweepPoint{}, fmt.Errorf("core: N = %d: %w", n, err)
+		}
+		pt := ServerSweepPoint{Servers: n, Perf: perf, Cost: cm.Cost(perf.MeanJobs, n)}
+		if !found || pt.Cost < best.Cost {
+			best = pt
+			found = true
+		}
+		if pt.Cost > prev {
+			rises++
+			if rises >= 3 {
+				break
+			}
+		} else {
+			rises = 0
+		}
+		prev = pt.Cost
+	}
+	if !found {
+		return ServerSweepPoint{}, errors.New("core: no stable configuration in the requested range")
+	}
+	return best, nil
+}
+
+// MinServersForResponseTime returns the smallest N ≤ maxN whose mean
+// response time does not exceed target — the paper's second introduction
+// question, answered in Figure 9 ("at least 9 servers should be deployed"
+// for W ≤ 1.5 at λ = 7.5).
+func MinServersForResponseTime(base System, target float64, maxN int, m Method) (ServerSweepPoint, error) {
+	if target <= 0 {
+		return ServerSweepPoint{}, fmt.Errorf("core: target response time %v must be positive", target)
+	}
+	for n := 1; n <= maxN; n++ {
+		sys := base
+		sys.Servers = n
+		if !sys.Stable() {
+			continue
+		}
+		perf, err := sys.SolveWith(m)
+		if err != nil {
+			return ServerSweepPoint{}, fmt.Errorf("core: N = %d: %w", n, err)
+		}
+		if perf.MeanResponse <= target {
+			return ServerSweepPoint{Servers: n, Perf: perf}, nil
+		}
+	}
+	return ServerSweepPoint{}, fmt.Errorf("core: no N ≤ %d achieves W ≤ %v", maxN, target)
+}
+
+// MinServersForStability returns the smallest N satisfying eq. (11),
+// ⌈(λ/µ)·(ξ+η)/η⌉ (+1 when the load is exactly 1).
+func MinServersForStability(base System) int {
+	needed := base.ArrivalRate / base.ServiceRate / base.Availability()
+	n := int(math.Ceil(needed))
+	if float64(n) <= needed {
+		n++
+	}
+	return n
+}

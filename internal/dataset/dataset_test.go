@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	events, err := Generate(GenConfig{Events: 5000, Servers: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5000 {
+		t.Fatalf("got %d events, want 5000", len(events))
+	}
+	// Sorted by start time, IDs sequential.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatal("events not sorted by start time")
+		}
+		if events[i].EventID != events[i-1].EventID+1 {
+			t.Fatal("event IDs not sequential")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{Events: -1}); err == nil {
+		t.Error("negative events should fail")
+	}
+	if _, err := Generate(GenConfig{AnomalyFraction: 1.5}); err == nil {
+		t.Error("anomaly fraction ≥ 1 should fail")
+	}
+}
+
+func TestGenerateAnomalyFraction(t *testing.T) {
+	events, err := Generate(GenConfig{Events: 50000, Servers: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Clean(events)
+	// Default 4% target; sampling noise stays well within ±1%.
+	if f := c.DroppedFraction(); math.Abs(f-0.04) > 0.01 {
+		t.Errorf("dropped fraction %v, want ≈0.04", f)
+	}
+	if c.Total != 50000 || len(c.Operative) != c.Total-c.Dropped {
+		t.Errorf("bookkeeping wrong: %+v", c)
+	}
+}
+
+func TestCleanedMomentsMatchPaperDistributions(t *testing.T) {
+	// The headline §2 numbers must be recoverable from the synthetic data:
+	// operative mean ≈ 34.62, C² ≈ 4.6; outage mean ≈ 0.08.
+	events, err := Generate(GenConfig{Seed: 3}) // full 140k
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Clean(events)
+	op := PaperOperative()
+	if m := stats.Mean(c.Operative); math.Abs(m-op.Mean())/op.Mean() > 0.02 {
+		t.Errorf("operative mean %v, distribution says %v", m, op.Mean())
+	}
+	if cv2 := stats.CV2(c.Operative); math.Abs(cv2-op.CV2()) > 0.25 {
+		t.Errorf("operative C² %v, distribution says %v", cv2, op.CV2())
+	}
+	out := PaperOutage()
+	if m := stats.Mean(c.Inoperative); math.Abs(m-out.Mean())/out.Mean() > 0.05 {
+		t.Errorf("outage mean %v, distribution says %v", m, out.Mean())
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	events, err := Generate(GenConfig{Events: 300, Servers: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("roundtrip length %d, want %d", len(back), len(events))
+	}
+	for i := range events {
+		if events[i] != back[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, events[i], back[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ""},
+		{"wrong header", "a,b,c,d,e\n"},
+		{"bad int", "event_id,server_id,start,outage_duration,time_between_events\nx,1,0,1,2\n"},
+		{"bad float", "event_id,server_id,start,outage_duration,time_between_events\n1,1,zero,1,2\n"},
+		{"short row", "event_id,server_id,start,outage_duration,time_between_events\n1,1,0\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.body)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestCleanDropsExactlyAnomalies(t *testing.T) {
+	events := []Event{
+		{OutageDuration: 1, TimeBetweenEvents: 3},    // fine: operative 2
+		{OutageDuration: 2, TimeBetweenEvents: 1},    // anomalous
+		{OutageDuration: 0, TimeBetweenEvents: 1},    // zero outage: anomalous
+		{OutageDuration: 0.5, TimeBetweenEvents: -1}, // negative: anomalous
+	}
+	c := Clean(events)
+	if c.Dropped != 3 || len(c.Operative) != 1 {
+		t.Fatalf("clean result %+v", c)
+	}
+	if c.Operative[0] != 2 || c.Inoperative[0] != 1 {
+		t.Fatalf("periods wrong: %+v", c)
+	}
+}
+
+func TestOperativePeriodAndAnomalous(t *testing.T) {
+	e := Event{OutageDuration: 0.5, TimeBetweenEvents: 10.5}
+	if p := e.OperativePeriod(); p != 10 {
+		t.Errorf("operative period = %v, want 10", p)
+	}
+	if e.Anomalous() {
+		t.Error("valid event flagged anomalous")
+	}
+}
+
+func TestGenerateZeroAnomalies(t *testing.T) {
+	events, err := Generate(GenConfig{Events: 2000, Servers: 4, AnomalyFraction: -1, Seed: 5})
+	if err == nil {
+		// -1 invalid
+		t.Fatal("negative anomaly fraction should fail")
+	}
+	events, err = Generate(GenConfig{Events: 2000, Servers: 4, AnomalyFraction: 1e-12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Clean(events)
+	if c.Dropped != 0 {
+		t.Errorf("dropped %d, want 0", c.Dropped)
+	}
+}

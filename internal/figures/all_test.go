@@ -1,0 +1,53 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllRunsEveryFigureQuick(t *testing.T) {
+	figs, err := All(Options{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	if len(figs) != len(wantIDs) {
+		t.Fatalf("got %d figures, want %d", len(figs), len(wantIDs))
+	}
+	for i, f := range figs {
+		if f.ID != wantIDs[i] {
+			t.Errorf("figure %d has ID %q, want %q", i, f.ID, wantIDs[i])
+		}
+		if len(f.Series) == 0 {
+			t.Errorf("%s: no series", f.ID)
+		}
+		for _, s := range f.Series {
+			if len(s.X) == 0 || len(s.X) != len(s.Y) {
+				t.Errorf("%s/%s: bad series lengths %d/%d", f.ID, s.Label, len(s.X), len(s.Y))
+			}
+		}
+		var buf bytes.Buffer
+		if err := Render(&buf, f); err != nil {
+			t.Errorf("%s: render: %v", f.ID, err)
+		}
+		if !strings.Contains(buf.String(), f.ID) {
+			t.Errorf("%s: render output missing ID", f.ID)
+		}
+	}
+}
+
+func TestRenderFitReport(t *testing.T) {
+	rep, err := Sec2Report(Options{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFitReport(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"operative", "inoperative", "KS exponential", "fitted H2", "paper reference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fit report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package figures defines one reproducible experiment per table/figure of
+// Palmer & Mitrani (DSN 2006) §2 and §4. Each experiment returns labelled
+// series that can be rendered as text, written as gnuplot-style .dat files,
+// or asserted against the paper's qualitative shape in tests and
+// benchmarks.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Series is one labelled curve: points (X[i], Y[i]).
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is one reproduced table or figure.
+type Figure struct {
+	ID     string // e.g. "fig5"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes records headline findings (optima, KS decisions, crossings) so
+	// the text output is self-describing.
+	Notes []string
+}
+
+// Options tunes experiment cost. The zero value reproduces the paper-scale
+// experiment; Quick shrinks simulation horizons and sweep densities for
+// fast smoke runs.
+type Options struct {
+	Quick bool
+	Seed  int64
+}
+
+// Render writes the figure as an aligned text table with notes.
+func Render(w io.Writer, f *Figure) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %16s", s.Label)
+	}
+	sb.WriteString("\n")
+	xs := unionX(f.Series)
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%-14.6g", x)
+		for _, s := range f.Series {
+			if y, ok := lookupY(s, x); ok {
+				fmt.Fprintf(&sb, " %16.6g", y)
+			} else {
+				fmt.Fprintf(&sb, " %16s", "-")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteDat writes one gnuplot-style file per series into dir, named
+// <figID>_<series>.dat.
+func (f *Figure) WriteDat(dir string) error {
+	for _, s := range f.Series {
+		name := fmt.Sprintf("%s_%s.dat", f.ID, sanitize(s.Label))
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "# %s — %s\n# %s vs %s\n", f.ID, f.Title, f.YLabel, f.XLabel)
+		for i := range s.X {
+			fmt.Fprintf(&sb, "%.10g %.10g\n", s.X[i], s.Y[i])
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(sb.String()), 0o644); err != nil {
+			return fmt.Errorf("figures: write %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteRune('_')
+		}
+	}
+	return sb.String()
+}
+
+func unionX(series []Series) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sortFloats(xs)
+	return xs
+}
+
+func lookupY(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ArgminY returns the x minimising y within one series.
+func (s Series) ArgminY() float64 {
+	best, bx := math.Inf(1), math.NaN()
+	for i, y := range s.Y {
+		if y < best {
+			best, bx = y, s.X[i]
+		}
+	}
+	return bx
+}
+
+// All runs every experiment (the full §2 + §4 suite) and returns the
+// figures in paper order.
+func All(opts Options) ([]*Figure, error) {
+	type builder struct {
+		name string
+		fn   func(Options) (*Figure, error)
+	}
+	builders := []builder{
+		{"fig3", Figure3},
+		{"fig4", Figure4},
+		{"fig5", Figure5},
+		{"fig6", Figure6},
+		{"fig7", Figure7},
+		{"fig8", Figure8},
+		{"fig9", Figure9},
+	}
+	out := make([]*Figure, 0, len(builders))
+	for _, b := range builders {
+		f, err := b.fn(opts)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s: %w", b.name, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

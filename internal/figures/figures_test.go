@@ -1,0 +1,265 @@
+package figures
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestFigure3ReproducesSection2Decisions(t *testing.T) {
+	fig, err := Figure3(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want observed + fit", len(fig.Series))
+	}
+	rep, err := sec2Report(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := rep.Operative
+	// Paper: exponential strongly rejected (D = 0.4742 ≫ 0.19), H2 passes at
+	// 5% and 10% (D = 0.1412).
+	if ops.KSExponential.Pass(0.05) {
+		t.Errorf("exponential fit passed KS (D = %v); paper strongly rejects", ops.KSExponential.D)
+	}
+	if ops.KSExponential.D < 0.3 {
+		t.Errorf("exponential D = %v, paper has 0.4742 — should be far above critical", ops.KSExponential.D)
+	}
+	if !ops.KSH2.Pass(0.05) || !ops.KSH2.Pass(0.10) {
+		t.Errorf("H2 fit failed KS (D = %v); paper passes at 5%% and 10%%", ops.KSH2.D)
+	}
+	// Fitted parameters should land near the paper's (means ≈ 6 and 110,
+	// weight ≈ 0.72 on the short phase). The histogram binning loses some
+	// precision, so compare loosely.
+	fit := ops.FittedH2
+	short, long := 1/fit.Rates[0], 1/fit.Rates[1]
+	wShort := fit.Weights[0]
+	if short > long {
+		short, long = long, short
+		wShort = fit.Weights[1]
+	}
+	if short < 3 || short > 9 {
+		t.Errorf("short phase mean %v, paper ≈ 6", short)
+	}
+	if long < 90 || long > 130 {
+		t.Errorf("long phase mean %v, paper ≈ 110", long)
+	}
+	if wShort < 0.6 || wShort > 0.85 {
+		t.Errorf("short-phase weight %v, paper ≈ 0.72", wShort)
+	}
+	if math.Abs(ops.CV2-4.6) > 1.0 {
+		t.Errorf("C² = %v, paper ≈ 4.6", ops.CV2)
+	}
+}
+
+func TestFigure4ReproducesSection2Decisions(t *testing.T) {
+	fig, err := Figure4(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sec2Report(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inop := rep.Inoperative
+	if !inop.KSH2.Pass(0.05) {
+		t.Errorf("H2 fit failed KS (D = %v); paper passes at 5%% and 10%%", inop.KSH2.D)
+	}
+	// The exponential hypothesis with the *sample* mean fails less badly
+	// than for operative periods (paper: "fails, but not so badly").
+	if inop.KSExponential.D >= rep.Operative.KSExponential.D {
+		t.Errorf("inoperative exp D = %v should be below operative exp D = %v",
+			inop.KSExponential.D, rep.Operative.KSExponential.D)
+	}
+	// The note about the single exponential with the first-component mean
+	// must be present (paper: passes at 5%).
+	found := false
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "single exponential") && strings.Contains(n, "pass=true") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("single-exponential note missing or failing: %v", fig.Notes)
+	}
+}
+
+func TestFigure5OptimaMatchPaper(t *testing.T) {
+	fig, err := Figure5(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"lambda=7.0": 11,
+		"lambda=8.0": 12,
+		"lambda=8.5": 13,
+	}
+	for _, s := range fig.Series {
+		if got := s.ArgminY(); got != want[s.Label] {
+			t.Errorf("%s: optimal N = %v, paper says %v", s.Label, got, want[s.Label])
+		}
+	}
+}
+
+func TestFigure6ShapeMatchesPaper(t *testing.T) {
+	fig, err := Figure6(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		// L must grow with C² among the exact points (paper: "the average
+		// queue size grows with the coefficient of variation"). The C²=0
+		// point is simulated, so it only gets a loose ordering check: below
+		// the top of the curve.
+		for i := 1; i < len(s.Y); i++ {
+			if s.X[i-1] == 0 {
+				continue
+			}
+			if s.Y[i] <= s.Y[i-1] {
+				t.Errorf("%s: L not increasing at C²=%v: %v → %v", s.Label, s.X[i], s.Y[i-1], s.Y[i])
+			}
+		}
+		if s.X[0] == 0 && s.Y[0] >= s.Y[len(s.Y)-1] {
+			t.Errorf("%s: simulated C²=0 point %v not below the C²=%v value %v",
+				s.Label, s.Y[0], s.X[len(s.X)-1], s.Y[len(s.Y)-1])
+		}
+	}
+	// The heavier load (8.6) sits above 8.5 at every shared C².
+	l85, l86 := fig.Series[0], fig.Series[1]
+	for i := range l85.X {
+		if l86.Y[i] <= l85.Y[i] {
+			t.Errorf("C²=%v: L(8.6)=%v not above L(8.5)=%v", l85.X[i], l86.Y[i], l85.Y[i])
+		}
+	}
+}
+
+func TestFigure7ExponentialUnderestimates(t *testing.T) {
+	fig, err := Figure7(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expS, hypS := fig.Series[0], fig.Series[1]
+	prevGap := 0.0
+	for i := range expS.X {
+		gap := hypS.Y[i] - expS.Y[i]
+		if gap <= 0 {
+			t.Errorf("1/η=%v: exponential L %v not below hyperexponential %v", expS.X[i], expS.Y[i], hypS.Y[i])
+		}
+		if gap < prevGap {
+			t.Errorf("1/η=%v: gap %v shrank from %v; paper says predictions get more over-optimistic", expS.X[i], gap, prevGap)
+		}
+		prevGap = gap
+	}
+}
+
+func TestFigure8ApproximationConverges(t *testing.T) {
+	fig, err := Figure8(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, approx := fig.Series[0], fig.Series[1]
+	firstGap := relGap(exact.Y[0], approx.Y[0])
+	lastGap := relGap(exact.Y[len(exact.Y)-1], approx.Y[len(approx.Y)-1])
+	if lastGap >= firstGap {
+		t.Errorf("approximation gap grew with load: %v → %v", firstGap, lastGap)
+	}
+	if lastGap > 0.1 {
+		t.Errorf("gap at heaviest load = %v, should be small", lastGap)
+	}
+}
+
+func TestFigure9MinServersIsNine(t *testing.T) {
+	fig, err := Figure9(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "minimum N for W ≤ 1.5: 9") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected min-9-servers note, got %v", fig.Notes)
+	}
+	// Exact W decreases with N.
+	exact := fig.Series[0]
+	for i := 1; i < len(exact.Y); i++ {
+		if exact.Y[i] >= exact.Y[i-1] {
+			t.Errorf("W not decreasing at N=%v", exact.X[i])
+		}
+	}
+	// "On this occasion the approximate solution underestimates the average
+	// response times": approx sits below exact at every N, and both curves
+	// decrease with N (visible in the paper's figure, where the gap stays
+	// wide at large N because the geometric form ignores the service floor).
+	approx := fig.Series[1]
+	for i := range exact.Y {
+		if approx.Y[i] >= exact.Y[i] {
+			t.Errorf("N=%v: approx %v not below exact %v", exact.X[i], approx.Y[i], exact.Y[i])
+		}
+	}
+	for i := 1; i < len(approx.Y); i++ {
+		if approx.Y[i] >= approx.Y[i-1] {
+			t.Errorf("approx W not decreasing at N=%v", approx.X[i])
+		}
+	}
+}
+
+func TestRenderAndWriteDat(t *testing.T) {
+	fig := &Figure{
+		ID:     "demo",
+		Title:  "demo figure",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{2, 3}, Y: []float64{5, 6}},
+		},
+		Notes: []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo figure", "a", "b", "note: hello", "10", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	dir := t.TempDir()
+	if err := fig.WriteDat(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"demo_a.dat", "demo_b.dat"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestAnalyzeDatasetErrors(t *testing.T) {
+	if _, err := AnalyzeDataset(nil); err == nil {
+		t.Error("empty log should fail")
+	}
+	// All-anomalous log.
+	events := []dataset.Event{{OutageDuration: 2, TimeBetweenEvents: 1}}
+	if _, err := AnalyzeDataset(events); err == nil {
+		t.Error("fully-dropped log should fail")
+	}
+}
+
+func TestSeriesArgmin(t *testing.T) {
+	s := Series{X: []float64{1, 2, 3}, Y: []float64{5, 1, 9}}
+	if got := s.ArgminY(); got != 2 {
+		t.Errorf("argmin = %v, want 2", got)
+	}
+}

@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZero(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("got %d×%d, want 3×4", m.Rows, m.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Errorf("I(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	m := Diag([]float64{1, 2, 3})
+	if m.At(0, 0) != 1 || m.At(1, 1) != 2 || m.At(2, 2) != 3 {
+		t.Fatalf("diagonal wrong: %v", m)
+	}
+	if m.At(0, 1) != 0 || m.At(2, 0) != 0 {
+		t.Fatalf("off-diagonal nonzero: %v", m)
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %d×%d, want 3×2", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 1) != 2 {
+		t.Fatalf("entries wrong: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("shape %d×%d, want 3×2", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if tr.At(j, i) != m.At(i, j) {
+				t.Errorf("T(%d,%d) mismatch", j, i)
+			}
+		}
+	}
+}
+
+func TestTimesKnownProduct(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Times(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equalish(want, 0) {
+		t.Fatalf("product = %v, want %v", got, want)
+	}
+}
+
+func TestTimesIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 5, 5)
+	if got := a.Times(Identity(5)); !got.Equalish(a, 1e-14) {
+		t.Fatal("A·I != A")
+	}
+	if got := Identity(5).Times(a); !got.Equalish(a, 1e-14) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestPlusMinusScaled(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if got := a.Plus(b); !got.Equalish(FromRows([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Errorf("Plus wrong: %v", got)
+	}
+	if got := a.Minus(a); got.MaxAbs() != 0 {
+		t.Errorf("A−A nonzero: %v", got)
+	}
+	if got := a.Scaled(2); !got.Equalish(FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Errorf("Scaled wrong: %v", got)
+	}
+}
+
+func TestVecTimesMatchesTimesVecOfTranspose(t *testing.T) {
+	// v·M == Mᵀ·v as column vector.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 2+rng.Intn(5), 2+rng.Intn(5)
+		m := randomMatrix(rng, r, c)
+		v := randomVec(rng, r)
+		a := m.VecTimes(v)
+		b := m.T().TimesVec(v)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {-1, -2, 3}})
+	got := m.RowSums()
+	if got[0] != 6 || got[1] != 0 {
+		t.Fatalf("RowSums = %v, want [6 0]", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{1, -7}, {3, 4}})
+	if m.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", m.MaxAbs())
+	}
+	if NewMatrix(0, 0).MaxAbs() != 0 {
+		t.Fatal("empty MaxAbs should be 0")
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape mismatch")
+		}
+	}()
+	NewMatrix(2, 2).Plus(NewMatrix(3, 3))
+}
+
+func TestProductAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 4, 3)
+		b := randomMatrix(rng, 3, 5)
+		c := randomMatrix(rng, 5, 2)
+		left := a.Times(b).Times(c)
+		right := a.Times(b.Times(c))
+		return left.Equalish(right, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

@@ -1,0 +1,279 @@
+// Package markov builds the Markovian environment of Palmer & Mitrani §3:
+// N servers, each alternating between hyperexponential operative periods
+// (n phases, weights α, rates ξ) and hyperexponential inoperative periods
+// (m phases, weights β, rates η). The environment state — the "operational
+// mode" — records how many servers sit in each phase; this package
+// enumerates the modes and assembles the transition-rate matrix A and the
+// per-level service-rate diagonals C_j of eq. (9).
+package markov
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/linalg"
+)
+
+// Mode is one operational mode: X[j] servers in operative phase j and Y[k]
+// servers in inoperative phase k, with ΣX + ΣY = N.
+type Mode struct {
+	X []int
+	Y []int
+}
+
+// Operative returns the number of operative servers x = Σ X[j].
+func (m Mode) Operative() int {
+	var x int
+	for _, v := range m.X {
+		x += v
+	}
+	return x
+}
+
+// Inoperative returns the number of inoperative servers y = Σ Y[k].
+func (m Mode) Inoperative() int {
+	var y int
+	for _, v := range m.Y {
+		y += v
+	}
+	return y
+}
+
+// String renders the mode like "op[2 0] rep[1]".
+func (m Mode) String() string {
+	var sb strings.Builder
+	sb.WriteString("op[")
+	for i, v := range m.X {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteString("] rep[")
+	for i, v := range m.Y {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// Env is the enumerated environment for N unreliable servers.
+type Env struct {
+	N   int
+	Op  *dist.HyperExp // operative-period distribution (α, ξ)
+	Rep *dist.HyperExp // inoperative-period distribution (β, η)
+
+	modes []Mode
+	index map[string]int
+}
+
+// NewEnv enumerates the operational modes for N servers with the given
+// operative and repair distributions. Modes are ordered exactly as in the
+// paper's worked example: by ascending number of operative servers, and
+// within a group lexicographically by descending operative phase counts
+// (so for N=2, n=2, m=1: "2 inoperative" is mode 0 and "2 operative in
+// phase 2" is mode 5).
+func NewEnv(n int, op, rep *dist.HyperExp) (*Env, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("markov: N = %d servers, need at least 1", n)
+	}
+	if op == nil || rep == nil {
+		return nil, fmt.Errorf("markov: nil distribution")
+	}
+	e := &Env{N: n, Op: op, Rep: rep, index: make(map[string]int)}
+	nOp, nRep := op.Phases(), rep.Phases()
+	for x := 0; x <= n; x++ {
+		xParts := compositionsDesc(x, nOp)
+		yParts := compositionsDesc(n-x, nRep)
+		for _, xs := range xParts {
+			for _, ys := range yParts {
+				m := Mode{X: xs, Y: ys}
+				e.index[m.String()] = len(e.modes)
+				e.modes = append(e.modes, m)
+			}
+		}
+	}
+	if got, want := len(e.modes), NumModes(n, nOp, nRep); got != want {
+		return nil, fmt.Errorf("markov: enumerated %d modes, formula says %d", got, want)
+	}
+	return e, nil
+}
+
+// NumModes returns s = C(N+n+m−1, n+m−1), the number of operational modes
+// (paper eq. 12).
+func NumModes(n, opPhases, repPhases int) int {
+	return binomial(n+opPhases+repPhases-1, opPhases+repPhases-1)
+}
+
+// NumModes returns the enumerated state-space size s.
+func (e *Env) NumModes() int { return len(e.modes) }
+
+// Mode returns the i-th operational mode.
+func (e *Env) Mode(i int) Mode { return e.modes[i] }
+
+// Modes returns the full mode list (shared slice; do not mutate).
+func (e *Env) Modes() []Mode { return e.modes }
+
+// IndexOf returns the index of a mode, or −1 if it is not a valid mode.
+func (e *Env) IndexOf(m Mode) int {
+	if i, ok := e.index[m.String()]; ok {
+		return i
+	}
+	return -1
+}
+
+// OperativeCounts returns x_i, the number of operative servers in each mode.
+func (e *Env) OperativeCounts() []int {
+	xs := make([]int, len(e.modes))
+	for i, m := range e.modes {
+		xs[i] = m.Operative()
+	}
+	return xs
+}
+
+// AMatrix assembles the s×s environment transition matrix A of eq. (9):
+// a breakdown moves a server from operative phase j to inoperative phase k
+// at rate x_j·ξ_j·β_k, and a repair moves one from inoperative phase k to
+// operative phase j at rate y_k·η_k·α_j. The main diagonal is zero.
+func (e *Env) AMatrix() *linalg.Matrix {
+	s := len(e.modes)
+	a := linalg.NewMatrix(s, s)
+	for i, m := range e.modes {
+		// Breakdowns: operative phase j → inoperative phase k.
+		for j, xj := range m.X {
+			if xj == 0 {
+				continue
+			}
+			for k := range m.Y {
+				to := e.neighbour(m, j, k, -1)
+				rate := float64(xj) * e.Op.Rates[j] * e.Rep.Weights[k]
+				a.Add(i, to, rate)
+			}
+		}
+		// Repairs: inoperative phase k → operative phase j.
+		for k, yk := range m.Y {
+			if yk == 0 {
+				continue
+			}
+			for j := range m.X {
+				to := e.neighbour(m, j, k, +1)
+				rate := float64(yk) * e.Rep.Rates[k] * e.Op.Weights[j]
+				a.Add(i, to, rate)
+			}
+		}
+	}
+	return a
+}
+
+// neighbour returns the index of the mode reached from m by moving one
+// server between operative phase j and inoperative phase k; dir = −1 for a
+// breakdown (j → k), +1 for a repair (k → j).
+func (e *Env) neighbour(m Mode, j, k, dir int) int {
+	x := append([]int(nil), m.X...)
+	y := append([]int(nil), m.Y...)
+	x[j] += dir
+	y[k] -= dir
+	idx := e.IndexOf(Mode{X: x, Y: y})
+	if idx < 0 {
+		panic(fmt.Sprintf("markov: neighbour of %v (j=%d k=%d dir=%d) not found", m, j, k, dir))
+	}
+	return idx
+}
+
+// ServiceDiag returns the diagonal of C_j for levels j = 0..N as a slice of
+// s-vectors: ServiceDiag()[j][i] = min(j, x_i)·µ (eq. 9, second line). For
+// j ≥ N the level-N diagonal applies.
+func (e *Env) ServiceDiag(mu float64) [][]float64 {
+	xs := e.OperativeCounts()
+	out := make([][]float64, e.N+1)
+	for j := 0; j <= e.N; j++ {
+		row := make([]float64, len(xs))
+		for i, x := range xs {
+			row[i] = float64(min(j, x)) * mu
+		}
+		out[j] = row
+	}
+	return out
+}
+
+// StationaryModeProbs returns the stationary distribution π of the
+// environment alone (π·(A − Dᴬ) = 0, π·1 = 1). Because servers break and
+// recover independently of the queue, π also equals the marginal mode
+// distribution of the full system — an invariant the solver tests exploit.
+func (e *Env) StationaryModeProbs() ([]float64, error) {
+	a := e.AMatrix()
+	s := a.Rows
+	gen := a.Clone()
+	rows := a.RowSums()
+	for i := 0; i < s; i++ {
+		gen.Add(i, i, -rows[i])
+	}
+	pi, err := linalg.ForcedLeftNullVector(gen, 0)
+	if err != nil {
+		return nil, fmt.Errorf("markov: environment generator has no stationary vector: %w", err)
+	}
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("markov: degenerate stationary vector")
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi, nil
+}
+
+// ExpectedOperative returns the steady-state mean number of operative
+// servers, N·η/(ξ+η) (paper §3): the fraction of time a server is operative
+// depends only on the mean period lengths.
+func (e *Env) ExpectedOperative() float64 {
+	xi := e.Op.Rate()
+	eta := e.Rep.Rate()
+	return float64(e.N) * eta / (xi + eta)
+}
+
+// compositionsDesc lists all ways to write total as an ordered sum of
+// `parts` non-negative integers, in lexicographically descending order of
+// the first components (matching the paper's mode numbering).
+func compositionsDesc(total, parts int) [][]int {
+	if parts == 0 {
+		if total == 0 {
+			return [][]int{{}}
+		}
+		return nil
+	}
+	var out [][]int
+	var rec func(rem, idx int, cur []int)
+	rec = func(rem, idx int, cur []int) {
+		if idx == parts-1 {
+			comp := append(append([]int(nil), cur...), rem)
+			out = append(out, comp)
+			return
+		}
+		for v := rem; v >= 0; v-- {
+			rec(rem-v, idx+1, append(cur, v))
+		}
+	}
+	rec(total, 0, make([]int, 0, parts))
+	return out
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
+}

@@ -1,0 +1,255 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/linalg"
+)
+
+var (
+	paperOps    = dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091})
+	paperRepair = dist.Exp(25)
+)
+
+func TestNumModesFormula(t *testing.T) {
+	cases := []struct {
+		n, op, rep int
+		want       int
+	}{
+		{2, 2, 1, 6},    // the paper's worked example
+		{10, 2, 1, 66},  // (N+2)(N+1)/2 for n=2, m=1 (paper §4)
+		{1, 1, 1, 2},    // single unreliable exponential server
+		{3, 1, 1, 4},    // N+1 modes for fully exponential case
+		{2, 2, 2, 10},   // C(5,3)
+		{24, 2, 1, 325}, // the paper's reported numerical limit region
+	}
+	for _, c := range cases {
+		if got := NumModes(c.n, c.op, c.rep); got != c.want {
+			t.Errorf("NumModes(%d,%d,%d) = %d, want %d", c.n, c.op, c.rep, got, c.want)
+		}
+	}
+}
+
+func TestEnvEnumerationMatchesPaperExample(t *testing.T) {
+	// Paper §3.1: N=2, n=2, m=1 gives 6 modes in this exact order.
+	env, err := NewEnv(2, paperOps, paperRepair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.NumModes() != 6 {
+		t.Fatalf("s = %d, want 6", env.NumModes())
+	}
+	wantOrder := []struct {
+		x []int
+		y []int
+	}{
+		{[]int{0, 0}, []int{2}}, // i=0: 2 inoperative
+		{[]int{1, 0}, []int{1}}, // i=1: 1 op phase 1, 1 inoperative
+		{[]int{0, 1}, []int{1}}, // i=2: 1 op phase 2, 1 inoperative
+		{[]int{2, 0}, []int{0}}, // i=3: 2 op phase 1
+		{[]int{1, 1}, []int{0}}, // i=4: 1 op phase 1, 1 op phase 2
+		{[]int{0, 2}, []int{0}}, // i=5: 2 op phase 2
+	}
+	for i, w := range wantOrder {
+		m := env.Mode(i)
+		for j := range w.x {
+			if m.X[j] != w.x[j] {
+				t.Errorf("mode %d: X = %v, want %v", i, m.X, w.x)
+			}
+		}
+		for k := range w.y {
+			if m.Y[k] != w.y[k] {
+				t.Errorf("mode %d: Y = %v, want %v", i, m.Y, w.y)
+			}
+		}
+	}
+}
+
+func TestAMatrixMatchesPaperExample(t *testing.T) {
+	// The displayed A matrix for N=2, n=2, m=1 (paper §3.1), with
+	// ξ1, ξ2 the operative rates, η the repair rate, α1, α2 the weights.
+	a1, a2 := 0.7246, 0.2754
+	x1, x2 := 0.1663, 0.0091
+	eta := 25.0
+	env, err := NewEnv(2, paperOps, paperRepair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := env.AMatrix()
+	want := linalg.FromRows([][]float64{
+		{0, 2 * eta * a1, 2 * eta * a2, 0, 0, 0},
+		{x1, 0, 0, eta * a1, eta * a2, 0},
+		{x2, 0, 0, 0, eta * a1, eta * a2},
+		{0, 2 * x1, 0, 0, 0, 0},
+		{0, x2, x1, 0, 0, 0},
+		{0, 0, 2 * x2, 0, 0, 0},
+	})
+	if !got.Equalish(want, 1e-12) {
+		t.Fatalf("A mismatch:\ngot\n%v\nwant\n%v", got, want)
+	}
+}
+
+func TestServiceDiagMatchesPaperExample(t *testing.T) {
+	// The displayed C_j for the example: diag(µ_{0,j}, µ_{1,j}, µ_{1,j},
+	// µ_{2,j}, µ_{2,j}, µ_{2,j}) with µ_{i,j} = min(i,j)µ.
+	env, err := NewEnv(2, paperOps, paperRepair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := 1.5
+	sd := env.ServiceDiag(mu)
+	if len(sd) != 3 {
+		t.Fatalf("levels = %d, want 3", len(sd))
+	}
+	wantX := []int{0, 1, 1, 2, 2, 2}
+	for j := 0; j <= 2; j++ {
+		for i, x := range wantX {
+			want := float64(min(j, x)) * mu
+			if sd[j][i] != want {
+				t.Errorf("C_%d[%d] = %v, want %v", j, i, sd[j][i], want)
+			}
+		}
+	}
+	// C_0 must be identically zero.
+	for i, v := range sd[0] {
+		if v != 0 {
+			t.Errorf("C_0[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestAMatrixRowSumsAreExitRates(t *testing.T) {
+	// Every mode's total outgoing rate is Σ x_j·ξ_j + Σ y_k·η_k.
+	env, err := NewEnv(4, paperOps, paperRepair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := env.AMatrix().RowSums()
+	for i, m := range env.Modes() {
+		var want float64
+		for j, xj := range m.X {
+			want += float64(xj) * paperOps.Rates[j]
+		}
+		for k, yk := range m.Y {
+			want += float64(yk) * paperRepair.Rates[k]
+		}
+		if math.Abs(rows[i]-want) > 1e-10 {
+			t.Errorf("mode %d (%v): row sum %v, want %v", i, m, rows[i], want)
+		}
+	}
+}
+
+func TestAMatrixDiagonalZero(t *testing.T) {
+	env, err := NewEnv(5, paperOps, paperRepair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := env.AMatrix()
+	for i := 0; i < a.Rows; i++ {
+		if a.At(i, i) != 0 {
+			t.Errorf("A[%d][%d] = %v, want 0", i, i, a.At(i, i))
+		}
+	}
+}
+
+func TestStationaryModeProbsBinomial(t *testing.T) {
+	// With exponential operative and repair periods, servers are independent
+	// two-state chains: the number of operative servers is Binomial(N, p)
+	// with p = η/(ξ+η).
+	xi, eta := 0.5, 2.0
+	env, err := NewEnv(3, dist.Exp(xi), dist.Exp(eta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := env.StationaryModeProbs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := eta / (xi + eta)
+	for i, m := range env.Modes() {
+		x := m.Operative()
+		want := float64(binomial(3, x)) * math.Pow(p, float64(x)) * math.Pow(1-p, float64(3-x))
+		if math.Abs(pi[i]-want) > 1e-10 {
+			t.Errorf("mode %d (x=%d): π = %v, want %v", i, x, pi[i], want)
+		}
+	}
+}
+
+func TestStationaryModeProbsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		w := 0.3 + 0.4*rng.Float64()
+		op := dist.MustHyperExp(
+			[]float64{w, 1 - w},
+			[]float64{math.Exp(rng.NormFloat64()), math.Exp(rng.NormFloat64())},
+		)
+		env, err := NewEnv(n, op, dist.Exp(1+rng.Float64()*10))
+		if err != nil {
+			return false
+		}
+		pi, err := env.StationaryModeProbs()
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range pi {
+			if p < -1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedOperativeMatchesStationary(t *testing.T) {
+	// E[operative] from the closed form must match Σ_i x_i·π_i even for
+	// hyperexponential periods (it depends only on the means — paper §3).
+	env, err := NewEnv(6, paperOps, paperRepair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := env.StationaryModeProbs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for i, m := range env.Modes() {
+		mean += float64(m.Operative()) * pi[i]
+	}
+	if want := env.ExpectedOperative(); math.Abs(mean-want) > 1e-8 {
+		t.Errorf("Σxπ = %v, closed form %v", mean, want)
+	}
+}
+
+func TestIndexOfRoundtrip(t *testing.T) {
+	env, err := NewEnv(4, paperOps, paperRepair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < env.NumModes(); i++ {
+		if got := env.IndexOf(env.Mode(i)); got != i {
+			t.Errorf("IndexOf(Mode(%d)) = %d", i, got)
+		}
+	}
+	if env.IndexOf(Mode{X: []int{9, 0}, Y: []int{0}}) != -1 {
+		t.Error("invalid mode should map to -1")
+	}
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	if _, err := NewEnv(0, paperOps, paperRepair); err == nil {
+		t.Error("expected error for N = 0")
+	}
+	if _, err := NewEnv(2, nil, paperRepair); err == nil {
+		t.Error("expected error for nil distribution")
+	}
+}

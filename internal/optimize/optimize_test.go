@@ -1,0 +1,146 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectKnownRoot(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Fatalf("root = %v, want √2", root)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Bisect(f, 0, 1, 1e-12); err != nil || r != 0 {
+		t.Fatalf("r=%v err=%v, want exact endpoint 0", r, err)
+	}
+	if r, err := Bisect(f, -1, 0, 1e-12); err != nil || r != 0 {
+		t.Fatalf("r=%v err=%v, want exact endpoint 0", r, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentKnownRoots(t *testing.T) {
+	cases := []struct {
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{func(x float64) float64 { return x*x*x - x - 2 }, 1, 2, 1.5213797068045676},
+		{func(x float64) float64 { return math.Cos(x) - x }, 0, 1, 0.7390851332151607},
+		{func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3, math.Log(5)},
+	}
+	for i, c := range cases {
+		r, err := Brent(c.f, c.a, c.b, 1e-13)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(r-c.want) > 1e-9 {
+			t.Errorf("case %d: root = %v, want %v", i, r, c.want)
+		}
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 + x*x }, -1, 1, 1e-12); !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentMatchesBisectProperty(t *testing.T) {
+	f := func(shift float64) bool {
+		s := math.Mod(math.Abs(shift), 10) // root location in (0, 10)
+		fn := func(x float64) float64 { return math.Tanh(x - s) }
+		rb, err1 := Bisect(fn, -1, 11, 1e-12)
+		rr, err2 := Brent(fn, -1, 11, 1e-12)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(rb-s) < 1e-9 && math.Abs(rr-s) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	min := GoldenSection(func(x float64) float64 { return (x - 3) * (x - 3) }, -10, 10, 1e-10)
+	if math.Abs(min-3) > 1e-8 {
+		t.Fatalf("min = %v, want 3", min)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	rosen := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, v := NelderMead(rosen, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 20000, Tol: 1e-16})
+	if v > 1e-10 {
+		t.Fatalf("min value %v at %v, want ~0 at (1,1)", v, x)
+	}
+	if math.Abs(x[0]-1) > 1e-4 || math.Abs(x[1]-1) > 1e-4 {
+		t.Fatalf("min at %v, want (1,1)", x)
+	}
+}
+
+func TestNelderMeadQuadraticND(t *testing.T) {
+	target := []float64{1, -2, 3, -4}
+	f := func(x []float64) float64 {
+		var s float64
+		for i := range x {
+			d := x[i] - target[i]
+			s += d * d
+		}
+		return s
+	}
+	x, v := NelderMead(f, make([]float64, 4), NelderMeadOptions{MaxIter: 10000})
+	if v > 1e-10 {
+		t.Fatalf("min value %v at %v", v, x)
+	}
+}
+
+func TestNewtonSolves2x2(t *testing.T) {
+	// x² + y² = 5, x·y = 2 → (2, 1) from a nearby start.
+	f := func(x []float64) []float64 {
+		return []float64{x[0]*x[0] + x[1]*x[1] - 5, x[0]*x[1] - 2}
+	}
+	x, err := Newton(f, []float64{2.5, 0.5}, NewtonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-8 || math.Abs(x[1]-1) > 1e-8 {
+		t.Fatalf("solution %v, want (2,1)", x)
+	}
+}
+
+func TestNewtonReportsNonConvergence(t *testing.T) {
+	// f(x) = 1 + x² has no real root: Newton must fail, not loop.
+	f := func(x []float64) []float64 { return []float64{1 + x[0]*x[0]} }
+	_, err := Newton(f, []float64{3}, NewtonOptions{MaxIter: 50})
+	if err == nil {
+		t.Fatal("expected non-convergence error")
+	}
+}
+
+func TestNewtonDimensionMismatch(t *testing.T) {
+	f := func(x []float64) []float64 { return []float64{x[0], x[0]} }
+	if _, err := Newton(f, []float64{1}, NewtonOptions{}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}

@@ -1,0 +1,49 @@
+package qbd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDenseMatchesStagedElimination(t *testing.T) {
+	// The naive (N+1)s dense assembly and the O(N·s³) staged elimination are
+	// two routes to the same exact solution.
+	for _, lambda := range []float64{0.8, 1.9} {
+		p := paramsFor(t, 3, lambda, 1.0, paperOps, paperRepair)
+		fast, err := SolveSpectral(p)
+		if err != nil {
+			t.Fatalf("λ=%v staged: %v", lambda, err)
+		}
+		dense, err := SolveSpectralDense(p)
+		if err != nil {
+			t.Fatalf("λ=%v dense: %v", lambda, err)
+		}
+		if d := math.Abs(fast.MeanQueue() - dense.MeanQueue()); d > 1e-8 {
+			t.Errorf("λ=%v: L staged %v vs dense %v", lambda, fast.MeanQueue(), dense.MeanQueue())
+		}
+		for j := 0; j <= 20; j++ {
+			a, b := fast.Level(j), dense.Level(j)
+			for i := range a {
+				if math.Abs(a[i]-b[i]) > 1e-9 {
+					t.Fatalf("λ=%v level %d mode %d: staged %v vs dense %v", lambda, j, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDenseSatisfiesBalance(t *testing.T) {
+	p := paramsFor(t, 2, 1.1, 1.0, paperOps, paperRepair)
+	sol, err := SolveSpectralDense(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStationaryInvariants(t, p, sol, 1e-8)
+}
+
+func TestDenseRejectsUnstable(t *testing.T) {
+	p := paramsFor(t, 2, 5.0, 1.0, paperOps, paperRepair)
+	if _, err := SolveSpectralDense(p); err == nil {
+		t.Fatal("expected instability error")
+	}
+}

@@ -1,0 +1,189 @@
+// Package qbd solves the Markov-modulated M/M-type queue of Palmer &
+// Mitrani §3 — a quasi-birth-death process whose environment modulates the
+// service capacity — by four methods:
+//
+//   - SolveSpectral: the paper's exact spectral-expansion solution (§3.1),
+//     with the characteristic matrix polynomial linearised in w = 1/z so
+//     that a standard QR eigensolve applies, and the boundary handled by an
+//     O(N·s³) block elimination rather than a dense (N+1)s system.
+//   - SolveApprox: the geometric approximation (§3.2, eq. 21) that keeps
+//     only the dominant eigenvalue; asymptotically exact in heavy traffic.
+//   - SolveMatrixGeometric: the classical R-matrix method of Neuts, the
+//     comparator of Mitrani & Chakka [6], used as an independent baseline.
+//   - SolveTruncated: direct block-tridiagonal solution of the chain
+//     truncated at a finite level, used as a validation oracle.
+package qbd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ErrUnstable is returned when the offered load reaches the available
+// service capacity (paper eq. 11 violated).
+var ErrUnstable = errors.New("qbd: queue is not ergodic (offered load ≥ capacity)")
+
+// Params specifies a Markov-modulated queue with Poisson arrivals of rate
+// Lambda, an s×s environment transition matrix A (zero diagonal), and
+// level-dependent service captured by the diagonals of C_j: ServiceDiag[j]
+// for levels j = 0..N, with C_j = C_N for all j ≥ N (the homogeneous
+// threshold).
+type Params struct {
+	Lambda      float64
+	A           *linalg.Matrix
+	ServiceDiag [][]float64
+}
+
+// Size returns the number of environment modes s.
+func (p Params) Size() int { return p.A.Rows }
+
+// Threshold returns N, the level beyond which the service diagonal is
+// constant.
+func (p Params) Threshold() int { return len(p.ServiceDiag) - 1 }
+
+// Validate checks structural consistency.
+func (p Params) Validate() error {
+	if p.A == nil || p.A.Rows != p.A.Cols {
+		return errors.New("qbd: A must be square")
+	}
+	if p.Lambda <= 0 {
+		return fmt.Errorf("qbd: arrival rate %v must be positive", p.Lambda)
+	}
+	if len(p.ServiceDiag) < 2 {
+		return errors.New("qbd: need service diagonals for at least levels 0 and 1")
+	}
+	s := p.A.Rows
+	for j, d := range p.ServiceDiag {
+		if len(d) != s {
+			return fmt.Errorf("qbd: ServiceDiag[%d] has %d entries, want %d", j, len(d), s)
+		}
+		for i, v := range d {
+			if v < 0 {
+				return fmt.Errorf("qbd: negative service rate %v at level %d mode %d", v, j, i)
+			}
+		}
+	}
+	for i := 0; i < s; i++ {
+		if p.A.At(i, i) != 0 {
+			return fmt.Errorf("qbd: A diagonal entry %d is %v, want 0", i, p.A.At(i, i))
+		}
+		for j := 0; j < s; j++ {
+			if p.A.At(i, j) < 0 {
+				return fmt.Errorf("qbd: negative rate A[%d][%d] = %v", i, j, p.A.At(i, j))
+			}
+		}
+	}
+	return nil
+}
+
+// dA returns the row sums of A — the diagonal of the matrix Dᴬ in eq. (14).
+func (p Params) dA() []float64 { return p.A.RowSums() }
+
+// cTop returns the level-independent service diagonal C = C_N.
+func (p Params) cTop() []float64 { return p.ServiceDiag[len(p.ServiceDiag)-1] }
+
+// QofZ evaluates the characteristic matrix polynomial
+// Q(z) = Q0 + Q1·z + Q2·z² (eq. 16) with Q0 = λI, Q1 = A − Dᴬ − λI − C,
+// Q2 = C, for real z.
+func (p Params) QofZ(z float64) *linalg.Matrix {
+	s := p.Size()
+	da := p.dA()
+	c := p.cTop()
+	q := p.A.Scaled(z)
+	for i := 0; i < s; i++ {
+		q.Add(i, i, p.Lambda-z*(da[i]+p.Lambda+c[i])+z*z*c[i])
+	}
+	return q
+}
+
+// CQofZ evaluates Q(z) for complex z.
+func (p Params) CQofZ(z complex128) *linalg.CMatrix {
+	s := p.Size()
+	da := p.dA()
+	c := p.cTop()
+	q := linalg.NewCMatrix(s, s)
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			q.Set(i, j, z*complex(p.A.At(i, j), 0))
+		}
+		lam := complex(p.Lambda, 0)
+		ci := complex(c[i], 0)
+		di := complex(da[i], 0)
+		q.Add(i, i, lam-z*(di+lam+ci)+z*z*ci)
+	}
+	return q
+}
+
+// EnvStationary returns the stationary distribution π of the environment
+// process alone (π(A − Dᴬ) = 0, normalised).
+func (p Params) EnvStationary() ([]float64, error) {
+	s := p.Size()
+	gen := p.A.Clone()
+	da := p.dA()
+	for i := 0; i < s; i++ {
+		gen.Add(i, i, -da[i])
+	}
+	pi, err := linalg.ForcedLeftNullVector(gen, 0)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: environment has no stationary vector: %w", err)
+	}
+	var sum float64
+	for _, v := range pi {
+		sum += v
+	}
+	if sum == 0 {
+		return nil, errors.New("qbd: degenerate environment stationary vector")
+	}
+	neg := false
+	for i := range pi {
+		pi[i] /= sum
+		if pi[i] < -1e-9 {
+			neg = true
+		}
+	}
+	if neg {
+		return nil, errors.New("qbd: environment stationary vector has negative entries (reducible chain?)")
+	}
+	return pi, nil
+}
+
+// Load returns the offered load relative to capacity: λ / Σ_i π_i·C_N[i].
+// The queue is ergodic iff Load < 1 (paper eq. 11 in matrix form).
+func (p Params) Load() (float64, error) {
+	pi, err := p.EnvStationary()
+	if err != nil {
+		return 0, err
+	}
+	var capacity float64
+	c := p.cTop()
+	for i, v := range pi {
+		capacity += v * c[i]
+	}
+	if capacity <= 0 {
+		return math.Inf(1), nil
+	}
+	return p.Lambda / capacity, nil
+}
+
+// CheckStable returns ErrUnstable when Load ≥ 1.
+func (p Params) CheckStable() error {
+	load, err := p.Load()
+	if err != nil {
+		return err
+	}
+	if load >= 1 {
+		return fmt.Errorf("%w: load = %v", ErrUnstable, load)
+	}
+	return nil
+}
+
+// serviceAt returns the service diagonal for an arbitrary level j ≥ 0.
+func (p Params) serviceAt(j int) []float64 {
+	if j >= len(p.ServiceDiag) {
+		return p.ServiceDiag[len(p.ServiceDiag)-1]
+	}
+	return p.ServiceDiag[j]
+}

@@ -1,0 +1,379 @@
+package qbd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// ErrEigenCount is returned when the number of eigenvalues found strictly
+// inside the unit disk differs from the environment size s; under the
+// ergodicity condition spectral-expansion theory guarantees exactly s.
+var ErrEigenCount = errors.New("qbd: wrong number of eigenvalues inside the unit disk")
+
+// spectralTerm is one term γ_k·u_k·z_k^j of the expansion (eq. 19), stored
+// with the rescaled coefficient γ̃_k = γ_k·z_k^N so that levels are computed
+// as v_j = Σ_k γ̃_k·z_k^{j−N}·u_k without underflowing z^N.
+type spectralTerm struct {
+	z     complex128
+	u     []complex128
+	gamma complex128 // γ̃_k = γ_k·z_k^N
+}
+
+// SpectralSolution is the exact stationary distribution produced by
+// SolveSpectral.
+type SpectralSolution struct {
+	boundary [][]float64 // v_0..v_{N−1}
+	terms    []spectralTerm
+	n        int // threshold N
+	s        int
+}
+
+// SolveSpectral computes the exact stationary distribution by the method of
+// spectral expansion (paper §3.1):
+//
+//  1. The eigenvalues z_k of Q(z) = Q0 + Q1·z + Q2·z² inside the unit disk
+//     are found by substituting w = 1/z, which linearises the problem into
+//     a standard 2s×2s eigenproblem because Q0 = λI is always invertible
+//     (Q2 = C is singular whenever a mode has no operative server, so the
+//     usual companion form in z would fail).
+//  2. Each left eigenvector u_k is recovered as a null vector of Q(z_k) by
+//     full-pivot elimination.
+//  3. The boundary probabilities are eliminated by the S_j recursion and
+//     the level-N balance equation becomes an s×s singular system for γ̃,
+//     closed by the normalisation condition (eq. 20).
+func SolveSpectral(p Params) (*SpectralSolution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.CheckStable(); err != nil {
+		return nil, err
+	}
+	zs, err := unitDiskEigenvalues(p)
+	if err != nil {
+		return nil, err
+	}
+	terms, err := eigenvectorTerms(p, zs)
+	if err != nil {
+		return nil, err
+	}
+	return assembleSpectral(p, terms)
+}
+
+// unitDiskEigenvalues returns the s eigenvalues of det Q(z) = 0 with
+// |z| < 1, sorted by descending modulus (so the dominant z_s comes first).
+func unitDiskEigenvalues(p Params) ([]complex128, error) {
+	s := p.Size()
+	da := p.dA()
+	c := p.cTop()
+	// Companion matrix of the reversed polynomial in w = 1/z:
+	// Q(z)ᵀ x = 0  ⇔  (Q0ᵀw² + Q1ᵀw + Q2ᵀ)x = 0, and with Q0 = λI the
+	// block companion form is [[0, I], [−Q2ᵀ/λ, −Q1ᵀ/λ]].
+	cm := linalg.NewMatrix(2*s, 2*s)
+	for i := 0; i < s; i++ {
+		cm.Set(i, s+i, 1)
+	}
+	for i := 0; i < s; i++ {
+		// −Q2ᵀ/λ block: Q2 = diag(c).
+		cm.Set(s+i, i, -c[i]/p.Lambda)
+		// −Q1ᵀ/λ block: Q1 = A − Dᴬ − λI − C.
+		for j := 0; j < s; j++ {
+			v := p.A.At(j, i) // transpose
+			if i == j {
+				v -= da[i] + p.Lambda + c[i]
+			}
+			cm.Set(s+i, s+j, -v/p.Lambda)
+		}
+	}
+	ws, err := linalg.Eigenvalues(cm)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: companion eigenvalues: %w", err)
+	}
+	// The s eigenvalues z inside the unit disk correspond to the s largest
+	// |w| (all > 1); the next one down is the unit root w = 1.
+	sort.Slice(ws, func(i, j int) bool { return cmplx.Abs(ws[i]) > cmplx.Abs(ws[j]) })
+	if len(ws) < s+1 {
+		return nil, fmt.Errorf("%w: companion produced %d eigenvalues", ErrEigenCount, len(ws))
+	}
+	if in := cmplx.Abs(ws[s-1]); in <= 1 {
+		return nil, fmt.Errorf("%w: only %d strictly outside the unit circle (|w_s| = %v)", ErrEigenCount, countAbove(ws, 1), in)
+	}
+	if out := cmplx.Abs(ws[s]); out > 1+1e-6 {
+		return nil, fmt.Errorf("%w: at least %d outside the unit circle (|w_{s+1}| = %v)", ErrEigenCount, countAbove(ws, 1), out)
+	}
+	zs := make([]complex128, s)
+	for k := 0; k < s; k++ {
+		zs[k] = 1 / ws[k]
+	}
+	// Clean tiny imaginary parts so real roots are treated as real, and force
+	// exact conjugate pairing for the rest.
+	for k := range zs {
+		if math.Abs(imag(zs[k])) < 1e-9*(1+math.Abs(real(zs[k]))) {
+			zs[k] = complex(real(zs[k]), 0)
+		}
+	}
+	linalg.SortEigenvalues(zs)
+	return zs, nil
+}
+
+func countAbove(ws []complex128, r float64) int {
+	n := 0
+	for _, w := range ws {
+		if cmplx.Abs(w) > r {
+			n++
+		}
+	}
+	return n
+}
+
+// eigenvectorTerms recovers the left eigenvector for every eigenvalue,
+// computing each conjugate pair only once.
+func eigenvectorTerms(p Params, zs []complex128) ([]spectralTerm, error) {
+	terms := make([]spectralTerm, len(zs))
+	for k := 0; k < len(zs); k++ {
+		z := zs[k]
+		switch {
+		case imag(z) == 0:
+			u, err := linalg.ForcedLeftNullVector(p.QofZ(real(z)), 0)
+			if err != nil {
+				return nil, fmt.Errorf("qbd: eigenvector for z = %v: %w", z, err)
+			}
+			cu := make([]complex128, len(u))
+			for i, v := range u {
+				cu[i] = complex(v, 0)
+			}
+			terms[k] = spectralTerm{z: z, u: cu}
+		case imag(z) > 0:
+			u, err := linalg.CForcedLeftNullVector(p.CQofZ(z), 0)
+			if err != nil {
+				return nil, fmt.Errorf("qbd: eigenvector for z = %v: %w", z, err)
+			}
+			terms[k] = spectralTerm{z: z, u: u}
+			// The conjugate must sit adjacent after SortEigenvalues.
+			if k+1 >= len(zs) || zs[k+1] != cmplx.Conj(z) {
+				return nil, fmt.Errorf("qbd: unpaired complex eigenvalue %v", z)
+			}
+			cu := make([]complex128, len(u))
+			for i, v := range u {
+				cu[i] = cmplx.Conj(v)
+			}
+			terms[k+1] = spectralTerm{z: cmplx.Conj(z), u: cu}
+			k++
+		default:
+			return nil, fmt.Errorf("qbd: unpaired complex eigenvalue %v", z)
+		}
+	}
+	return terms, nil
+}
+
+// assembleSpectral solves the boundary and normalisation for the γ̃
+// coefficients and packages the solution.
+func assembleSpectral(p Params, terms []spectralTerm) (*SpectralSolution, error) {
+	s := p.Size()
+	n := p.Threshold()
+	stages, err := boundaryStages(p, n)
+	if err != nil {
+		return nil, err
+	}
+	// W = Dᴬ + B + C − A − λS_{N−1} from the level-N balance equation.
+	da := p.dA()
+	c := p.cTop()
+	w := p.A.Scaled(-1)
+	for i := 0; i < s; i++ {
+		w.Add(i, i, da[i]+p.Lambda+c[i])
+	}
+	if n > 0 {
+		w = w.Minus(stages[n-1].Scaled(p.Lambda))
+	}
+	// M[k][·] = u_k·(W − z_k·C); solve γ̃·M = 0.
+	m := linalg.NewCMatrix(s, s)
+	for k, t := range terms {
+		for col := 0; col < s; col++ {
+			var acc complex128
+			for row := 0; row < s; row++ {
+				entry := complex(w.At(row, col), 0)
+				if row == col {
+					entry -= t.z * complex(c[row], 0)
+				}
+				acc += t.u[row] * entry
+			}
+			m.Set(k, col, acc)
+		}
+	}
+	gamma, err := linalg.CForcedLeftNullVector(m, 0)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: level-N matching system: %w", err)
+	}
+	// Normalise: Σ_{j<N} v_j·1 + Σ_k γ̃_k(u_k·1)/(1−z_k) = 1.
+	vN := make([]complex128, s)
+	for k, t := range terms {
+		g := gamma[k]
+		for i := range vN {
+			vN[i] += g * t.u[i]
+		}
+	}
+	levelsC := foldBoundaryComplex(stages, vN)
+	var total complex128
+	for _, lv := range levelsC {
+		total += cvecSum(lv)
+	}
+	for k, t := range terms {
+		total += gamma[k] * cvecSum(t.u) / (1 - t.z)
+	}
+	if total == 0 {
+		return nil, errors.New("qbd: zero total probability mass in spectral assembly")
+	}
+	sol := &SpectralSolution{n: n, s: s, terms: terms}
+	for k := range sol.terms {
+		sol.terms[k].gamma = gamma[k] / total
+	}
+	sol.boundary = make([][]float64, n)
+	var maxImag float64
+	for j, lv := range levelsC {
+		row := make([]float64, s)
+		for i, v := range lv {
+			vv := v / total
+			row[i] = real(vv)
+			if im := math.Abs(imag(vv)); im > maxImag {
+				maxImag = im
+			}
+		}
+		sol.boundary[j] = row
+	}
+	if maxImag > 1e-6 {
+		return nil, fmt.Errorf("qbd: boundary probabilities have imaginary residue %v", maxImag)
+	}
+	return sol, nil
+}
+
+// Threshold returns N, the first level at which the expansion applies.
+func (s *SpectralSolution) Threshold() int { return s.n }
+
+// Eigenvalues returns the z_k of the expansion, dominant first.
+func (s *SpectralSolution) Eigenvalues() []complex128 {
+	zs := make([]complex128, len(s.terms))
+	for i, t := range s.terms {
+		zs[i] = t.z
+	}
+	return zs
+}
+
+// TailDecay returns the dominant eigenvalue z_s — the asymptotic geometric
+// decay rate of the queue-length distribution. It is always real and
+// positive (paper §3.2).
+func (s *SpectralSolution) TailDecay() float64 {
+	var best float64
+	for _, t := range s.terms {
+		if imag(t.z) == 0 && real(t.z) > best {
+			best = real(t.z)
+		}
+	}
+	return best
+}
+
+// Level returns the stationary probability vector v_j across modes.
+func (s *SpectralSolution) Level(j int) []float64 {
+	if j < 0 {
+		return make([]float64, s.s)
+	}
+	if j < s.n {
+		return append([]float64(nil), s.boundary[j]...)
+	}
+	out := make([]float64, s.s)
+	for _, t := range s.terms {
+		zp := cmplx.Pow(t.z, complex(float64(j-s.n), 0))
+		g := t.gamma * zp
+		for i := range out {
+			out[i] += real(g * t.u[i])
+		}
+	}
+	return out
+}
+
+// LevelProb returns P(j jobs present) = v_j·1.
+func (s *SpectralSolution) LevelProb(j int) float64 {
+	if j < 0 {
+		return 0
+	}
+	if j < s.n {
+		return vecSum(s.boundary[j])
+	}
+	var pr float64
+	for _, t := range s.terms {
+		zp := cmplx.Pow(t.z, complex(float64(j-s.n), 0))
+		pr += real(t.gamma * zp * cvecSum(t.u))
+	}
+	return pr
+}
+
+// TailProb returns P(queue length ≥ j).
+func (s *SpectralSolution) TailProb(j int) float64 {
+	if j <= 0 {
+		return 1
+	}
+	var head float64
+	for l := 0; l < j && l < s.n; l++ {
+		head += vecSum(s.boundary[l])
+	}
+	if j <= s.n {
+		// Remaining head levels plus the whole expansion tail.
+		var tail float64
+		for l := j; l < s.n; l++ {
+			tail += vecSum(s.boundary[l])
+		}
+		for _, t := range s.terms {
+			tail += real(t.gamma * cvecSum(t.u) / (1 - t.z))
+		}
+		return tail
+	}
+	// j > N: geometric partial sum Σ_{l≥j} z^{l−N} = z^{j−N}/(1−z).
+	var tail float64
+	for _, t := range s.terms {
+		zp := cmplx.Pow(t.z, complex(float64(j-s.n), 0))
+		tail += real(t.gamma * cvecSum(t.u) * zp / (1 - t.z))
+	}
+	return tail
+}
+
+// MeanQueue returns L = Σ_j j·P(j) using the closed form
+// Σ_{j≥N} j·z^{j−N} = N/(1−z) + z/(1−z)² for the expansion tail.
+func (s *SpectralSolution) MeanQueue() float64 {
+	var l float64
+	for j := 0; j < s.n; j++ {
+		l += float64(j) * vecSum(s.boundary[j])
+	}
+	nn := complex(float64(s.n), 0)
+	for _, t := range s.terms {
+		om := 1 - t.z
+		l += real(t.gamma * cvecSum(t.u) * (nn/om + t.z/(om*om)))
+	}
+	return l
+}
+
+// ModeMarginals returns the marginal distribution over environment modes,
+// Σ_j v_j. For a breakdown/repair environment this must equal the
+// environment's own stationary distribution.
+func (s *SpectralSolution) ModeMarginals() []float64 {
+	out := make([]float64, s.s)
+	for j := 0; j < s.n; j++ {
+		for i, v := range s.boundary[j] {
+			out[i] += v
+		}
+	}
+	for _, t := range s.terms {
+		g := t.gamma / (1 - t.z)
+		for i := range out {
+			out[i] += real(g * t.u[i])
+		}
+	}
+	return out
+}
+
+// TotalProbability returns Σ_j v_j·1, which must be 1 up to roundoff.
+func (s *SpectralSolution) TotalProbability() float64 {
+	return vecSum(s.ModeMarginals())
+}

@@ -1,0 +1,191 @@
+package qbd
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// cyclicParams builds a queue modulated by a non-reversible, cyclic 3-state
+// environment. Cyclic generators have complex eigenvalues, which drive the
+// characteristic polynomial's roots off the real axis — exercising the
+// complex-conjugate branch of the spectral solver that the (reversible-ish)
+// breakdown/repair environments never reach.
+func cyclicParams(lambda float64) Params {
+	a := linalg.FromRows([][]float64{
+		{0, 1.3, 0},
+		{0, 0, 0.7},
+		{2.1, 0, 0},
+	})
+	return Params{
+		Lambda: lambda,
+		A:      a,
+		ServiceDiag: [][]float64{
+			{0, 0, 0},
+			{0.5, 1.0, 1.5},
+			{1.0, 2.0, 3.0},
+		},
+	}
+}
+
+func TestCyclicEnvironmentHasComplexEigenvalues(t *testing.T) {
+	p := cyclicParams(1.0)
+	if err := p.CheckStable(); err != nil {
+		t.Fatalf("test setup not stable: %v", err)
+	}
+	sol, err := SolveSpectral(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexFound := false
+	for _, z := range sol.Eigenvalues() {
+		if imag(z) != 0 {
+			complexFound = true
+			// Conjugate partner must be present.
+			partner := false
+			for _, w := range sol.Eigenvalues() {
+				if w == cmplx.Conj(z) {
+					partner = true
+				}
+			}
+			if !partner {
+				t.Errorf("eigenvalue %v lacks its conjugate", z)
+			}
+		}
+	}
+	if !complexFound {
+		t.Fatal("expected complex eigenvalues from the cyclic environment; the complex solver path is untested")
+	}
+	assertStationaryInvariants(t, p, sol, 1e-9)
+}
+
+func TestCyclicCrossMethodAgreement(t *testing.T) {
+	for _, lambda := range []float64{0.4, 1.0, 1.6} {
+		p := cyclicParams(lambda)
+		sp, err := SolveSpectral(p)
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		mg, err := SolveMatrixGeometric(p, MGOptions{})
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		tr, err := SolveTruncated(p, 250)
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		if d := math.Abs(sp.MeanQueue() - mg.MeanQueue()); d > 1e-7*(1+mg.MeanQueue()) {
+			t.Errorf("λ=%v: L spectral %v vs MG %v", lambda, sp.MeanQueue(), mg.MeanQueue())
+		}
+		if d := math.Abs(sp.MeanQueue() - tr.MeanQueue()); d > 1e-7*(1+tr.MeanQueue()) {
+			t.Errorf("λ=%v: L spectral %v vs truncated %v", lambda, sp.MeanQueue(), tr.MeanQueue())
+		}
+		for j := 0; j <= 20; j++ {
+			a, b := sp.Level(j), mg.Level(j)
+			for i := range a {
+				if math.Abs(a[i]-b[i]) > 1e-9 {
+					t.Fatalf("λ=%v level %d mode %d: %v vs %v", lambda, j, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCyclicDenseAgreement(t *testing.T) {
+	p := cyclicParams(1.2)
+	fast, err := SolveSpectral(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := SolveSpectralDense(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(fast.MeanQueue() - dense.MeanQueue()); d > 1e-8 {
+		t.Errorf("L staged %v vs dense %v", fast.MeanQueue(), dense.MeanQueue())
+	}
+}
+
+func TestCyclicApproximation(t *testing.T) {
+	p := cyclicParams(1.8) // load ≈ 0.95, the geometric regime
+	ex, err := SolveSpectral(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := SolveApprox(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(ap.TailDecay() - ex.TailDecay()); d > 1e-9 {
+		t.Errorf("z_s approx %v vs exact %v", ap.TailDecay(), ex.TailDecay())
+	}
+	// ApproxSolution.Level is the geometric slice of the mode vector.
+	lv := ap.Level(3)
+	var sum float64
+	for _, v := range lv {
+		sum += v
+	}
+	if math.Abs(sum-ap.LevelProb(3)) > 1e-12 {
+		t.Errorf("Level(3) sums to %v, LevelProb gives %v", sum, ap.LevelProb(3))
+	}
+	if ap.LevelProb(-1) != 0 {
+		t.Error("negative level must have probability 0")
+	}
+	for i, v := range ap.Level(-1) {
+		if v != 0 {
+			t.Errorf("Level(-1)[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestSolutionAccessors(t *testing.T) {
+	p := paramsFor(t, 2, 1.0, 1.0, paperOps, paperRepair)
+	mg, err := SolveMatrixGeometric(p, MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Threshold() != 2 {
+		t.Errorf("MG threshold %d", mg.Threshold())
+	}
+	if tp := mg.TotalProbability(); math.Abs(tp-1) > 1e-9 {
+		t.Errorf("MG total probability %v", tp)
+	}
+	if mm := mg.ModeMarginals(); len(mm) != p.Size() {
+		t.Errorf("MG marginals length %d", len(mm))
+	}
+	sp, err := SolveSpectral(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Threshold() != 2 {
+		t.Errorf("spectral threshold %d", sp.Threshold())
+	}
+	tr, err := SolveTruncated(p, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxLevel() != 50 {
+		t.Errorf("truncation level %d", tr.MaxLevel())
+	}
+	if tp := tr.TotalProbability(); math.Abs(tp-1) > 1e-12 {
+		t.Errorf("truncated total probability %v", tp)
+	}
+	if pr := tr.LevelProb(51); pr != 0 {
+		t.Errorf("probability beyond truncation %v", pr)
+	}
+	if pr := tr.LevelProb(3); pr <= 0 {
+		t.Errorf("P(3) = %v", pr)
+	}
+	if z := tr.TailDecay(); z <= 0 || z >= 1 {
+		t.Errorf("truncated tail decay %v", z)
+	}
+	if mm := tr.ModeMarginals(); len(mm) != p.Size() {
+		t.Errorf("truncated marginals length %d", len(mm))
+	}
+	// Negative-level conventions across solvers.
+	if sp.LevelProb(-1) != 0 || mg.LevelProb(-1) != 0 || tr.LevelProb(-1) != 0 {
+		t.Error("negative levels must have probability 0")
+	}
+}

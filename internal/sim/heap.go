@@ -1,0 +1,120 @@
+package sim
+
+// eventKind discriminates scheduler events.
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evCompletion
+	evBreakdown
+	evRepair
+)
+
+// event is a scheduled occurrence. seq guards against stale completion
+// events: a completion is only honoured if the owning server's sequence
+// number still matches (lazy cancellation on preemption).
+type event struct {
+	t      float64
+	kind   eventKind
+	server int
+	seq    uint64
+}
+
+// eventHeap is a binary min-heap on event time.
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].t <= h.items[i].t {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() (event, bool) {
+	if len(h.items) == 0 {
+		return event{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].t < h.items[smallest].t {
+			smallest = l
+		}
+		if r < last && h.items[r].t < h.items[smallest].t {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top, true
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+// jobDeque is a ring-buffer double-ended queue of jobs. Preempted jobs
+// return to the front (paper §3: "returned to the front of the queue"),
+// so a plain FIFO slice would cost O(n) per preemption.
+type jobDeque struct {
+	buf  []job
+	head int
+	n    int
+}
+
+type job struct {
+	arrival   float64
+	remaining float64
+}
+
+func (d *jobDeque) grow() {
+	nb := make([]job, max(8, 2*len(d.buf)))
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+func (d *jobDeque) pushBack(j job) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = j
+	d.n++
+}
+
+func (d *jobDeque) pushFront(j job) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = j
+	d.n++
+}
+
+func (d *jobDeque) popFront() (job, bool) {
+	if d.n == 0 {
+		return job{}, false
+	}
+	j := d.buf[d.head]
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return j, true
+}
+
+func (d *jobDeque) len() int { return d.n }

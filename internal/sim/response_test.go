@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestResponseQuantileMM1(t *testing.T) {
+	// In M/M/1 (FCFS) the response time is exponential with rate µ−λ, so
+	// the q-quantile is −ln(1−q)/(µ−λ). Use a practically reliable server.
+	lambda, mu := 0.5, 1.0
+	res, err := Run(Config{
+		Servers:   1,
+		Lambda:    lambda,
+		Mu:        mu,
+		Operative: dist.Exp(1e-9),
+		Repair:    dist.Exp(1e3),
+		Warmup:    2000,
+		Horizon:   400000,
+		Seed:      21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95} {
+		want := -math.Log(1-q) / (mu - lambda)
+		got := res.ResponseQuantile(q)
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("q=%v: quantile %v, M/M/1 gives %v (rel %v)", q, got, want, rel)
+		}
+	}
+	// Quantiles are monotone in q.
+	if res.ResponseQuantile(0.5) >= res.ResponseQuantile(0.9) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestResponseQuantilePaperOpenProblem(t *testing.T) {
+	// §5: "the solutions presented here ... do not provide the distribution
+	// (e.g., the 90% percentile) of the response time" — the simulator does.
+	res, err := Run(Config{
+		Servers:   10,
+		Lambda:    7.5,
+		Mu:        1,
+		Operative: paperOps,
+		Repair:    paperRepair,
+		Warmup:    2000,
+		Horizon:   100000,
+		Seed:      22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p90 := res.ResponseQuantile(0.9)
+	if math.IsNaN(p90) || p90 <= 0 {
+		t.Fatalf("p90 = %v", p90)
+	}
+	// The 90th percentile exceeds the mean for these right-skewed times.
+	if p90 <= res.MeanResponse {
+		t.Errorf("p90 %v should exceed mean %v", p90, res.MeanResponse)
+	}
+}
+
+func TestResponseSampleDisabled(t *testing.T) {
+	res, err := Run(Config{
+		Servers:        1,
+		Lambda:         0.3,
+		Mu:             1,
+		Operative:      dist.Exp(0.01),
+		Repair:         dist.Exp(10),
+		Warmup:         10,
+		Horizon:        2000,
+		Seed:           23,
+		ResponseSample: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.ResponseQuantile(0.9)) {
+		t.Error("disabled sampling must yield NaN quantiles")
+	}
+}
+
+func TestResponseReservoirBounded(t *testing.T) {
+	res, err := Run(Config{
+		Servers:        2,
+		Lambda:         1.5,
+		Mu:             1,
+		Operative:      dist.Exp(0.01),
+		Repair:         dist.Exp(10),
+		Warmup:         100,
+		Horizon:        50000,
+		Seed:           24,
+		ResponseSample: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.responses) > 500 {
+		t.Fatalf("reservoir grew to %d", len(res.responses))
+	}
+	if res.Completed < 1000 {
+		t.Fatalf("expected many completions, got %d", res.Completed)
+	}
+	if math.IsNaN(res.ResponseQuantile(0.5)) {
+		t.Error("median should be available")
+	}
+}

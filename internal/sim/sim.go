@@ -1,0 +1,337 @@
+// Package sim is a discrete-event simulator for the multi-server queue with
+// breakdowns and repairs (paper §3 semantics): Poisson arrivals into a
+// common unbounded FIFO queue, exponential service, and per-server
+// alternating operative/inoperative periods drawn from arbitrary
+// distributions. Service interrupted by a breakdown is preemptive-resume:
+// the job returns to the front of the queue with its remaining service
+// requirement intact and no switching overhead.
+//
+// The simulator covers what the analytical model cannot: non-phase-type
+// period distributions (the deterministic C² = 0 point of Figure 6) — and
+// independently validates the spectral-expansion solution.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Servers is N.
+	Servers int
+	// Lambda is the Poisson arrival rate.
+	Lambda float64
+	// Mu is the exponential service rate.
+	Mu float64
+	// Operative is the operative-period distribution.
+	Operative dist.Distribution
+	// Repair is the inoperative-period distribution.
+	Repair dist.Distribution
+	// Seed seeds the random stream (0 picks a fixed default).
+	Seed int64
+	// Warmup is simulated time discarded before statistics start.
+	Warmup float64
+	// Horizon is simulated time measured after warmup.
+	Horizon float64
+	// Batches is the number of batch-means segments for the confidence
+	// interval (default 20).
+	Batches int
+	// MaxTrackedQueue bounds the queue-length histogram (default 1024).
+	MaxTrackedQueue int
+	// ResponseSample bounds the reservoir of response times kept for
+	// quantile estimation (default 100,000; 0 < n keeps n, −1 disables).
+	ResponseSample int
+}
+
+// Result reports the measured steady-state statistics.
+type Result struct {
+	// MeanQueue is the time-averaged number of jobs in the system (L).
+	MeanQueue float64
+	// MeanQueueHalfWidth is the 95% batch-means confidence half-width on L.
+	MeanQueueHalfWidth float64
+	// MeanResponse is the average job response time (W).
+	MeanResponse float64
+	// Availability is the time-averaged fraction of operative servers.
+	Availability float64
+	// Completed counts jobs finished during the measurement window.
+	Completed int64
+	// QueueDist[k] is the fraction of time with exactly k jobs present
+	// (truncated at MaxTrackedQueue).
+	QueueDist []float64
+
+	responses []float64 // reservoir sample of response times
+}
+
+// ResponseQuantile estimates the q-quantile of the response-time
+// distribution from the reservoir sample — the paper's §5 open problem
+// ("the 90% percentile of the response time"), which the analytical
+// solution does not provide but the simulator can. Returns NaN when
+// sampling was disabled or nothing completed.
+func (r Result) ResponseQuantile(q float64) float64 {
+	if len(r.responses) == 0 {
+		return math.NaN()
+	}
+	return stats.Quantile(r.responses, q)
+}
+
+type server struct {
+	operative bool
+	busy      bool
+	seq       uint64  // invalidates stale completion events
+	cur       job     // job in service (valid when busy)
+	startedAt float64 // service segment start time
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	if cfg.Servers < 1 {
+		return Result{}, fmt.Errorf("sim: %d servers", cfg.Servers)
+	}
+	if cfg.Lambda <= 0 || cfg.Mu <= 0 {
+		return Result{}, fmt.Errorf("sim: rates λ=%v µ=%v must be positive", cfg.Lambda, cfg.Mu)
+	}
+	if cfg.Operative == nil || cfg.Repair == nil {
+		return Result{}, errors.New("sim: nil period distribution")
+	}
+	if cfg.Horizon <= 0 {
+		return Result{}, fmt.Errorf("sim: horizon %v must be positive", cfg.Horizon)
+	}
+	if cfg.Batches == 0 {
+		cfg.Batches = 20
+	}
+	if cfg.Batches < 2 {
+		return Result{}, fmt.Errorf("sim: need at least 2 batches, got %d", cfg.Batches)
+	}
+	if cfg.MaxTrackedQueue == 0 {
+		cfg.MaxTrackedQueue = 1024
+	}
+	if cfg.ResponseSample == 0 {
+		cfg.ResponseSample = 100000
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 20051215 // CS-TR-936 publication date
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	st := &state{
+		cfg:       cfg,
+		rng:       rng,
+		servers:   make([]server, cfg.Servers),
+		queueDist: make([]float64, cfg.MaxTrackedQueue+1),
+	}
+	// All servers start operative with a fresh operative period; the warmup
+	// washes out the initial transient.
+	for i := range st.servers {
+		st.servers[i].operative = true
+		st.heap.push(event{t: cfg.Operative.Sample(rng), kind: evBreakdown, server: i})
+	}
+	st.heap.push(event{t: st.expSample(cfg.Lambda), kind: evArrival})
+
+	end := cfg.Warmup + cfg.Horizon
+	batchLen := cfg.Horizon / float64(cfg.Batches)
+	batchArea := make([]float64, cfg.Batches)
+	for {
+		ev, ok := st.heap.pop()
+		if !ok || ev.t >= end {
+			st.advance(end, batchArea, batchLen)
+			break
+		}
+		st.advance(ev.t, batchArea, batchLen)
+		switch ev.kind {
+		case evArrival:
+			st.arrive()
+			st.heap.push(event{t: st.now + st.expSample(cfg.Lambda), kind: evArrival})
+		case evCompletion:
+			st.complete(ev)
+		case evBreakdown:
+			st.breakdown(ev.server)
+		case evRepair:
+			st.repair(ev.server)
+		}
+	}
+	return st.result(batchArea)
+}
+
+type state struct {
+	cfg     Config
+	rng     *rand.Rand
+	heap    eventHeap
+	servers []server
+	queue   jobDeque
+	now     float64
+
+	inSystem int // jobs present (queue + in service)
+
+	// Accumulators over the measurement window.
+	areaQueue   float64 // ∫ Z dt
+	areaOper    float64 // ∫ (#operative) dt
+	queueDist   []float64
+	sumResponse float64
+	completed   int64
+	responses   []float64 // reservoir sample
+}
+
+// recordResponse maintains a uniform reservoir sample of response times.
+func (s *state) recordResponse(rt float64) {
+	limit := s.cfg.ResponseSample
+	if limit < 0 {
+		return
+	}
+	if len(s.responses) < limit {
+		s.responses = append(s.responses, rt)
+		return
+	}
+	if k := s.rng.Int63n(s.completed); k < int64(limit) {
+		s.responses[k] = rt
+	}
+}
+
+func (s *state) expSample(rate float64) float64 {
+	return s.rng.ExpFloat64() / rate
+}
+
+// advance moves the clock to t, integrating the piecewise-constant state
+// over the elapsed interval and splitting the area across batches.
+func (s *state) advance(t float64, batchArea []float64, batchLen float64) {
+	from, to := s.now, t
+	s.now = t
+	mstart := math.Max(from, s.cfg.Warmup)
+	if to <= mstart {
+		return
+	}
+	dt := to - mstart
+	z := float64(s.inSystem)
+	s.areaQueue += z * dt
+	var oper int
+	for i := range s.servers {
+		if s.servers[i].operative {
+			oper++
+		}
+	}
+	s.areaOper += float64(oper) * dt
+	k := min(s.inSystem, len(s.queueDist)-1)
+	s.queueDist[k] += dt
+	// Distribute the queue area over batch windows.
+	b0 := int((mstart - s.cfg.Warmup) / batchLen)
+	b1 := int((to - s.cfg.Warmup) / batchLen)
+	if b0 == b1 {
+		if b0 < len(batchArea) {
+			batchArea[b0] += z * dt
+		}
+		return
+	}
+	cur := mstart
+	for b := b0; b <= b1 && b < len(batchArea); b++ {
+		edge := s.cfg.Warmup + float64(b+1)*batchLen
+		seg := math.Min(to, edge) - cur
+		if seg > 0 {
+			batchArea[b] += z * seg
+		}
+		cur = edge
+	}
+}
+
+func (s *state) arrive() {
+	s.inSystem++
+	s.queue.pushBack(job{arrival: s.now, remaining: s.expSample(s.cfg.Mu)})
+	s.dispatch()
+}
+
+// dispatch hands queued jobs to every idle operative server.
+func (s *state) dispatch() {
+	for i := range s.servers {
+		if s.queue.len() == 0 {
+			return
+		}
+		sv := &s.servers[i]
+		if !sv.operative || sv.busy {
+			continue
+		}
+		j, _ := s.queue.popFront()
+		sv.busy = true
+		sv.cur = j
+		sv.startedAt = s.now
+		sv.seq++
+		s.heap.push(event{t: s.now + j.remaining, kind: evCompletion, server: i, seq: sv.seq})
+	}
+}
+
+func (s *state) complete(ev event) {
+	sv := &s.servers[ev.server]
+	if !sv.busy || sv.seq != ev.seq {
+		return // stale: the job was preempted before this event fired
+	}
+	sv.busy = false
+	sv.seq++
+	s.inSystem--
+	if s.now >= s.cfg.Warmup {
+		s.completed++
+		s.sumResponse += s.now - sv.cur.arrival
+		s.recordResponse(s.now - sv.cur.arrival)
+	}
+	s.dispatch()
+}
+
+func (s *state) breakdown(i int) {
+	sv := &s.servers[i]
+	sv.operative = false
+	if sv.busy {
+		// Preemptive resume: the interrupted job keeps its remaining
+		// requirement and rejoins the FRONT of the queue (paper §3).
+		elapsed := s.now - sv.startedAt
+		j := sv.cur
+		j.remaining = math.Max(0, j.remaining-elapsed)
+		s.queue.pushFront(j)
+		sv.busy = false
+		sv.seq++
+	}
+	s.heap.push(event{t: s.now + s.cfg.Repair.Sample(s.rng), kind: evRepair, server: i})
+}
+
+func (s *state) repair(i int) {
+	sv := &s.servers[i]
+	sv.operative = true
+	s.heap.push(event{t: s.now + s.cfg.Operative.Sample(s.rng), kind: evBreakdown, server: i})
+	s.dispatch()
+}
+
+func (s *state) result(batchArea []float64) (Result, error) {
+	t := s.cfg.Horizon
+	res := Result{
+		MeanQueue:    s.areaQueue / t,
+		Availability: s.areaOper / (t * float64(s.cfg.Servers)),
+		Completed:    s.completed,
+		responses:    s.responses,
+	}
+	if s.completed > 0 {
+		res.MeanResponse = s.sumResponse / float64(s.completed)
+	}
+	res.QueueDist = make([]float64, len(s.queueDist))
+	for k, a := range s.queueDist {
+		res.QueueDist[k] = a / t
+	}
+	// Batch-means 95% confidence half-width.
+	b := float64(len(batchArea))
+	batchLen := t / b
+	var mean float64
+	for _, a := range batchArea {
+		mean += a / batchLen
+	}
+	mean /= b
+	var ss float64
+	for _, a := range batchArea {
+		d := a/batchLen - mean
+		ss += d * d
+	}
+	if b > 1 {
+		res.MeanQueueHalfWidth = 1.96 * math.Sqrt(ss/(b-1)) / math.Sqrt(b)
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// KSResult reports a Kolmogorov–Smirnov goodness-of-fit comparison between
+// an empirical CDF and a hypothetical one (paper eq. 4). NPoints is the
+// number of comparison points x_i, which is what the paper uses as the
+// sample size for the critical values ("The calculated value of the
+// Kolmogorov-Smirnov statistic, using 50 points x_i...").
+type KSResult struct {
+	D       float64
+	NPoints int
+}
+
+// KolmogorovSmirnov evaluates D = max_i |F(x_i) − F̃(x_i)| for a histogram's
+// empirical CDF against the hypothetical CDF F. The comparison points are
+// the interval upper edges, where the empirical CDF of eq. (3) is actually
+// defined.
+func KolmogorovSmirnov(h *Histogram, cdf func(float64) float64) KSResult {
+	xs := h.UpperEdges()
+	emp := h.CDF()
+	var d float64
+	for i, x := range xs {
+		if diff := math.Abs(cdf(x) - emp[i]); diff > d {
+			d = diff
+		}
+	}
+	return KSResult{D: d, NPoints: len(xs)}
+}
+
+// KolmogorovSmirnovPoints evaluates D over explicit (x_i, F̃(x_i)) pairs.
+func KolmogorovSmirnovPoints(xs, empCDF []float64, cdf func(float64) float64) (KSResult, error) {
+	if len(xs) != len(empCDF) {
+		return KSResult{}, fmt.Errorf("stats: %d points but %d CDF values", len(xs), len(empCDF))
+	}
+	var d float64
+	for i, x := range xs {
+		if diff := math.Abs(cdf(x) - empCDF[i]); diff > d {
+			d = diff
+		}
+	}
+	return KSResult{D: d, NPoints: len(xs)}, nil
+}
+
+// KolmogorovCDF returns K(λ) = P(√n·D ≤ λ), the asymptotic Kolmogorov
+// distribution, via the alternating series 1 − 2Σ_{k≥1}(−1)^{k−1}e^{−2k²λ²}.
+func KolmogorovCDF(lambda float64) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	var s float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k*k) * lambda * lambda)
+		s += sign * term
+		sign = -sign
+		if term < 1e-16 {
+			break
+		}
+	}
+	return 1 - 2*s
+}
+
+// CriticalValue returns the largest D that passes the test at significance
+// level alpha, using the asymptotic approximation D_crit = c(α)/√n with
+// K(c) = 1 − α. For the paper's levels: c(0.10) ≈ 1.22, c(0.05) ≈ 1.36,
+// c(0.01) ≈ 1.63.
+func (r KSResult) CriticalValue(alpha float64) float64 {
+	if r.NPoints <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.NaN()
+	}
+	return kolmogorovQuantile(1-alpha) / math.Sqrt(float64(r.NPoints))
+}
+
+// Pass reports whether the fit is accepted at significance level alpha
+// (higher alpha = stricter test, as the paper notes).
+func (r KSResult) Pass(alpha float64) bool {
+	return r.D < r.CriticalValue(alpha)
+}
+
+// PValue returns the asymptotic p-value P(D_n > d) ≈ 1 − K(√n·d).
+func (r KSResult) PValue() float64 {
+	return 1 - KolmogorovCDF(math.Sqrt(float64(r.NPoints))*r.D)
+}
+
+// kolmogorovQuantile inverts KolmogorovCDF by bisection.
+func kolmogorovQuantile(p float64) float64 {
+	lo, hi := 1e-6, 5.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if KolmogorovCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKolmogorovCDFKnownValues(t *testing.T) {
+	// Known asymptotic critical constants: K(1.2238) ≈ 0.90, K(1.3581) ≈
+	// 0.95, K(1.6276) ≈ 0.99.
+	cases := []struct{ lambda, want float64 }{
+		{1.2238, 0.90},
+		{1.3581, 0.95},
+		{1.6276, 0.99},
+	}
+	for _, c := range cases {
+		if got := KolmogorovCDF(c.lambda); math.Abs(got-c.want) > 0.001 {
+			t.Errorf("K(%v) = %v, want %v", c.lambda, got, c.want)
+		}
+	}
+	if KolmogorovCDF(0) != 0 {
+		t.Error("K(0) must be 0")
+	}
+	if got := KolmogorovCDF(5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K(5) = %v, want ≈1", got)
+	}
+}
+
+func TestCriticalValuesMatchPaper(t *testing.T) {
+	// Paper §2 quotes, for 50 points: 0.19 at 5% and 0.23 at 1%, 0.17 at
+	// 10%; for 40 points: 0.21 at 5% and 0.19 at 10%.
+	r50 := KSResult{NPoints: 50}
+	if cv := r50.CriticalValue(0.05); math.Abs(cv-0.19) > 0.005 {
+		t.Errorf("50 pts, 5%%: %v, paper says 0.19", cv)
+	}
+	if cv := r50.CriticalValue(0.01); math.Abs(cv-0.23) > 0.005 {
+		t.Errorf("50 pts, 1%%: %v, paper says 0.23", cv)
+	}
+	if cv := r50.CriticalValue(0.10); math.Abs(cv-0.17) > 0.005 {
+		t.Errorf("50 pts, 10%%: %v, paper says 0.17", cv)
+	}
+	r40 := KSResult{NPoints: 40}
+	if cv := r40.CriticalValue(0.05); math.Abs(cv-0.21) > 0.005 {
+		t.Errorf("40 pts, 5%%: %v, paper says 0.21", cv)
+	}
+	if cv := r40.CriticalValue(0.10); math.Abs(cv-0.19) > 0.005 {
+		t.Errorf("40 pts, 10%%: %v, paper says 0.19", cv)
+	}
+}
+
+func TestPaperKSDecisions(t *testing.T) {
+	// The paper's reported statistics and decisions:
+	//   exp fit to operative periods: D = 0.4742 at 50 pts → strongly rejected
+	//   H2 fit to operative periods:  D = 0.1412 at 50 pts → passes 5% and 10%
+	//   H2 fit to inoperative:        D = 0.1832 at 40 pts → passes 5% and 10%
+	expOps := KSResult{D: 0.4742, NPoints: 50}
+	if expOps.Pass(0.05) || expOps.Pass(0.01) {
+		t.Error("exponential fit must be rejected at 5% and 1%")
+	}
+	h2Ops := KSResult{D: 0.1412, NPoints: 50}
+	if !h2Ops.Pass(0.05) || !h2Ops.Pass(0.10) {
+		t.Error("H2 operative fit must pass at 5% and 10%")
+	}
+	h2Out := KSResult{D: 0.1832, NPoints: 40}
+	if !h2Out.Pass(0.05) || !h2Out.Pass(0.10) {
+		t.Error("H2 inoperative fit must pass at 5% and 10%")
+	}
+}
+
+func TestKolmogorovSmirnovSelfFit(t *testing.T) {
+	// A large exponential sample against its own CDF: small D, passes.
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float64, 100000)
+	for i := range data {
+		data[i] = rng.ExpFloat64()
+	}
+	h, err := NewHistogram(data, 50, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := KolmogorovSmirnov(h, func(x float64) float64 { return 1 - math.Exp(-x) })
+	if res.NPoints != 50 {
+		t.Fatalf("NPoints = %d", res.NPoints)
+	}
+	if !res.Pass(0.05) {
+		t.Errorf("self-fit should pass: D = %v, crit = %v", res.D, res.CriticalValue(0.05))
+	}
+}
+
+func TestKolmogorovSmirnovDetectsWrongMean(t *testing.T) {
+	// Exponential(1) data against Exponential(3) hypothesis: rejected.
+	rng := rand.New(rand.NewSource(10))
+	data := make([]float64, 100000)
+	for i := range data {
+		data[i] = rng.ExpFloat64()
+	}
+	h, err := NewHistogram(data, 50, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := KolmogorovSmirnov(h, func(x float64) float64 { return 1 - math.Exp(-x/3) })
+	if res.Pass(0.05) {
+		t.Errorf("wrong-mean fit should fail: D = %v", res.D)
+	}
+}
+
+func TestKolmogorovSmirnovPoints(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	emp := []float64{0.3, 0.6, 1.0}
+	res, err := KolmogorovSmirnovPoints(xs, emp, func(x float64) float64 { return x / 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Abs(2.0/3 - 0.6) // max deviation at x=2
+	if math.Abs(res.D-want) > 1e-12 {
+		t.Errorf("D = %v, want %v", res.D, want)
+	}
+	if _, err := KolmogorovSmirnovPoints(xs, emp[:2], nil); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestPValueConsistentWithPass(t *testing.T) {
+	r := KSResult{D: 0.1412, NPoints: 50}
+	p := r.PValue()
+	if p < 0.10 {
+		t.Errorf("p-value %v inconsistent with passing at 10%%", p)
+	}
+	r2 := KSResult{D: 0.4742, NPoints: 50}
+	if p2 := r2.PValue(); p2 > 0.01 {
+		t.Errorf("p-value %v inconsistent with strong rejection", p2)
+	}
+}
+
+func TestCriticalValueDegenerate(t *testing.T) {
+	if !math.IsNaN((KSResult{NPoints: 0}).CriticalValue(0.05)) {
+		t.Error("0 points must give NaN")
+	}
+	if !math.IsNaN((KSResult{NPoints: 10}).CriticalValue(0)) {
+		t.Error("alpha 0 must give NaN")
+	}
+}

@@ -1,0 +1,229 @@
+// Package stats implements the empirical machinery of Palmer & Mitrani §2:
+// equal-width histograms with the paper's density and moment estimators
+// (eqs. 1–3), raw-sample statistics, and the Kolmogorov–Smirnov
+// goodness-of-fit test (eq. 4) with asymptotic critical values.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram groups observations into equal-width intervals over [Lo, Hi],
+// mirroring the paper's construction: "the observed range of values was
+// divided into intervals of equal length". Observations outside the range
+// are counted in Outside and excluded from the estimators.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	N       int // observations inside [Lo, Hi]
+	Outside int // observations dropped as out of range
+}
+
+// NewHistogram bins data into the given number of equal-width intervals over
+// [lo, hi].
+func NewHistogram(data []float64, bins int, lo, hi float64) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: bins %d < 1", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: invalid range [%v, %v]", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	w := (hi - lo) / float64(bins)
+	for _, x := range data {
+		if x < lo || x > hi || math.IsNaN(x) {
+			h.Outside++
+			continue
+		}
+		i := int((x - lo) / w)
+		if i == bins { // x == hi lands in the last bin
+			i = bins - 1
+		}
+		h.Counts[i]++
+		h.N++
+	}
+	return h, nil
+}
+
+// HistogramFromData bins data over [0, max(data)], the natural range for the
+// non-negative durations in the breakdown logs.
+func HistogramFromData(data []float64, bins int) (*Histogram, error) {
+	if len(data) == 0 {
+		return nil, errors.New("stats: empty data")
+	}
+	mx := data[0]
+	for _, x := range data {
+		if x > mx {
+			mx = x
+		}
+	}
+	if mx <= 0 {
+		return nil, fmt.Errorf("stats: data maximum %v not positive", mx)
+	}
+	return NewHistogram(data, bins, 0, mx)
+}
+
+// Width returns the common interval length δ.
+func (h *Histogram) Width() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// Midpoints returns the interval mid-points x_i.
+func (h *Histogram) Midpoints() []float64 {
+	w := h.Width()
+	xs := make([]float64, len(h.Counts))
+	for i := range xs {
+		xs[i] = h.Lo + (float64(i)+0.5)*w
+	}
+	return xs
+}
+
+// UpperEdges returns the interval right end-points. The empirical CDF value
+// F̃(x_i) = Σ_{j≤i} p_j (eq. 3) is the mass up to the i-th interval's right
+// edge, so goodness-of-fit comparisons must evaluate the hypothetical CDF
+// there — evaluating at mid-points introduces a half-bin offset that
+// inflates D even for the true distribution.
+func (h *Histogram) UpperEdges() []float64 {
+	w := h.Width()
+	xs := make([]float64, len(h.Counts))
+	for i := range xs {
+		xs[i] = h.Lo + float64(i+1)*w
+	}
+	return xs
+}
+
+// Probabilities returns p_i = f_i/n (paper §2).
+func (h *Histogram) Probabilities() []float64 {
+	ps := make([]float64, len(h.Counts))
+	if h.N == 0 {
+		return ps
+	}
+	for i, c := range h.Counts {
+		ps[i] = float64(c) / float64(h.N)
+	}
+	return ps
+}
+
+// Densities returns the empirical density d_i = p_i/δ_i (paper §2).
+func (h *Histogram) Densities() []float64 {
+	ds := h.Probabilities()
+	w := h.Width()
+	for i := range ds {
+		ds[i] /= w
+	}
+	return ds
+}
+
+// CDF returns the empirical cumulative distribution at the mid-points,
+// F̃(x_i) = Σ_{j≤i} p_j (paper eq. 3).
+func (h *Histogram) CDF() []float64 {
+	ps := h.Probabilities()
+	acc := 0.0
+	for i, p := range ps {
+		acc += p
+		ps[i] = acc
+	}
+	return ps
+}
+
+// Moment returns the k-th estimated raw moment M̃_k = Σ x_i^k·p_i (paper
+// eq. 1), treating each observation as sitting at its interval mid-point.
+func (h *Histogram) Moment(k int) float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("stats: moment order %d < 1", k))
+	}
+	xs := h.Midpoints()
+	ps := h.Probabilities()
+	var m float64
+	for i := range xs {
+		m += math.Pow(xs[i], float64(k)) * ps[i]
+	}
+	return m
+}
+
+// Moments returns the first k estimated raw moments.
+func (h *Histogram) Moments(k int) []float64 {
+	ms := make([]float64, k)
+	for i := 1; i <= k; i++ {
+		ms[i-1] = h.Moment(i)
+	}
+	return ms
+}
+
+// Mean returns M̃₁.
+func (h *Histogram) Mean() float64 { return h.Moment(1) }
+
+// Var returns Ṽ = M̃₂ − M̃₁² (paper eq. 2).
+func (h *Histogram) Var() float64 {
+	m1 := h.Moment(1)
+	return h.Moment(2) - m1*m1
+}
+
+// CV2 returns C̃² = M̃₂/M̃₁² − 1 (paper eq. 2).
+func (h *Histogram) CV2() float64 {
+	m1 := h.Moment(1)
+	return h.Moment(2)/(m1*m1) - 1
+}
+
+// Sample statistics computed directly from raw observations (used to
+// cross-check the histogram estimators).
+
+// Mean returns the arithmetic mean of data.
+func Mean(data []float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range data {
+		s += x
+	}
+	return s / float64(len(data))
+}
+
+// RawMoment returns the k-th raw sample moment.
+func RawMoment(data []float64, k int) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range data {
+		s += math.Pow(x, float64(k))
+	}
+	return s / float64(len(data))
+}
+
+// Variance returns the (population) sample variance.
+func Variance(data []float64) float64 {
+	m := Mean(data)
+	return RawMoment(data, 2) - m*m
+}
+
+// CV2 returns the squared coefficient of variation of data.
+func CV2(data []float64) float64 {
+	m := Mean(data)
+	return RawMoment(data, 2)/(m*m) - 1
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of data by linear
+// interpolation on the sorted sample.
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[i]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramBasic(t *testing.T) {
+	data := []float64{0.5, 1.5, 1.6, 2.5, 9.5}
+	h, err := NewHistogram(data, 10, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 5 || h.Outside != 0 {
+		t.Fatalf("N=%d Outside=%d, want 5/0", h.N, h.Outside)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[2] != 1 || h.Counts[9] != 1 {
+		t.Fatalf("counts wrong: %v", h.Counts)
+	}
+}
+
+func TestNewHistogramEdgeValues(t *testing.T) {
+	// hi itself must land in the last bin; values outside are counted.
+	h, err := NewHistogram([]float64{0, 10, -1, 11, math.NaN()}, 5, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("boundary handling wrong: %v", h.Counts)
+	}
+	if h.Outside != 3 {
+		t.Fatalf("Outside = %d, want 3", h.Outside)
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 0, 1); err == nil {
+		t.Error("expected error for 0 bins")
+	}
+	if _, err := NewHistogram(nil, 5, 1, 1); err == nil {
+		t.Error("expected error for empty range")
+	}
+	if _, err := HistogramFromData(nil, 5); err == nil {
+		t.Error("expected error for empty data")
+	}
+	if _, err := HistogramFromData([]float64{0, 0}, 5); err == nil {
+		t.Error("expected error for all-zero data")
+	}
+}
+
+func TestHistogramDensitiesIntegrateToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = rng.ExpFloat64() * 5
+	}
+	h, err := HistogramFromData(data, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var integral float64
+	for _, d := range h.Densities() {
+		integral += d * h.Width()
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Fatalf("∫density = %v, want 1", integral)
+	}
+}
+
+func TestHistogramCDFMonotoneEndsAtOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, 500)
+		for i := range data {
+			data[i] = math.Abs(rng.NormFloat64()) + 0.001
+		}
+		h, err := HistogramFromData(data, 1+rng.Intn(30))
+		if err != nil {
+			return false
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, v := range cdf {
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return math.Abs(cdf[len(cdf)-1]-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMomentsMatchSampleMoments(t *testing.T) {
+	// With many narrow bins, the binned estimators converge to the raw ones.
+	rng := rand.New(rand.NewSource(11))
+	data := make([]float64, 50000)
+	for i := range data {
+		data[i] = rng.ExpFloat64() * 2
+	}
+	h, err := HistogramFromData(data, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(h.Mean()-Mean(data)) / Mean(data); rel > 0.01 {
+		t.Errorf("mean: binned %v vs raw %v", h.Mean(), Mean(data))
+	}
+	if rel := math.Abs(h.Moment(2)-RawMoment(data, 2)) / RawMoment(data, 2); rel > 0.02 {
+		t.Errorf("M2: binned %v vs raw %v", h.Moment(2), RawMoment(data, 2))
+	}
+	if math.Abs(h.CV2()-CV2(data)) > 0.05 {
+		t.Errorf("CV²: binned %v vs raw %v", h.CV2(), CV2(data))
+	}
+}
+
+func TestHistogramMomentPanics(t *testing.T) {
+	h, _ := NewHistogram([]float64{1}, 2, 0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Moment(0)")
+		}
+	}()
+	h.Moment(0)
+}
+
+func TestRawSampleStats(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	if m := Mean(data); m != 2.5 {
+		t.Errorf("mean = %v, want 2.5", m)
+	}
+	if v := Variance(data); math.Abs(v-1.25) > 1e-12 {
+		t.Errorf("var = %v, want 1.25", v)
+	}
+	if m2 := RawMoment(data, 2); math.Abs(m2-7.5) > 1e-12 {
+		t.Errorf("M2 = %v, want 7.5", m2)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestCV2OfExponentialSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]float64, 100000)
+	for i := range data {
+		data[i] = rng.ExpFloat64()
+	}
+	if cv2 := CV2(data); math.Abs(cv2-1) > 0.03 {
+		t.Errorf("CV² of exponential sample = %v, want ≈1", cv2)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{4, 1, 3, 2}
+	if q := Quantile(data, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(data, 1); q != 4 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(data, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Errorf("median = %v, want 2.5", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+}
