@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/markov"
 	"repro/internal/qbd"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transient"
@@ -312,6 +314,59 @@ func BenchmarkTransient(b *testing.B) {
 		}
 	}
 	b.ReportMetric(d.MeanQueue(), "EZt100")
+}
+
+// BenchmarkLambdaSweep measures the internal/service evaluation engine on
+// a Figure 8 style λ-sweep (N = 10, 32 points): the serial baseline solves
+// one point at a time on one goroutine; pooled fans the batch across the
+// worker pool with the cache disabled; cached repeats the pooled sweep
+// against a warm solver cache, the steady state of overlapping figure runs
+// and mus-serve traffic. Expected ordering: cached ≪ pooled < serial on
+// any multi-core machine.
+func BenchmarkLambdaSweep(b *testing.B) {
+	base := core.System{
+		Servers:     10,
+		ArrivalRate: 1,
+		ServiceRate: 1,
+		Operative:   benchOps,
+		Repair:      benchRepair,
+	}
+	lambdas := make([]float64, 32)
+	for i := range lambdas {
+		lambdas[i] = 5 + 4*float64(i)/float64(len(lambdas)) // loads ≈ 0.50–0.89
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, l := range lambdas {
+				sys := base
+				sys.ArrivalRate = l
+				if _, err := sys.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		eng := service.NewEngine(service.Config{CacheSize: -1})
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SweepLambda(context.Background(), base, lambdas, core.Spectral); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := service.NewEngine(service.Config{})
+		if _, err := eng.SweepLambda(context.Background(), base, lambdas, core.Spectral); err != nil {
+			b.Fatal(err) // warm the cache outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SweepLambda(context.Background(), base, lambdas, core.Spectral); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(eng.Stats().Cache.HitRate(), "hitrate")
+	})
 }
 
 // BenchmarkOptimizeServers measures the full Figure 5 style optimisation

@@ -1,0 +1,83 @@
+// Command mus-serve is the model-evaluation daemon: it exposes the Palmer
+// & Mitrani solvers over HTTP/JSON, backed by the internal/service engine,
+// so dashboards, capacity planners and sweep scripts share one worker pool
+// and one solver cache instead of shelling out to one-shot CLI runs.
+//
+//	mus-serve -addr :8350 -workers 8 -cache 16384
+//
+// Endpoints (see README.md for request/response schemas):
+//
+//	POST /v1/solve     — steady-state performance of one configuration
+//	POST /v1/sweep     — batch evaluation over a λ or N grid
+//	POST /v1/optimize  — cost-optimal N (Fig. 5) or min N for an SLA (Fig. 9)
+//	GET  /v1/stats     — engine, worker-pool and cache counters
+//
+// Distribution fields default to the paper's fitted Sun parameters, so the
+// smallest useful request is
+//
+//	curl -s localhost:8350/v1/solve -d '{"servers": 12, "lambda": 8}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mus-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mus-serve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8350", "listen address")
+		workers = fs.Int("workers", 0, "solver worker-pool size (0 = one per CPU)")
+		cache   = fs.Int("cache", service.DefaultCacheSize, "solver cache entries (negative disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng := service.NewEngine(service.Config{Workers: *workers, CacheSize: *cache})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng).handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute, // large sweeps take a while
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mus-serve: listening on %s (workers=%d, cache=%d)", *addr, eng.Workers(), *cache)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Print("mus-serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

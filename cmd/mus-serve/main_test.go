@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/service"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(service.NewEngine(service.Config{})).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body string, out any) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, raw)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var got solveResponse
+	status, raw := postJSON(t, ts.URL+"/v1/solve",
+		`{"servers": 12, "lambda": 8, "holding_cost": 4, "server_cost": 1}`, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	// The default distributions are the paper's, so the response must match
+	// a direct solve of the Figure 5 λ=8, N=12 point.
+	sys := core.System{
+		Servers:     12,
+		ArrivalRate: 8,
+		ServiceRate: 1,
+		Operative:   dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091}),
+		Repair:      dist.Exp(25),
+	}
+	want, err := sys.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Perf.MeanJobs-want.MeanJobs) > 1e-9 {
+		t.Errorf("L = %v, want %v", got.Perf.MeanJobs, want.MeanJobs)
+	}
+	if math.Abs(got.Perf.MeanResponse-want.MeanResponse) > 1e-9 {
+		t.Errorf("W = %v, want %v", got.Perf.MeanResponse, want.MeanResponse)
+	}
+	if got.Fingerprint != sys.Fingerprint() {
+		t.Errorf("fingerprint %s, want %s", got.Fingerprint, sys.Fingerprint())
+	}
+	if !got.Stable || got.Modes != sys.Modes() {
+		t.Errorf("stable=%v modes=%d, want true/%d", got.Stable, got.Modes, sys.Modes())
+	}
+	if got.Cost == nil {
+		t.Fatal("cost missing")
+	}
+	wantCost := 4*want.MeanJobs + 12
+	if math.Abs(*got.Cost-wantCost) > 1e-9 {
+		t.Errorf("cost = %v, want %v", *got.Cost, wantCost)
+	}
+}
+
+func TestSolveEndpointRejectsBadInput(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"invalid json", `{"servers": `, http.StatusBadRequest},
+		{"unknown field", `{"serverz": 3}`, http.StatusBadRequest},
+		{"no servers", `{"lambda": 8}`, http.StatusBadRequest},
+		{"bad method", `{"servers": 3, "lambda": 1, "method": "quantum"}`, http.StatusBadRequest},
+		{"bad distribution", `{"servers": 3, "lambda": 1, "op_weights": [0.5], "op_rates": [0.5, 1]}`, http.StatusBadRequest},
+		{"unstable", `{"servers": 2, "lambda": 50}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		if status, raw := postJSON(t, ts.URL+"/v1/solve", c.body, nil); status != c.wantStatus {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, status, c.wantStatus, raw)
+		}
+	}
+	// Wrong verb.
+	resp, err := http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/solve: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpointLambda(t *testing.T) {
+	ts := testServer(t)
+	var got sweepResponse
+	status, raw := postJSON(t, ts.URL+"/v1/sweep",
+		`{"servers": 10, "param": "lambda", "values": [4, 5, 6, 7], "method": "spectral"}`, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if len(got.Points) != 4 {
+		t.Fatalf("%d points, want 4", len(got.Points))
+	}
+	prev := 0.0
+	for i, pt := range got.Points {
+		if pt.Error != "" {
+			t.Fatalf("point %d failed: %s", i, pt.Error)
+		}
+		if pt.Perf.MeanJobs <= prev {
+			t.Errorf("L not increasing with λ at %v", pt.Value)
+		}
+		prev = pt.Perf.MeanJobs
+	}
+}
+
+func TestSweepEndpointServersWithPerPointErrors(t *testing.T) {
+	ts := testServer(t)
+	var got sweepResponse
+	// N=8 is unstable at λ=8 with the default availability (≈0.993·8 < 8);
+	// its point must carry an error while the others succeed.
+	status, raw := postJSON(t, ts.URL+"/v1/sweep",
+		`{"lambda": 8, "param": "servers", "values": [0, 9, 12]}`, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if got.Points[0].Error == "" {
+		t.Error("N=0 point did not report an error")
+	}
+	for _, i := range []int{1, 2} {
+		if got.Points[i].Error != "" {
+			t.Errorf("N=%v failed: %s", got.Points[i].Value, got.Points[i].Error)
+		}
+	}
+	if got.Points[1].Perf.MeanJobs <= got.Points[2].Perf.MeanJobs {
+		t.Error("L(N=9) should exceed L(N=12)")
+	}
+}
+
+func TestSweepEndpointRejectsBadParam(t *testing.T) {
+	ts := testServer(t)
+	if status, _ := postJSON(t, ts.URL+"/v1/sweep", `{"servers": 3, "lambda": 1, "param": "mu", "values": [1]}`, nil); status != http.StatusBadRequest {
+		t.Errorf("bad param: status %d", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/sweep", `{"servers": 3, "lambda": 1, "param": "lambda", "values": []}`, nil); status != http.StatusBadRequest {
+		t.Errorf("empty values: status %d", status)
+	}
+}
+
+func TestOptimizeEndpointCost(t *testing.T) {
+	ts := testServer(t)
+	var got optimizeResponse
+	// Figure 5, λ = 8: the cost-optimal fleet is N* = 12.
+	status, raw := postJSON(t, ts.URL+"/v1/optimize",
+		`{"lambda": 8, "holding_cost": 4, "server_cost": 1, "min_servers": 9, "max_servers": 17}`, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if got.Servers != 12 {
+		t.Errorf("N* = %d, paper says 12", got.Servers)
+	}
+	if got.Cost == nil || *got.Cost <= 12 {
+		t.Errorf("cost %v looks wrong", got.Cost)
+	}
+}
+
+func TestOptimizeEndpointResponseTarget(t *testing.T) {
+	ts := testServer(t)
+	var got optimizeResponse
+	// Figure 9: λ = 7.5, W ≤ 1.5 needs 9 servers.
+	status, raw := postJSON(t, ts.URL+"/v1/optimize",
+		`{"lambda": 7.5, "target_response": 1.5}`, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if got.Servers != 9 {
+		t.Errorf("min N = %d, paper says 9", got.Servers)
+	}
+	if got.Perf.MeanResponse > 1.5 {
+		t.Errorf("W = %v exceeds the target", got.Perf.MeanResponse)
+	}
+}
+
+func TestOptimizeEndpointRespectsMinServersFloor(t *testing.T) {
+	ts := testServer(t)
+	var got optimizeResponse
+	// Without the floor the answer is 9; the client's min_servers must hold.
+	status, raw := postJSON(t, ts.URL+"/v1/optimize",
+		`{"lambda": 7.5, "target_response": 1.5, "min_servers": 11, "max_servers": 20}`, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if got.Servers != 11 {
+		t.Errorf("min N = %d, want the requested floor 11", got.Servers)
+	}
+}
+
+func TestSweepEndpointRejectsFractionalServers(t *testing.T) {
+	ts := testServer(t)
+	status, raw := postJSON(t, ts.URL+"/v1/sweep",
+		`{"lambda": 8, "param": "servers", "values": [9.5, 12]}`, nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("fractional servers value: status %d (%s)", status, raw)
+	}
+}
+
+func TestOptimizeEndpointRejectsMissingObjective(t *testing.T) {
+	ts := testServer(t)
+	if status, _ := postJSON(t, ts.URL+"/v1/optimize", `{"lambda": 8}`, nil); status != http.StatusBadRequest {
+		t.Errorf("no objective: status %d", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/optimize",
+		`{"lambda": 8, "holding_cost": 4, "server_cost": 1, "min_servers": 5, "max_servers": 3}`, nil); status != http.StatusBadRequest {
+		t.Errorf("inverted range: status %d", status)
+	}
+}
+
+func TestStatsEndpointTracksCache(t *testing.T) {
+	ts := testServer(t)
+	body := `{"servers": 10, "lambda": 6}`
+	for i := 0; i < 2; i++ {
+		if status, raw := postJSON(t, ts.URL+"/v1/solve", body, nil); status != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, status, raw)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests != 3 {
+		t.Errorf("requests = %d, want 3", got.Requests)
+	}
+	if got.Solves != 1 {
+		t.Errorf("solves = %d, want 1 (second solve should hit the cache)", got.Solves)
+	}
+	if got.Cache.Hits != 1 {
+		t.Errorf("cache hits = %d, want 1", got.Cache.Hits)
+	}
+	if got.Cache.HitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got.Cache.HitRate)
+	}
+	if got.Workers < 1 {
+		t.Errorf("workers = %d", got.Workers)
+	}
+}

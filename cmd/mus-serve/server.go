@@ -1,0 +1,392 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/service"
+)
+
+// server wires the evaluation engine to the HTTP API. All state lives in
+// the engine; the server itself only counts requests.
+type server struct {
+	eng      *service.Engine
+	started  time.Time
+	requests atomic.Uint64
+}
+
+func newServer(eng *service.Engine) *server {
+	return &server{eng: eng, started: time.Now()}
+}
+
+// handler builds the /v1 route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.count(s.handleSolve))
+	mux.HandleFunc("POST /v1/sweep", s.count(s.handleSweep))
+	mux.HandleFunc("POST /v1/optimize", s.count(s.handleOptimize))
+	mux.HandleFunc("GET /v1/stats", s.count(s.handleStats))
+	return mux
+}
+
+func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
+// systemJSON is the wire form of core.System. Omitted distribution fields
+// default to the paper's fitted parameters (H2 operative periods with
+// C² ≈ 4.6, exponential repairs with rate 25) and µ defaults to 1, so a
+// minimal request is just {"servers": N, "lambda": λ}.
+type systemJSON struct {
+	Servers    int       `json:"servers"`
+	Lambda     float64   `json:"lambda"`
+	Mu         float64   `json:"mu,omitempty"`
+	OpWeights  []float64 `json:"op_weights,omitempty"`
+	OpRates    []float64 `json:"op_rates,omitempty"`
+	RepWeights []float64 `json:"rep_weights,omitempty"`
+	RepRates   []float64 `json:"rep_rates,omitempty"`
+}
+
+func (j systemJSON) toSystem() (core.System, error) {
+	sys := core.System{
+		Servers:     j.Servers,
+		ArrivalRate: j.Lambda,
+		ServiceRate: j.Mu,
+	}
+	if sys.ServiceRate == 0 {
+		sys.ServiceRate = 1
+	}
+	var err error
+	switch {
+	case len(j.OpWeights) == 0 && len(j.OpRates) == 0:
+		sys.Operative = dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091})
+	default:
+		sys.Operative, err = dist.NewHyperExp(j.OpWeights, j.OpRates)
+		if err != nil {
+			return core.System{}, fmt.Errorf("operative distribution: %w", err)
+		}
+	}
+	switch {
+	case len(j.RepWeights) == 0 && len(j.RepRates) == 0:
+		sys.Repair = dist.Exp(25)
+	default:
+		sys.Repair, err = dist.NewHyperExp(j.RepWeights, j.RepRates)
+		if err != nil {
+			return core.System{}, fmt.Errorf("repair distribution: %w", err)
+		}
+	}
+	return sys, nil
+}
+
+func parseMethod(name string) (core.Method, error) {
+	switch name {
+	case "", "spectral":
+		return core.Spectral, nil
+	case "approx", "approximation":
+		return core.Approximation, nil
+	case "mg", "matrix-geometric":
+		return core.MatrixGeometric, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (want spectral, approx or mg)", name)
+	}
+}
+
+// perfJSON is the wire form of core.Performance.
+type perfJSON struct {
+	MeanJobs     float64 `json:"mean_jobs"`
+	MeanResponse float64 `json:"mean_response"`
+	TailDecay    float64 `json:"tail_decay"`
+	Load         float64 `json:"load"`
+}
+
+func toPerfJSON(p *core.Performance) perfJSON {
+	return perfJSON{
+		MeanJobs:     p.MeanJobs,
+		MeanResponse: p.MeanResponse,
+		TailDecay:    p.TailDecay,
+		Load:         p.Load,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // response writer errors have no recovery path
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+type solveRequest struct {
+	systemJSON
+	Method      string  `json:"method,omitempty"`
+	HoldingCost float64 `json:"holding_cost,omitempty"`
+	ServerCost  float64 `json:"server_cost,omitempty"`
+}
+
+type solveResponse struct {
+	Fingerprint  string   `json:"fingerprint"`
+	Method       string   `json:"method"`
+	Availability float64  `json:"availability"`
+	Modes        int      `json:"modes"`
+	Stable       bool     `json:"stable"`
+	Perf         perfJSON `json:"perf"`
+	Cost         *float64 `json:"cost,omitempty"`
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sys, err := req.toSystem()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sys.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !sys.Stable() {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf(
+			"unstable: load %.4g ≥ 1, need at least %d servers", sys.Load(), core.MinServersForStability(sys)))
+		return
+	}
+	perf, err := s.eng.Evaluate(r.Context(), sys, m)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := solveResponse{
+		Fingerprint:  sys.Fingerprint(),
+		Method:       m.String(),
+		Availability: sys.Availability(),
+		Modes:        sys.Modes(),
+		Stable:       true,
+		Perf:         toPerfJSON(perf),
+	}
+	if req.HoldingCost > 0 || req.ServerCost > 0 {
+		cm := core.CostModel{HoldingCost: req.HoldingCost, ServerCost: req.ServerCost}
+		c := cm.Cost(perf.MeanJobs, sys.Servers)
+		resp.Cost = &c
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type sweepRequest struct {
+	systemJSON
+	Method string    `json:"method,omitempty"`
+	Param  string    `json:"param"` // "lambda" or "servers"
+	Values []float64 `json:"values"`
+}
+
+type sweepPoint struct {
+	Value float64   `json:"value"`
+	Perf  *perfJSON `json:"perf,omitempty"`
+	Error string    `json:"error,omitempty"`
+}
+
+type sweepResponse struct {
+	Method string       `json:"method"`
+	Param  string       `json:"param"`
+	Points []sweepPoint `json:"points"`
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	base, err := req.toSystem()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep needs at least one value"))
+		return
+	}
+	const maxSweep = 10000
+	if len(req.Values) > maxSweep {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep of %d points exceeds the %d-point limit", len(req.Values), maxSweep))
+		return
+	}
+	jobs := make([]service.Job, len(req.Values))
+	for i, v := range req.Values {
+		sys := base
+		switch req.Param {
+		case "lambda":
+			sys.ArrivalRate = v
+		case "servers":
+			if v != math.Trunc(v) {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("servers sweep value %v is not an integer", v))
+				return
+			}
+			sys.Servers = int(v)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown sweep param %q (want lambda or servers)", req.Param))
+			return
+		}
+		jobs[i] = service.Job{System: sys, Method: m}
+	}
+	results := s.eng.EvaluateBatch(r.Context(), jobs)
+	resp := sweepResponse{Method: m.String(), Param: req.Param, Points: make([]sweepPoint, len(results))}
+	for i, res := range results {
+		pt := sweepPoint{Value: req.Values[i]}
+		if res.Err != nil {
+			pt.Error = res.Err.Error()
+		} else {
+			pj := toPerfJSON(res.Perf)
+			pt.Perf = &pj
+		}
+		resp.Points[i] = pt
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type optimizeRequest struct {
+	systemJSON
+	Method         string  `json:"method,omitempty"`
+	HoldingCost    float64 `json:"holding_cost,omitempty"`
+	ServerCost     float64 `json:"server_cost,omitempty"`
+	MinServers     int     `json:"min_servers"`
+	MaxServers     int     `json:"max_servers"`
+	TargetResponse float64 `json:"target_response,omitempty"`
+}
+
+type optimizeResponse struct {
+	Objective string   `json:"objective"`
+	Servers   int      `json:"servers"`
+	Cost      *float64 `json:"cost,omitempty"`
+	Perf      perfJSON `json:"perf"`
+}
+
+// handleOptimize answers the paper's two provisioning questions: with a
+// target_response it returns the smallest N meeting the SLA (Figure 9);
+// otherwise it minimises C = c₁L + c₂N over [min_servers, max_servers]
+// (Figure 5).
+func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req optimizeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	base, err := req.toSystem()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.TargetResponse > 0 {
+		minN := req.MinServers
+		if minN == 0 {
+			minN = 1
+		}
+		maxN := req.MaxServers
+		if maxN == 0 {
+			maxN = 64
+		}
+		pt, err := s.eng.MinServersForResponseTime(r.Context(), base, req.TargetResponse, minN, maxN, m)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, optimizeResponse{
+			Objective: fmt.Sprintf("min N in [%d, %d] with W ≤ %g", minN, maxN, req.TargetResponse),
+			Servers:   pt.Servers,
+			Perf:      toPerfJSON(pt.Perf),
+		})
+		return
+	}
+	if req.HoldingCost <= 0 && req.ServerCost <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("optimize needs holding_cost/server_cost or target_response"))
+		return
+	}
+	if req.MinServers < 1 || req.MaxServers < req.MinServers {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid server range [%d, %d]", req.MinServers, req.MaxServers))
+		return
+	}
+	cm := core.CostModel{HoldingCost: req.HoldingCost, ServerCost: req.ServerCost}
+	best, err := s.eng.OptimizeServers(r.Context(), base, cm, req.MinServers, req.MaxServers, m)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, optimizeResponse{
+		Objective: fmt.Sprintf("min %g·L + %g·N over [%d, %d]", cm.HoldingCost, cm.ServerCost, req.MinServers, req.MaxServers),
+		Servers:   best.Servers,
+		Cost:      &best.Cost,
+		Perf:      toPerfJSON(best.Perf),
+	})
+}
+
+type statsResponse struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Requests       uint64  `json:"requests"`
+	Workers        int     `json:"workers"`
+	Solves         uint64  `json:"solves"`
+	SolverErrors   uint64  `json:"solver_errors"`
+	SharedInFlight uint64  `json:"shared_in_flight"`
+	Cache          struct {
+		Hits      uint64  `json:"hits"`
+		Misses    uint64  `json:"misses"`
+		Evictions uint64  `json:"evictions"`
+		Entries   int     `json:"entries"`
+		Capacity  int     `json:"capacity"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"cache"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	var resp statsResponse
+	resp.UptimeSeconds = time.Since(s.started).Seconds()
+	resp.Requests = s.requests.Load()
+	resp.Workers = st.Workers
+	resp.Solves = st.Solves
+	resp.SolverErrors = st.Errors
+	resp.SharedInFlight = st.SharedInFlight
+	resp.Cache.Hits = st.Cache.Hits
+	resp.Cache.Misses = st.Cache.Misses
+	resp.Cache.Evictions = st.Cache.Evictions
+	resp.Cache.Entries = st.Cache.Entries
+	resp.Cache.Capacity = st.Cache.Capacity
+	resp.Cache.HitRate = st.Cache.HitRate()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -8,7 +8,10 @@
 // contains:
 //
 //   - internal/core — the public model: System, exact/approximate solvers,
-//     cost optimisation and capacity planning;
+//     cost optimisation, capacity planning and canonical fingerprints;
+//   - internal/service — the concurrent evaluation engine: a bounded
+//     worker pool with an LRU solver cache keyed by System.Fingerprint,
+//     shared by the figures package, the benchmarks and mus-serve;
 //   - internal/qbd — the spectral-expansion solver (paper §3.1), the
 //     geometric heavy-traffic approximation (§3.2), a matrix-geometric
 //     baseline and a truncated-chain oracle;
@@ -19,8 +22,10 @@
 //     breakdown log;
 //   - internal/sim — a discrete-event simulator used for the C² = 0 point
 //     of Figure 6 and as an independent oracle;
-//   - internal/figures — one experiment per paper figure;
-//   - cmd/* — CLI tools; examples/* — runnable walkthroughs.
+//   - internal/figures — one experiment per paper figure, with every
+//     analytical sweep routed through the evaluation engine;
+//   - cmd/* — CLI tools, including the mus-serve HTTP daemon;
+//     examples/* — runnable walkthroughs.
 //
 // bench_test.go regenerates every figure of the evaluation as a Go
 // benchmark; see EXPERIMENTS.md for the paper-vs-measured record.

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint returns a canonical key identifying the system's complete
+// parameterisation: server count, arrival and service rates and every phase
+// weight and rate of both period distributions. Two systems share a
+// fingerprint exactly when every solver input is bit-identical, so the key
+// is safe to memoise solutions under (internal/service keys its cache on
+// it). Floats are encoded in hexadecimal ('x') form — exact, locale-free
+// and with no rounding collisions — and the whole description is hashed so
+// keys stay fixed-width regardless of phase counts.
+func (s System) Fingerprint() string {
+	var sb strings.Builder
+	sb.WriteString("v1|N=")
+	sb.WriteString(strconv.Itoa(s.Servers))
+	sb.WriteString("|l=")
+	sb.WriteString(strconv.FormatFloat(s.ArrivalRate, 'x', -1, 64))
+	sb.WriteString("|m=")
+	sb.WriteString(strconv.FormatFloat(s.ServiceRate, 'x', -1, 64))
+	writeDist := func(tag string, weights, rates []float64) {
+		sb.WriteString("|")
+		sb.WriteString(tag)
+		for i := range weights {
+			sb.WriteString("|")
+			sb.WriteString(strconv.FormatFloat(weights[i], 'x', -1, 64))
+			sb.WriteString(":")
+			sb.WriteString(strconv.FormatFloat(rates[i], 'x', -1, 64))
+		}
+	}
+	if s.Operative != nil {
+		writeDist("op", s.Operative.Weights, s.Operative.Rates)
+	}
+	if s.Repair != nil {
+		writeDist("rep", s.Repair.Weights, s.Repair.Rates)
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func fpSystem() System {
+	return System{
+		Servers:     10,
+		ArrivalRate: 8,
+		ServiceRate: 1,
+		Operative:   dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091}),
+		Repair:      dist.Exp(25),
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a, b := fpSystem(), fpSystem()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical systems produced different fingerprints")
+	}
+	if got := a.Fingerprint(); got != a.Fingerprint() {
+		t.Errorf("fingerprint not deterministic: %s vs %s", got, a.Fingerprint())
+	}
+	if len(a.Fingerprint()) != 64 {
+		t.Errorf("fingerprint length %d, want 64 hex chars", len(a.Fingerprint()))
+	}
+}
+
+func TestFingerprintSeparatesParameters(t *testing.T) {
+	base := fpSystem()
+	seen := map[string]string{base.Fingerprint(): "base"}
+	record := func(name string, s System) {
+		fp := s.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+
+	s := fpSystem()
+	s.Servers = 11
+	record("servers", s)
+
+	s = fpSystem()
+	s.ArrivalRate = 8.0000000001
+	record("lambda-epsilon", s)
+
+	s = fpSystem()
+	s.ServiceRate = 2
+	record("mu", s)
+
+	s = fpSystem()
+	s.Operative = dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0092})
+	record("op-rate", s)
+
+	s = fpSystem()
+	s.Repair = dist.Exp(26)
+	record("rep-rate", s)
+
+	// Swapping operative and repair must not alias (tagged sections).
+	s = fpSystem()
+	s.Operative, s.Repair = s.Repair, s.Operative
+	record("swapped", s)
+}
+
+func TestFingerprintNilDistributions(t *testing.T) {
+	// Invalid systems still fingerprint (callers validate separately).
+	var s System
+	if s.Fingerprint() == fpSystem().Fingerprint() {
+		t.Error("zero system collides with populated system")
+	}
+}

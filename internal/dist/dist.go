@@ -1,0 +1,291 @@
+// Package dist provides the period distributions of Palmer & Mitrani §2:
+// the n-phase hyperexponential family the analytical model is built on,
+// plus the deterministic and Erlang shapes that only the simulator can
+// handle (the C² ≤ 1 points of Figure 6). It also implements the paper's
+// three fitting routes — the closed-form three-moment H2 fit, a damped
+// Newton solve of the moment equations and the brute-force rate search of
+// eq. (8).
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Distribution is a positive continuous distribution that the simulator can
+// sample and the analytical pipeline can summarise by its mean.
+type Distribution interface {
+	// Mean is the first moment.
+	Mean() float64
+	// Sample draws one variate using the given source.
+	Sample(rng *rand.Rand) float64
+	// String renders the distribution for reports and logs.
+	String() string
+}
+
+// HyperExp is an n-phase hyperexponential: with probability Weights[i] the
+// period is exponential with rate Rates[i]. The paper uses the two-phase
+// member (H2) for both operative and inoperative periods.
+type HyperExp struct {
+	// Weights are the phase probabilities α (non-negative, summing to 1).
+	Weights []float64
+	// Rates are the phase rates ξ (positive).
+	Rates []float64
+}
+
+// NewHyperExp validates and builds a hyperexponential distribution.
+func NewHyperExp(weights, rates []float64) (*HyperExp, error) {
+	if len(weights) == 0 || len(weights) != len(rates) {
+		return nil, fmt.Errorf("dist: %d weights vs %d rates", len(weights), len(rates))
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || w > 1 || math.IsNaN(w) {
+			return nil, fmt.Errorf("dist: weight %d = %v outside [0, 1]", i, w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("dist: weights sum to %v, want 1", sum)
+	}
+	for i, r := range rates {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("dist: rate %d = %v must be positive and finite", i, r)
+		}
+	}
+	return &HyperExp{
+		Weights: append([]float64(nil), weights...),
+		Rates:   append([]float64(nil), rates...),
+	}, nil
+}
+
+// MustHyperExp is NewHyperExp panicking on invalid parameters; it is meant
+// for literal parameter sets such as the paper's fitted distributions.
+func MustHyperExp(weights, rates []float64) *HyperExp {
+	h, err := NewHyperExp(weights, rates)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Exp returns the exponential distribution with the given rate as a
+// single-phase hyperexponential, so it plugs into the analytical model.
+func Exp(rate float64) *HyperExp {
+	return MustHyperExp([]float64{1}, []float64{rate})
+}
+
+// Phases returns n, the number of exponential phases.
+func (h *HyperExp) Phases() int { return len(h.Weights) }
+
+// Mean returns Σ αᵢ/ξᵢ.
+func (h *HyperExp) Mean() float64 {
+	var m float64
+	for i, w := range h.Weights {
+		m += w / h.Rates[i]
+	}
+	return m
+}
+
+// Rate returns the reciprocal mean — the "ξ" and "η" of the paper's
+// availability formula η/(ξ+η), which depends only on the mean periods.
+func (h *HyperExp) Rate() float64 { return 1 / h.Mean() }
+
+// Moment returns the k-th raw moment, k!·Σ αᵢ/ξᵢᵏ.
+func (h *HyperExp) Moment(k int) float64 {
+	if k < 0 {
+		return math.NaN()
+	}
+	fact := 1.0
+	for i := 2; i <= k; i++ {
+		fact *= float64(i)
+	}
+	var s float64
+	for i, w := range h.Weights {
+		s += w / math.Pow(h.Rates[i], float64(k))
+	}
+	return fact * s
+}
+
+// Variance returns the second central moment.
+func (h *HyperExp) Variance() float64 {
+	m := h.Mean()
+	return h.Moment(2) - m*m
+}
+
+// CV2 returns the squared coefficient of variation; ≥ 1 for every
+// hyperexponential, with equality only for the plain exponential.
+func (h *HyperExp) CV2() float64 {
+	m := h.Mean()
+	return h.Moment(2)/(m*m) - 1
+}
+
+// Density returns the probability density Σ αᵢ·ξᵢ·e^(−ξᵢx) at x ≥ 0.
+func (h *HyperExp) Density(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	var d float64
+	for i, w := range h.Weights {
+		d += w * h.Rates[i] * math.Exp(-h.Rates[i]*x)
+	}
+	return d
+}
+
+// CDF returns P(X ≤ x) = Σ αᵢ·(1 − e^(−ξᵢx)).
+func (h *HyperExp) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	var c float64
+	for i, w := range h.Weights {
+		c += w * (1 - math.Exp(-h.Rates[i]*x))
+	}
+	return c
+}
+
+// Sample draws one variate: choose a phase by weight, then an exponential
+// of that phase's rate.
+func (h *HyperExp) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	var acc float64
+	for i, w := range h.Weights {
+		acc += w
+		if u < acc {
+			return rng.ExpFloat64() / h.Rates[i]
+		}
+	}
+	return rng.ExpFloat64() / h.Rates[len(h.Rates)-1]
+}
+
+// String renders the mixture like "H2{0.725·Exp(0.166), 0.275·Exp(0.0091)}".
+func (h *HyperExp) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "H%d{", len(h.Weights))
+	for i, w := range h.Weights {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%.4g·Exp(%.4g)", w, h.Rates[i])
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Deterministic is the fixed-length period (C² = 0) used for the leftmost
+// point of Figure 6 — representable only by the simulator.
+type Deterministic struct {
+	// Value is the constant period length.
+	Value float64
+}
+
+// Mean returns the constant value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// Sample returns the constant value.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.Value }
+
+// String renders like "Det(34.62)".
+func (d Deterministic) String() string { return fmt.Sprintf("Det(%.4g)", d.Value) }
+
+// Erlang is the k-stage Erlang distribution (C² = 1/k), covering the
+// 0 < C² < 1 range between deterministic and exponential periods.
+type Erlang struct {
+	// K is the number of exponential stages.
+	K int
+	// Rate is the per-stage rate, so the mean is K/Rate.
+	Rate float64
+}
+
+// Mean returns K/Rate.
+func (e Erlang) Mean() float64 { return float64(e.K) / e.Rate }
+
+// CV2 returns 1/K.
+func (e Erlang) CV2() float64 { return 1 / float64(e.K) }
+
+// Sample draws the sum of K exponential stages.
+func (e Erlang) Sample(rng *rand.Rand) float64 {
+	var t float64
+	for i := 0; i < e.K; i++ {
+		t += rng.ExpFloat64() / e.Rate
+	}
+	return t
+}
+
+// String renders like "Erlang(k=4, rate=2)".
+func (e Erlang) String() string { return fmt.Sprintf("Erlang(k=%d, rate=%.4g)", e.K, e.Rate) }
+
+// WithMeanCV2 builds a distribution with the requested mean and squared
+// coefficient of variation, choosing the shape family by C² exactly as the
+// simulator experiments do: deterministic at 0, Erlang below 1 (nearest
+// integer stage count, so the achieved C² is the closest representable
+// 1/k), exponential at 1 and a balanced-means two-phase hyperexponential
+// above 1.
+func WithMeanCV2(mean, cv2 float64) (Distribution, error) {
+	if mean <= 0 || math.IsNaN(mean) {
+		return nil, fmt.Errorf("dist: mean %v must be positive", mean)
+	}
+	if cv2 < 0 || math.IsNaN(cv2) {
+		return nil, fmt.Errorf("dist: C² = %v must be non-negative", cv2)
+	}
+	switch {
+	case cv2 == 0:
+		return Deterministic{Value: mean}, nil
+	case cv2 < 1:
+		k := int(math.Round(1 / cv2))
+		if k < 1 {
+			k = 1
+		}
+		return Erlang{K: k, Rate: float64(k) / mean}, nil
+	case cv2 == 1:
+		return Exp(1 / mean), nil
+	default:
+		// Balanced means: both phases contribute mean/2.
+		p := 0.5 * (1 + math.Sqrt((cv2-1)/(cv2+1)))
+		return NewHyperExp(
+			[]float64{p, 1 - p},
+			[]float64{2 * p / mean, 2 * (1 - p) / mean},
+		)
+	}
+}
+
+// HyperExp2FixedShortPhase builds the Figure 6 family: a two-phase
+// hyperexponential with the short phase pinned at the given mean (the
+// paper keeps the fitted ξ₂ fixed) whose overall mean and C² match the
+// targets. Solving the first two moment equations with the short phase
+// fixed gives the long-phase mean and the weights in closed form.
+func HyperExp2FixedShortPhase(mean, cv2, shortMean float64) (*HyperExp, error) {
+	if mean <= 0 || shortMean <= 0 {
+		return nil, fmt.Errorf("dist: means %v, %v must be positive", mean, shortMean)
+	}
+	if cv2 < 1 {
+		return nil, fmt.Errorf("dist: C² = %v below 1 is not hyperexponential", cv2)
+	}
+	if mean == shortMean {
+		if cv2 == 1 {
+			return Exp(1 / mean), nil
+		}
+		return nil, fmt.Errorf("dist: short phase equals the target mean, C² = %v unreachable", cv2)
+	}
+	// halfM2 = E[X²]/2 = p·a² + (1−p)·b² with a the short-phase mean.
+	a := shortMean
+	halfM2 := mean * mean * (cv2 + 1) / 2
+	b := (halfM2 - mean*a) / (mean - a)
+	if b <= 0 {
+		return nil, fmt.Errorf("dist: no positive long phase for mean %v, C² %v, short %v", mean, cv2, a)
+	}
+	p := (mean - b) / (a - b)
+	// The C² = 1 boundary lands exactly on p = 0; absorb rounding there.
+	if p < 0 && p > -1e-9 {
+		p = 0
+	}
+	if p > 1 && p < 1+1e-9 {
+		p = 1
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("dist: weight %v outside [0, 1] for mean %v, C² %v, short %v", p, mean, cv2, a)
+	}
+	return NewHyperExp([]float64{p, 1 - p}, []float64{1 / a, 1 / b})
+}

@@ -1,0 +1,231 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+var paperOps = MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091})
+
+func TestHyperExpMoments(t *testing.T) {
+	h := paperOps
+	wantMean := 0.7246/0.1663 + 0.2754/0.0091
+	if math.Abs(h.Mean()-wantMean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if math.Abs(h.Mean()-34.62) > 0.1 {
+		t.Errorf("mean = %v, paper ≈ 34.62", h.Mean())
+	}
+	if math.Abs(h.CV2()-4.6) > 0.2 {
+		t.Errorf("C² = %v, paper ≈ 4.6", h.CV2())
+	}
+	if math.Abs(h.Moment(1)-h.Mean()) > 1e-12 {
+		t.Errorf("Moment(1) = %v, Mean = %v", h.Moment(1), h.Mean())
+	}
+	if got := h.Rate(); math.Abs(got*h.Mean()-1) > 1e-12 {
+		t.Errorf("Rate·Mean = %v, want 1", got*h.Mean())
+	}
+}
+
+func TestExpMatchesClosedForms(t *testing.T) {
+	e := Exp(2)
+	if e.Phases() != 1 {
+		t.Fatalf("phases = %d", e.Phases())
+	}
+	if math.Abs(e.Mean()-0.5) > 1e-15 {
+		t.Errorf("mean = %v", e.Mean())
+	}
+	if math.Abs(e.CV2()-1) > 1e-12 {
+		t.Errorf("C² = %v, want 1", e.CV2())
+	}
+	if got, want := e.CDF(0.5), 1-math.Exp(-1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("CDF(0.5) = %v, want %v", got, want)
+	}
+	if got, want := e.Density(0.5), 2*math.Exp(-1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("density(0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestNewHyperExpRejectsBadParameters(t *testing.T) {
+	cases := []struct {
+		w, r []float64
+	}{
+		{nil, nil},
+		{[]float64{1}, []float64{1, 2}},
+		{[]float64{0.5, 0.6}, []float64{1, 2}},  // sums to 1.1
+		{[]float64{-0.1, 1.1}, []float64{1, 2}}, // negative weight
+		{[]float64{0.5, 0.5}, []float64{1, 0}},  // zero rate
+		{[]float64{0.5, 0.5}, []float64{1, -2}}, // negative rate
+		{[]float64{0.5, 0.5}, []float64{1, math.Inf(1)}},
+	}
+	for i, c := range cases {
+		if _, err := NewHyperExp(c.w, c.r); err == nil {
+			t.Errorf("case %d: expected error for weights %v rates %v", i, c.w, c.r)
+		}
+	}
+}
+
+func TestCDFDensityConsistency(t *testing.T) {
+	// Numerically integrate the density and compare with the CDF.
+	h := paperOps
+	const dx = 0.01
+	var acc float64
+	for x := 0.0; x < 50; x += dx {
+		acc += h.Density(x+dx/2) * dx
+		if diff := math.Abs(acc - h.CDF(x+dx)); diff > 1e-3 {
+			t.Fatalf("∫density − CDF = %v at x=%v", diff, x+dx)
+		}
+	}
+}
+
+func TestSampleMatchesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dists := []Distribution{
+		paperOps,
+		Exp(25),
+		Deterministic{Value: 3.5},
+		Erlang{K: 4, Rate: 2},
+	}
+	for _, d := range dists {
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += d.Sample(rng)
+		}
+		got := sum / n
+		if rel := math.Abs(got-d.Mean()) / d.Mean(); rel > 0.02 {
+			t.Errorf("%v: sample mean %v vs analytical %v", d, got, d.Mean())
+		}
+	}
+}
+
+func TestWithMeanCV2Families(t *testing.T) {
+	cases := []struct {
+		mean, cv2 float64
+		wantType  string
+	}{
+		{34.62, 0, "dist.Deterministic"},
+		{34.62, 0.25, "dist.Erlang"},
+		{34.62, 1, "*dist.HyperExp"},
+		{34.62, 4.6, "*dist.HyperExp"},
+	}
+	for _, c := range cases {
+		d, err := WithMeanCV2(c.mean, c.cv2)
+		if err != nil {
+			t.Fatalf("mean %v C² %v: %v", c.mean, c.cv2, err)
+		}
+		if math.Abs(d.Mean()-c.mean) > 1e-9*c.mean {
+			t.Errorf("C²=%v: mean %v, want %v", c.cv2, d.Mean(), c.mean)
+		}
+		switch v := d.(type) {
+		case *HyperExp:
+			if math.Abs(v.CV2()-math.Max(c.cv2, 1)) > 1e-9 {
+				t.Errorf("C²=%v: got %v", c.cv2, v.CV2())
+			}
+		case Erlang:
+			if math.Abs(v.CV2()-c.cv2) > 1e-9 {
+				t.Errorf("C²=%v: Erlang gives %v", c.cv2, v.CV2())
+			}
+		}
+	}
+	if _, err := WithMeanCV2(-1, 1); err == nil {
+		t.Error("negative mean accepted")
+	}
+	if _, err := WithMeanCV2(1, -2); err == nil {
+		t.Error("negative C² accepted")
+	}
+}
+
+func TestHyperExp2FixedShortPhase(t *testing.T) {
+	const (
+		mean      = 34.62
+		shortMean = 1 / 0.1663
+	)
+	for _, cv2 := range []float64{1, 2, 4.6, 10, 18} {
+		h, err := HyperExp2FixedShortPhase(mean, cv2, shortMean)
+		if err != nil {
+			t.Fatalf("C²=%v: %v", cv2, err)
+		}
+		if math.Abs(h.Mean()-mean) > 1e-9*mean {
+			t.Errorf("C²=%v: mean %v", cv2, h.Mean())
+		}
+		if math.Abs(h.CV2()-cv2) > 1e-9*math.Max(cv2, 1) {
+			t.Errorf("C²=%v: got C² %v", cv2, h.CV2())
+		}
+		if math.Abs(1/h.Rates[0]-shortMean) > 1e-12 {
+			t.Errorf("C²=%v: short phase mean %v moved from %v", cv2, 1/h.Rates[0], shortMean)
+		}
+	}
+	// The C² = 4.6 member should reproduce the paper's fit.
+	h, err := HyperExp2FixedShortPhase(mean, 4.6, shortMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Weights[0]-0.7246) > 0.01 {
+		t.Errorf("weight %v, paper 0.7246", h.Weights[0])
+	}
+	if _, err := HyperExp2FixedShortPhase(mean, 0.5, shortMean); err == nil {
+		t.Error("C² < 1 accepted")
+	}
+}
+
+func TestFitH2MomentsRoundTrip(t *testing.T) {
+	want := paperOps
+	got, err := FitH2Moments(want.Moment(1), want.Moment(2), want.Moment(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short phase (higher rate) must come out first, like the paper's fits.
+	if got.Rates[0] < got.Rates[1] {
+		t.Errorf("phases not ordered by descending rate: %v", got.Rates)
+	}
+	for i := range want.Rates {
+		if math.Abs(got.Rates[i]-want.Rates[i]) > 1e-6*want.Rates[i] {
+			t.Errorf("rate %d = %v, want %v", i, got.Rates[i], want.Rates[i])
+		}
+		if math.Abs(got.Weights[i]-want.Weights[i]) > 1e-6 {
+			t.Errorf("weight %d = %v, want %v", i, got.Weights[i], want.Weights[i])
+		}
+	}
+	// Exponential moments (C² = 1) have no hyperexponential fit.
+	e := Exp(2)
+	if _, err := FitH2Moments(e.Moment(1), e.Moment(2), e.Moment(3)); err == nil {
+		t.Error("C² = 1 moment set accepted")
+	}
+}
+
+func TestFitHNNewtonRoundTrip(t *testing.T) {
+	want := paperOps
+	moments := []float64{want.Moment(1), want.Moment(2), want.Moment(3)}
+	start := MustHyperExp([]float64{0.5, 0.5}, []float64{0.1, 0.02})
+	got, err := FitHNNewton(start, moments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		if rel := math.Abs(got.Moment(k)-moments[k-1]) / moments[k-1]; rel > 1e-6 {
+			t.Errorf("moment %d off by %v", k, rel)
+		}
+	}
+	if _, err := FitHNNewton(start, moments[:2]); err == nil {
+		t.Error("wrong moment count accepted")
+	}
+}
+
+func TestFitHNSearchMatchesMoments(t *testing.T) {
+	want := paperOps
+	moments := []float64{want.Moment(1), want.Moment(2), want.Moment(3)}
+	res, err := FitHNSearch(2, moments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > 1e-6 {
+		t.Errorf("objective = %v, want ≈ 0", res.Objective)
+	}
+	for k := 1; k <= 3; k++ {
+		if rel := math.Abs(res.Dist.Moment(k)-moments[k-1]) / moments[k-1]; rel > 1e-3 {
+			t.Errorf("moment %d off by %v", k, rel)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/optimize"
+)
+
+// FitH2Moments fits a two-phase hyperexponential to the first three raw
+// moments in closed form (the paper's §2 route for n = 2). A two-phase
+// mixture of exponentials has E[Xᵏ] = k!·(p·aᵏ + (1−p)·bᵏ) for phase means
+// a, b, so a, b are the roots of the quadratic whose power sums are
+// µₖ = mₖ/k!; the weight follows from the first moment. The phases come
+// out ordered by descending rate (short phase first, as the paper lists
+// its fits). Requires C² > 1 — below that no hyperexponential matches.
+func FitH2Moments(m1, m2, m3 float64) (*HyperExp, error) {
+	if m1 <= 0 || m2 <= 0 || m3 <= 0 {
+		return nil, fmt.Errorf("dist: moments %v, %v, %v must be positive", m1, m2, m3)
+	}
+	mu1, mu2, mu3 := m1, m2/2, m3/6
+	denom := mu2 - mu1*mu1
+	if denom <= 0 {
+		return nil, fmt.Errorf("dist: C² = %v ≤ 1, not hyperexponential", m2/(m1*m1)-1)
+	}
+	// a, b solve t² − c1·t + c0 = 0 with µ₂ = c1·µ₁ − c0, µ₃ = c1·µ₂ − c0·µ₁.
+	c1 := (mu3 - mu1*mu2) / denom
+	c0 := c1*mu1 - mu2
+	disc := c1*c1 - 4*c0
+	if disc < 0 {
+		return nil, fmt.Errorf("dist: moment set has no real two-phase fit (disc = %v)", disc)
+	}
+	root := math.Sqrt(disc)
+	long := (c1 + root) / 2  // longer phase mean
+	short := (c1 - root) / 2 // shorter phase mean
+	if short <= 0 || long <= short {
+		return nil, fmt.Errorf("dist: degenerate phase means %v, %v", short, long)
+	}
+	pLong := (mu1 - short) / (long - short)
+	if pLong <= 0 || pLong >= 1 {
+		return nil, fmt.Errorf("dist: weight %v outside (0, 1)", pLong)
+	}
+	return NewHyperExp(
+		[]float64{1 - pLong, pLong},
+		[]float64{1 / short, 1 / long},
+	)
+}
+
+// FitHNNewton fits an n-phase hyperexponential to 2n−1 raw moments by a
+// damped Newton iteration on the moment equations, started from the given
+// distribution. The unknowns are the first n−1 weights and the n rates
+// (the last weight is 1 − Σ); rates iterate in log space so the solver
+// cannot step across zero. This is the route the paper reports as fragile
+// for n = 3 — optimize.ErrNoConvergence is the expected failure mode.
+func FitHNNewton(start *HyperExp, moments []float64) (*HyperExp, error) {
+	if start == nil {
+		return nil, fmt.Errorf("dist: nil starting point")
+	}
+	n := start.Phases()
+	if len(moments) != 2*n-1 {
+		return nil, fmt.Errorf("dist: %d-phase fit needs %d moments, got %d", n, 2*n-1, len(moments))
+	}
+	for k, m := range moments {
+		if m <= 0 {
+			return nil, fmt.Errorf("dist: moment %d = %v must be positive", k+1, m)
+		}
+	}
+	x0 := make([]float64, 2*n-1)
+	copy(x0, start.Weights[:n-1])
+	for i, r := range start.Rates {
+		x0[n-1+i] = math.Log(r)
+	}
+	unpack := func(x []float64) ([]float64, []float64) {
+		w := make([]float64, n)
+		var sum float64
+		for i := 0; i < n-1; i++ {
+			w[i] = x[i]
+			sum += x[i]
+		}
+		w[n-1] = 1 - sum
+		r := make([]float64, n)
+		for i := 0; i < n; i++ {
+			r[i] = math.Exp(x[n-1+i])
+		}
+		return w, r
+	}
+	resid := func(x []float64) []float64 {
+		w, r := unpack(x)
+		out := make([]float64, 2*n-1)
+		fact := 1.0
+		for k := 1; k <= 2*n-1; k++ {
+			fact *= float64(k)
+			var s float64
+			for i := 0; i < n; i++ {
+				s += w[i] / math.Pow(r[i], float64(k))
+			}
+			out[k-1] = fact*s/moments[k-1] - 1
+		}
+		return out
+	}
+	sol, err := optimize.Newton(resid, x0, optimize.NewtonOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("dist: H%d Newton fit: %w", n, err)
+	}
+	w, r := unpack(sol)
+	h, err := NewHyperExp(w, r)
+	if err != nil {
+		return nil, fmt.Errorf("dist: H%d Newton fit left the parameter domain: %w", n, err)
+	}
+	return h, nil
+}
+
+// FitResult is the outcome of FitHNSearch: the best distribution found and
+// the residual objective (sum of squared relative moment errors).
+type FitResult struct {
+	Dist      *HyperExp
+	Objective float64
+}
+
+// FitHNSearch fits an n-phase hyperexponential to the given raw moments by
+// derivative-free search (paper eq. 8: "the values of the parameters were
+// obtained by a brute-force search"). Weights are parameterised by softmax
+// and rates in log space, so every candidate is a valid distribution; the
+// Nelder–Mead simplex minimises the summed squared relative moment errors
+// from a geometric spread of starting rates around 1/M₁.
+func FitHNSearch(phases int, moments []float64) (FitResult, error) {
+	if phases < 1 {
+		return FitResult{}, fmt.Errorf("dist: %d phases", phases)
+	}
+	if len(moments) < phases {
+		return FitResult{}, fmt.Errorf("dist: %d moments cannot identify %d phases", len(moments), phases)
+	}
+	for k, m := range moments {
+		if m <= 0 {
+			return FitResult{}, fmt.Errorf("dist: moment %d = %v must be positive", k+1, m)
+		}
+	}
+	n := phases
+	// x holds n−1 weight logits (the last phase's logit is pinned at 0, so
+	// the softmax has no flat direction to stall the simplex) and n log
+	// rates.
+	unpack := func(x []float64) ([]float64, []float64) {
+		w := make([]float64, n)
+		sum := 1.0
+		for i := 0; i < n-1; i++ {
+			w[i] = math.Exp(x[i])
+			sum += w[i]
+		}
+		w[n-1] = 1
+		for i := range w {
+			w[i] /= sum
+		}
+		r := make([]float64, n)
+		for i := 0; i < n; i++ {
+			r[i] = math.Exp(x[n-1+i])
+		}
+		return w, r
+	}
+	objective := func(x []float64) float64 {
+		w, r := unpack(x)
+		var obj float64
+		fact := 1.0
+		for k := 1; k <= len(moments); k++ {
+			fact *= float64(k)
+			var s float64
+			for i := 0; i < n; i++ {
+				s += w[i] / math.Pow(r[i], float64(k))
+			}
+			d := fact*s/moments[k-1] - 1
+			obj += d * d
+		}
+		if math.IsNaN(obj) || math.IsInf(obj, 0) {
+			return math.MaxFloat64
+		}
+		return obj
+	}
+	// The moment surface is ill-conditioned and multimodal, so run the
+	// simplex from several geometric rate spreads around 1/M₁ (equal
+	// weights), restart each from its incumbent, and keep the global best.
+	var best []float64
+	obj := math.MaxFloat64
+	for _, spread := range []float64{0.75, 1.5, 2.5, 4} {
+		x0 := make([]float64, 2*n-1)
+		base := math.Log(1 / moments[0])
+		for i := 0; i < n; i++ {
+			x0[n-1+i] = base + spread*(float64(i)-float64(n-1)/2)
+		}
+		cur, val := x0, math.MaxFloat64
+		for restart := 0; restart < 4 && val > 1e-18; restart++ {
+			cur, val = optimize.NelderMead(objective, cur, optimize.NelderMeadOptions{MaxIter: 8000})
+		}
+		if val < obj {
+			best, obj = cur, val
+		}
+		if obj < 1e-18 {
+			break
+		}
+	}
+	w, r := unpack(best)
+	h, err := NewHyperExp(w, r)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("dist: H%d search produced an invalid distribution: %w", n, err)
+	}
+	return FitResult{Dist: h, Objective: obj}, nil
+}

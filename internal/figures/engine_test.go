@@ -1,0 +1,61 @@
+package figures
+
+import (
+	"testing"
+
+	"repro/internal/service"
+)
+
+// TestFiguresRouteThroughInjectedEngine proves the refactor: an injected
+// engine sees every analytical solve of a figure, and regenerating the
+// figure is answered entirely from its cache.
+func TestFiguresRouteThroughInjectedEngine(t *testing.T) {
+	eng := service.NewEngine(service.Config{})
+	opts := Options{Engine: eng}
+
+	fig, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Solves == 0 {
+		t.Fatal("Figure5 ran no solves through the injected engine")
+	}
+	// 3 λ-series × 9 stable N values.
+	if want := uint64(27); st.Solves != want {
+		t.Errorf("Figure5 ran %d solves, want %d", st.Solves, want)
+	}
+
+	again, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := eng.Stats()
+	if st2.Solves != st.Solves {
+		t.Errorf("regenerating Figure5 ran %d extra solves; cache should cover all", st2.Solves-st.Solves)
+	}
+	if st2.Cache.Hits < 27 {
+		t.Errorf("cache hits = %d after a repeat run, want ≥ 27", st2.Cache.Hits)
+	}
+	// Identical output both times.
+	for si, s := range fig.Series {
+		for i := range s.Y {
+			if again.Series[si].Y[i] != s.Y[i] {
+				t.Fatalf("series %d point %d changed between runs: %v vs %v", si, i, s.Y[i], again.Series[si].Y[i])
+			}
+		}
+	}
+}
+
+// TestFigure9SharesSweepWithMinServers checks that the min-N answer of
+// Figure 9 reuses the N-sweep's cached solves instead of re-running them.
+func TestFigure9SharesSweepWithMinServers(t *testing.T) {
+	eng := service.NewEngine(service.Config{})
+	if _, err := Figure9(Options{Engine: eng}); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Cache.Hits == 0 {
+		t.Error("the min-N search shares no solves with the N-sweep")
+	}
+}

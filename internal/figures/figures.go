@@ -12,6 +12,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+
+	"repro/internal/service"
 )
 
 // Series is one labelled curve: points (X[i], Y[i]).
@@ -35,10 +38,31 @@ type Figure struct {
 
 // Options tunes experiment cost. The zero value reproduces the paper-scale
 // experiment; Quick shrinks simulation horizons and sweep densities for
-// fast smoke runs.
+// fast smoke runs. Seed fixes the random stream of every experiment that
+// generates data or simulates, making figure runs reproducible.
 type Options struct {
 	Quick bool
 	Seed  int64
+	// Engine evaluates every analytical λ- and N-sweep. Leave nil to use a
+	// process-wide shared engine, so overlapping figures (and repeated
+	// runs in one process) reuse each other's solves through its cache.
+	Engine *service.Engine
+}
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *service.Engine
+)
+
+// engine returns the evaluation engine for this run.
+func (o Options) engine() *service.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	defaultEngineOnce.Do(func() {
+		defaultEngine = service.NewEngine(service.Config{})
+	})
+	return defaultEngine
 }
 
 // Render writes the figure as an aligned text table with notes.
@@ -143,7 +167,9 @@ func (s Series) ArgminY() float64 {
 }
 
 // All runs every experiment (the full §2 + §4 suite) and returns the
-// figures in paper order.
+// figures in paper order. The experiments are independent, so they run
+// concurrently; their analytical sweeps all land on one evaluation engine,
+// whose cache deduplicates the configurations that figures share.
 func All(opts Options) ([]*Figure, error) {
 	type builder struct {
 		name string
@@ -158,13 +184,29 @@ func All(opts Options) ([]*Figure, error) {
 		{"fig8", Figure8},
 		{"fig9", Figure9},
 	}
-	out := make([]*Figure, 0, len(builders))
-	for _, b := range builders {
-		f, err := b.fn(opts)
+	if opts.Engine == nil {
+		opts.Engine = opts.engine()
+	}
+	out := make([]*Figure, len(builders))
+	errs := make([]error, len(builders))
+	var wg sync.WaitGroup
+	for i, b := range builders {
+		wg.Add(1)
+		go func(i int, b builder) {
+			defer wg.Done()
+			f, err := b.fn(opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("figures: %s: %w", b.name, err)
+				return
+			}
+			out[i] = f
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("figures: %s: %w", b.name, err)
+			return nil, err
 		}
-		out = append(out, f)
 	}
 	return out, nil
 }

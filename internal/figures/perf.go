@@ -1,10 +1,12 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/service"
 )
 
 // Paper parameter set (§4): fitted operative-period distribution, repair
@@ -25,9 +27,12 @@ func paperSystem(n int, lambda, eta float64) core.System {
 
 // Figure5 reproduces "Cost as a function of N": C = 4L + N against
 // N = 9..17 for λ = 7, 8 and 8.5, with η = 25. The paper's optima are
-// N = 11, 12 and 13 respectively.
+// N = 11, 12 and 13 respectively. The three N-sweeps run on the shared
+// evaluation engine, so the 27 exact solves proceed concurrently and
+// repeat runs hit the solver cache.
 func Figure5(opts Options) (*Figure, error) {
 	cm := core.CostModel{HoldingCost: 4, ServerCost: 1}
+	eng := opts.engine()
 	fig := &Figure{
 		ID:     "fig5",
 		Title:  "Cost as a function of N (c1=4, c2=1, η=25)",
@@ -35,7 +40,7 @@ func Figure5(opts Options) (*Figure, error) {
 		YLabel: "cost C",
 	}
 	for _, lambda := range []float64{7.0, 8.0, 8.5} {
-		sweep, err := core.SweepServers(paperSystem(0, lambda, 25), cm, 9, 17, core.Spectral)
+		sweep, err := eng.SweepServers(context.Background(), paperSystem(0, lambda, 25), cm, 9, 17, core.Spectral)
 		if err != nil {
 			return nil, fmt.Errorf("λ=%v: %w", lambda, err)
 		}
@@ -55,7 +60,7 @@ func Figure5(opts Options) (*Figure, error) {
 // N = 10, η = 0.2, operative mean 34.62 fixed while C² varies by growing
 // the long phase (ξ₂ pinned); λ = 8.5 and 8.6. The C² = 0 point cannot be
 // represented by a hyperexponential and is obtained by simulation, exactly
-// as in the paper.
+// as in the paper; the exact C² ≥ 1 points are one engine batch per λ.
 func Figure6(opts Options) (*Figure, error) {
 	const (
 		n         = 10
@@ -71,6 +76,7 @@ func Figure6(opts Options) (*Figure, error) {
 		// enough for the C²=0 simulated point to be meaningful.
 		horizon = 150000
 	}
+	eng := opts.engine()
 	fig := &Figure{
 		ID:     "fig6",
 		Title:  "Average queue size against coefficient of variation (N=10, η=0.2, ξ=0.0289)",
@@ -92,20 +98,24 @@ func Figure6(opts Options) (*Figure, error) {
 		}
 		s.X = append(s.X, 0)
 		s.Y = append(s.Y, res.MeanQueue)
-		// C² ≥ 1: exact solution over the fixed-short-phase family.
-		for _, cv2 := range cv2s {
+		// C² ≥ 1: exact solution over the fixed-short-phase family, solved
+		// as one concurrent batch.
+		systems := make([]core.System, len(cv2s))
+		for i, cv2 := range cv2s {
 			op, err := dist.HyperExp2FixedShortPhase(opMean, cv2, shortMean)
 			if err != nil {
 				return nil, fmt.Errorf("C²=%v family: %w", cv2, err)
 			}
-			sys := paperSystem(n, lambda, eta)
-			sys.Operative = op
-			perf, err := sys.Solve()
-			if err != nil {
-				return nil, fmt.Errorf("λ=%v C²=%v: %w", lambda, cv2, err)
-			}
+			systems[i] = paperSystem(n, lambda, eta)
+			systems[i].Operative = op
+		}
+		perfs, err := eng.SweepSystems(context.Background(), systems, core.Spectral)
+		if err != nil {
+			return nil, fmt.Errorf("λ=%v C² sweep: %w", lambda, err)
+		}
+		for i, cv2 := range cv2s {
 			s.X = append(s.X, cv2)
-			s.Y = append(s.Y, perf.MeanJobs)
+			s.Y = append(s.Y, perfs[i].MeanJobs)
 		}
 		fig.Series = append(fig.Series, s)
 		fig.Notes = append(fig.Notes, fmt.Sprintf(
@@ -119,7 +129,8 @@ func Figure6(opts Options) (*Figure, error) {
 
 // Figure7 reproduces "Average queue size against average repair time":
 // N = 10, λ = 8, operative mean 34.62; exponential vs fitted
-// hyperexponential operative periods while 1/η sweeps 1..5.
+// hyperexponential operative periods while 1/η sweeps 1..5. Both variants'
+// repair sweeps are one engine batch.
 func Figure7(opts Options) (*Figure, error) {
 	repairMeans := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
 	if opts.Quick {
@@ -138,17 +149,23 @@ func Figure7(opts Options) (*Figure, error) {
 		{"exponential", dist.Exp(1 / paperOps.Mean())},
 		{"hyperexponential", paperOps},
 	}
+	var systems []core.System
 	for _, v := range variants {
-		s := Series{Label: v.label}
 		for _, rm := range repairMeans {
 			sys := paperSystem(10, 8, 1/rm)
 			sys.Operative = v.op
-			perf, err := sys.Solve()
-			if err != nil {
-				return nil, fmt.Errorf("%s 1/η=%v: %w", v.label, rm, err)
-			}
+			systems = append(systems, sys)
+		}
+	}
+	perfs, err := opts.engine().SweepSystems(context.Background(), systems, core.Spectral)
+	if err != nil {
+		return nil, fmt.Errorf("repair sweep: %w", err)
+	}
+	for vi, v := range variants {
+		s := Series{Label: v.label}
+		for ri, rm := range repairMeans {
 			s.X = append(s.X, rm)
-			s.Y = append(s.Y, perf.MeanJobs)
+			s.Y = append(s.Y, perfs[vi*len(repairMeans)+ri].MeanJobs)
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -162,7 +179,8 @@ func Figure7(opts Options) (*Figure, error) {
 
 // Figure8 reproduces "Exact and approximate solutions: increasing load":
 // N = 10, η = 25; L against offered load for the exact spectral solution
-// and the geometric approximation, which converge as load → 1.
+// and the geometric approximation, which converge as load → 1. Exact and
+// approximate solves go out as a single mixed-method engine batch.
 func Figure8(opts Options) (*Figure, error) {
 	loads := []float64{0.89, 0.90, 0.91, 0.92, 0.93, 0.94, 0.95, 0.96, 0.97, 0.98, 0.99}
 	if opts.Quick {
@@ -174,23 +192,24 @@ func Figure8(opts Options) (*Figure, error) {
 		XLabel: "load",
 		YLabel: "mean jobs L",
 	}
+	capacity := 10.0 * paperSystem(10, 1, 25).Availability()
+	jobs := make([]service.Job, 0, 2*len(loads))
+	for _, m := range []core.Method{core.Spectral, core.Approximation} {
+		for _, load := range loads {
+			jobs = append(jobs, service.Job{System: paperSystem(10, load*capacity, 25), Method: m})
+		}
+	}
+	results := opts.engine().EvaluateBatch(context.Background(), jobs)
+	if err := service.FirstError(results); err != nil {
+		return nil, fmt.Errorf("load sweep: %w", err)
+	}
 	exact := Series{Label: "exact solution"}
 	approx := Series{Label: "approximation"}
-	capacity := 10.0 * paperSystem(10, 1, 25).Availability()
-	for _, load := range loads {
-		sys := paperSystem(10, load*capacity, 25)
-		ex, err := sys.Solve()
-		if err != nil {
-			return nil, fmt.Errorf("load %v exact: %w", load, err)
-		}
-		ap, err := sys.SolveApprox()
-		if err != nil {
-			return nil, fmt.Errorf("load %v approx: %w", load, err)
-		}
+	for i, load := range loads {
 		exact.X = append(exact.X, load)
-		exact.Y = append(exact.Y, ex.MeanJobs)
+		exact.Y = append(exact.Y, results[i].Perf.MeanJobs)
 		approx.X = append(approx.X, load)
-		approx.Y = append(approx.Y, ap.MeanJobs)
+		approx.Y = append(approx.Y, results[len(loads)+i].Perf.MeanJobs)
 	}
 	fig.Series = []Series{exact, approx}
 	first := relGap(exact.Y[0], approx.Y[0])
@@ -203,7 +222,8 @@ func Figure8(opts Options) (*Figure, error) {
 
 // Figure9 reproduces "Average response time as a function of N": λ = 7.5,
 // η = 25, N = 8..13, exact and approximate W. The paper reads off that at
-// least 9 servers keep W ≤ 1.5.
+// least 9 servers keep W ≤ 1.5. The N-sweep runs both methods as one
+// engine batch; the min-N answer reuses the same cached solves.
 func Figure9(opts Options) (*Figure, error) {
 	fig := &Figure{
 		ID:     "fig9",
@@ -211,28 +231,33 @@ func Figure9(opts Options) (*Figure, error) {
 		XLabel: "servers N",
 		YLabel: "mean response W",
 	}
+	var stableN []int
+	for n := 8; n <= 13; n++ {
+		if paperSystem(n, 7.5, 25).Stable() {
+			stableN = append(stableN, n)
+		}
+	}
+	jobs := make([]service.Job, 0, 2*len(stableN))
+	for _, m := range []core.Method{core.Spectral, core.Approximation} {
+		for _, n := range stableN {
+			jobs = append(jobs, service.Job{System: paperSystem(n, 7.5, 25), Method: m})
+		}
+	}
+	eng := opts.engine()
+	results := eng.EvaluateBatch(context.Background(), jobs)
+	if err := service.FirstError(results); err != nil {
+		return nil, fmt.Errorf("N sweep: %w", err)
+	}
 	exact := Series{Label: "exact solution"}
 	approx := Series{Label: "approximation"}
-	for n := 8; n <= 13; n++ {
-		sys := paperSystem(n, 7.5, 25)
-		if !sys.Stable() {
-			continue
-		}
-		ex, err := sys.Solve()
-		if err != nil {
-			return nil, fmt.Errorf("N=%d exact: %w", n, err)
-		}
-		ap, err := sys.SolveApprox()
-		if err != nil {
-			return nil, fmt.Errorf("N=%d approx: %w", n, err)
-		}
+	for i, n := range stableN {
 		exact.X = append(exact.X, float64(n))
-		exact.Y = append(exact.Y, ex.MeanResponse)
+		exact.Y = append(exact.Y, results[i].Perf.MeanResponse)
 		approx.X = append(approx.X, float64(n))
-		approx.Y = append(approx.Y, ap.MeanResponse)
+		approx.Y = append(approx.Y, results[len(stableN)+i].Perf.MeanResponse)
 	}
 	fig.Series = []Series{exact, approx}
-	minN, err := core.MinServersForResponseTime(paperSystem(0, 7.5, 25), 1.5, 20, core.Spectral)
+	minN, err := eng.MinServersForResponseTime(context.Background(), paperSystem(0, 7.5, 25), 1.5, 1, 20, core.Spectral)
 	if err != nil {
 		return nil, err
 	}

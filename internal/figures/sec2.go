@@ -3,6 +3,7 @@ package figures
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/dist"
@@ -112,12 +113,21 @@ func Sec2Report(opts Options) (*FitReport, error) {
 	return sec2Report(opts)
 }
 
-// defaultReport memoises the expensive full-size pipeline across figures.
-var cachedReport *FitReport
+// cachedReport memoises the expensive full-size pipeline across figures;
+// the mutex keeps the memo safe when All() builds figures concurrently.
+var (
+	cachedReportMu sync.Mutex
+	cachedReport   *FitReport
+)
 
 func sec2Report(opts Options) (*FitReport, error) {
-	if cachedReport != nil && opts.Seed == 0 && !opts.Quick {
-		return cachedReport, nil
+	memoable := opts.Seed == 0 && !opts.Quick
+	if memoable {
+		cachedReportMu.Lock()
+		defer cachedReportMu.Unlock()
+		if cachedReport != nil {
+			return cachedReport, nil
+		}
 	}
 	cfg := dataset.GenConfig{Seed: opts.Seed}
 	if opts.Quick {
@@ -132,7 +142,7 @@ func sec2Report(opts Options) (*FitReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.Seed == 0 && !opts.Quick {
+	if memoable {
 		cachedReport = rep
 	}
 	return rep, nil

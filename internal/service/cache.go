@@ -1,0 +1,121 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CacheStats is a point-in-time snapshot of solver-cache effectiveness.
+type CacheStats struct {
+	// Hits counts lookups answered from memory.
+	Hits uint64
+	// Misses counts lookups not answered from memory, whose caller went on
+	// to lead a solver run. Joining a concurrent in-flight solve counts as
+	// neither — see Stats.SharedInFlight.
+	Misses uint64
+	// Evictions counts entries displaced by the LRU policy.
+	Evictions uint64
+	// Entries is the current number of cached solutions.
+	Entries int
+	// Capacity is the configured maximum number of entries.
+	Capacity int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// solverCache is a mutex-guarded LRU of solved performances keyed by the
+// canonical system fingerprint plus solver method. Solutions are immutable
+// once computed, so cached *core.Performance values are shared freely.
+type solverCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	perf *core.Performance
+}
+
+func newSolverCache(capacity int) *solverCache {
+	if capacity <= 0 {
+		return nil // cache disabled
+	}
+	return &solverCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached performance and promotes the entry. It does not
+// touch the hit/miss counters: the engine records those once it knows how
+// the lookup resolved (hit, solver run, or in-flight join).
+func (c *solverCache) get(key string) (*core.Performance, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).perf, true
+}
+
+func (c *solverCache) recordHit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *solverCache) recordMiss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// add inserts (or refreshes) an entry, evicting the least recently used
+// entry when full.
+func (c *solverCache) add(key string, perf *core.Performance) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).perf = perf
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, perf: perf})
+}
+
+// stats snapshots the counters.
+func (c *solverCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.order.Len(),
+		Capacity:  c.cap,
+	}
+}

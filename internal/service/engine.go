@@ -1,0 +1,367 @@
+// Package service is the shared model-evaluation subsystem: a bounded
+// worker pool that solves batches of core.System configurations
+// concurrently, backed by an LRU memoization of solver output keyed by the
+// canonical system fingerprint. The paper's workload — dense λ- and
+// N-sweeps for Figures 4–9 and the cost optimisation — is embarrassingly
+// parallel and highly repetitive, so every figure run, benchmark and
+// mus-serve request routes through one engine and shares its cache.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Config tunes an Engine. The zero value selects a worker per CPU and a
+// 4096-entry solution cache.
+type Config struct {
+	// Workers bounds concurrent solver invocations (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the maximum number of memoised solutions; negative
+	// disables caching entirely (default 4096).
+	CacheSize int
+}
+
+// DefaultCacheSize is the cache capacity used when Config.CacheSize is 0.
+const DefaultCacheSize = 4096
+
+// Engine evaluates system configurations on a bounded worker pool with
+// solver memoization. It is safe for concurrent use.
+type Engine struct {
+	workers int
+	cache   *solverCache
+	// sem is the engine-wide solver gate: every solver invocation — from
+	// Evaluate, any number of concurrent EvaluateBatch calls, or both —
+	// holds one slot, so total concurrency never exceeds Workers.
+	sem chan struct{}
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	solves atomic.Uint64 // solver invocations that actually ran
+	errs   atomic.Uint64 // solver invocations that returned an error
+	shared atomic.Uint64 // evaluations that joined an in-flight solve
+}
+
+// flight is one in-progress solve that concurrent callers of the same
+// configuration join instead of duplicating.
+type flight struct {
+	done chan struct{}
+	perf *core.Performance
+	err  error
+}
+
+// NewEngine builds an engine from the given configuration.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	return &Engine{
+		workers:  cfg.Workers,
+		cache:    newSolverCache(size), // nil when size < 0
+		sem:      make(chan struct{}, cfg.Workers),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Workers returns the configured solver concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Job is one evaluation request: a system plus the solver to apply.
+type Job struct {
+	System core.System
+	Method core.Method
+}
+
+// Result is the outcome of one Job. Index links it back to its position in
+// the submitted batch — results are always returned in submission order.
+type Result struct {
+	Index int
+	Job   Job
+	Perf  *core.Performance
+	Err   error
+}
+
+func jobKey(j Job) string {
+	return j.System.Fingerprint() + "|" + j.Method.String()
+}
+
+// Evaluate solves one configuration through the cache. Identical
+// configurations evaluated concurrently share a single solver run; waiting
+// callers respect context cancellation.
+func (e *Engine) Evaluate(ctx context.Context, sys core.System, m core.Method) (*core.Performance, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	key := jobKey(Job{System: sys, Method: m})
+	if e.cache != nil {
+		if perf, ok := e.cache.get(key); ok {
+			e.cache.recordHit()
+			return perf, nil
+		}
+	}
+
+	e.mu.Lock()
+	if f, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		// Joining an in-flight solve is neither a cache hit nor a miss —
+		// no solver runs for this caller and nothing was served from
+		// memory — so it only moves the SharedInFlight counter.
+		e.shared.Add(1)
+		select {
+		case <-f.done:
+			return f.perf, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[key] = f
+	e.mu.Unlock()
+	if e.cache != nil {
+		e.cache.recordMiss()
+	}
+
+	// This caller leads the solve; take an engine-wide worker slot so the
+	// configured bound holds across every concurrent entry point.
+	select {
+	case e.sem <- struct{}{}:
+		e.solves.Add(1)
+		f.perf, f.err = sys.SolveWith(m)
+		<-e.sem
+		if f.err != nil {
+			e.errs.Add(1)
+		} else if e.cache != nil {
+			e.cache.add(key, f.perf)
+		}
+	case <-ctx.Done():
+		f.err = ctx.Err() // cancelled waiting for a slot; not a solver error
+	}
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(f.done)
+	return f.perf, f.err
+}
+
+// EvaluateBatch evaluates all jobs on the worker pool and returns one
+// Result per job, in submission order regardless of completion order.
+// Errors are captured per job, never aborting the batch; cancelling the
+// context stops dispatching and marks every unfinished job with ctx.Err().
+func (e *Engine) EvaluateBatch(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	for i, j := range jobs {
+		results[i] = Result{Index: i, Job: j, Err: context.Canceled}
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				perf, err := e.Evaluate(ctx, jobs[i].System, jobs[i].Method)
+				results[i] = Result{Index: i, Job: jobs[i], Perf: perf, Err: err}
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(indices)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Perf == nil && results[i].Err == context.Canceled {
+				results[i].Err = err
+			}
+		}
+	}
+	return results
+}
+
+// FirstError returns the first per-job error in a batch, or nil.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("service: job %d (N=%d, λ=%g, %v): %w",
+				r.Index, r.Job.System.Servers, r.Job.System.ArrivalRate, r.Job.Method, r.Err)
+		}
+	}
+	return nil
+}
+
+// SweepSystems evaluates one method across a slice of systems and returns
+// the performances in input order, failing on the first per-job error.
+func (e *Engine) SweepSystems(ctx context.Context, systems []core.System, m core.Method) ([]*core.Performance, error) {
+	jobs := make([]Job, len(systems))
+	for i, s := range systems {
+		jobs[i] = Job{System: s, Method: m}
+	}
+	results := e.EvaluateBatch(ctx, jobs)
+	if err := FirstError(results); err != nil {
+		return nil, err
+	}
+	perfs := make([]*core.Performance, len(results))
+	for i, r := range results {
+		perfs[i] = r.Perf
+	}
+	return perfs, nil
+}
+
+// SweepLambda evaluates the base system at every arrival rate, in order.
+func (e *Engine) SweepLambda(ctx context.Context, base core.System, lambdas []float64, m core.Method) ([]*core.Performance, error) {
+	systems := make([]core.System, len(lambdas))
+	for i, l := range lambdas {
+		systems[i] = base
+		systems[i].ArrivalRate = l
+	}
+	return e.SweepSystems(ctx, systems, m)
+}
+
+// SweepServers mirrors core.SweepServers — per-N performance and cost for
+// every stable N in [minN, maxN], ascending — but runs on the engine's
+// pool and cache, so repeated and overlapping sweeps reuse solves.
+func (e *Engine) SweepServers(ctx context.Context, base core.System, cm core.CostModel, minN, maxN int, m core.Method) ([]core.ServerSweepPoint, error) {
+	if minN < 1 || maxN < minN {
+		return nil, fmt.Errorf("service: invalid server range [%d, %d]", minN, maxN)
+	}
+	var jobs []Job
+	for n := minN; n <= maxN; n++ {
+		sys := base
+		sys.Servers = n
+		if !sys.Stable() {
+			continue
+		}
+		jobs = append(jobs, Job{System: sys, Method: m})
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("service: no stable configuration in the requested range")
+	}
+	results := e.EvaluateBatch(ctx, jobs)
+	if err := FirstError(results); err != nil {
+		return nil, err
+	}
+	out := make([]core.ServerSweepPoint, len(results))
+	for i, r := range results {
+		n := r.Job.System.Servers
+		out[i] = core.ServerSweepPoint{Servers: n, Perf: r.Perf, Cost: cm.Cost(r.Perf.MeanJobs, n)}
+	}
+	return out, nil
+}
+
+// OptimizeServers returns the stable N in [minN, maxN] minimising
+// C = c₁L + c₂N (the paper's Figure 5 question). Unlike the serial
+// early-exit in core, the whole range is evaluated concurrently — with the
+// pool and cache the extra points cost less than the lost parallelism
+// would.
+func (e *Engine) OptimizeServers(ctx context.Context, base core.System, cm core.CostModel, minN, maxN int, m core.Method) (core.ServerSweepPoint, error) {
+	sweep, err := e.SweepServers(ctx, base, cm, minN, maxN, m)
+	if err != nil {
+		return core.ServerSweepPoint{}, err
+	}
+	best := sweep[0]
+	for _, pt := range sweep[1:] {
+		if pt.Cost < best.Cost {
+			best = pt
+		}
+	}
+	return best, nil
+}
+
+// MinServersForResponseTime returns the smallest stable N in [minN, maxN]
+// with mean response time at most target (the paper's Figure 9 question).
+// W falls monotonically in N, so the range is evaluated in ascending waves
+// of one worker-pool width each: every wave solves concurrently, but the
+// search still stops at the first satisfying N instead of paying for the
+// huge state spaces near maxN that the answer never needs.
+func (e *Engine) MinServersForResponseTime(ctx context.Context, base core.System, target float64, minN, maxN int, m core.Method) (core.ServerSweepPoint, error) {
+	if target <= 0 {
+		return core.ServerSweepPoint{}, fmt.Errorf("service: target response time %v must be positive", target)
+	}
+	if minN < 1 || maxN < minN {
+		return core.ServerSweepPoint{}, fmt.Errorf("service: invalid server range [%d, %d]", minN, maxN)
+	}
+	for lo := minN; lo <= maxN; lo += e.workers {
+		hi := lo + e.workers - 1
+		if hi > maxN {
+			hi = maxN
+		}
+		var jobs []Job
+		for n := lo; n <= hi; n++ {
+			sys := base
+			sys.Servers = n
+			if !sys.Stable() {
+				continue
+			}
+			jobs = append(jobs, Job{System: sys, Method: m})
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+		results := e.EvaluateBatch(ctx, jobs)
+		if err := FirstError(results); err != nil {
+			return core.ServerSweepPoint{}, err
+		}
+		for _, r := range results {
+			if r.Perf.MeanResponse <= target {
+				return core.ServerSweepPoint{Servers: r.Job.System.Servers, Perf: r.Perf}, nil
+			}
+		}
+	}
+	return core.ServerSweepPoint{}, fmt.Errorf("service: no N in [%d, %d] achieves W ≤ %v", minN, maxN, target)
+}
+
+// Stats is a point-in-time snapshot of engine activity.
+type Stats struct {
+	// Workers is the solver concurrency bound.
+	Workers int
+	// Solves counts solver invocations that actually ran (cache misses).
+	Solves uint64
+	// Errors counts solver invocations that failed.
+	Errors uint64
+	// SharedInFlight counts evaluations answered by joining a concurrent
+	// identical solve instead of running their own.
+	SharedInFlight uint64
+	// Cache reports memoization effectiveness; zero-valued when disabled.
+	Cache CacheStats
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:        e.workers,
+		Solves:         e.solves.Load(),
+		Errors:         e.errs.Load(),
+		SharedInFlight: e.shared.Load(),
+	}
+	if e.cache != nil {
+		s.Cache = e.cache.stats()
+	}
+	return s
+}
