@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -388,4 +389,82 @@ func BenchmarkOptimizeServers(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(best.Servers), "optN")
+}
+
+// BenchmarkReplications measures the parallel speedup of the replicated
+// simulation engine: the same 8-replication run at 1 worker and at
+// GOMAXPROCS. Replications are embarrassingly parallel, so the speedup
+// should be near-linear until the core count exceeds the replication
+// count; reported L is identical for every worker count by construction.
+func BenchmarkReplications(b *testing.B) {
+	cfg := sim.RepConfig{
+		Config: sim.Config{
+			Servers:   10,
+			Lambda:    8.5,
+			Mu:        1,
+			Operative: benchOps,
+			Repair:    dist.Exp(0.2),
+			Warmup:    500,
+			Horizon:   10000,
+			Seed:      1,
+		},
+		Replications: 8,
+	}
+	counts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		if p > 2 {
+			counts = append(counts, 2)
+		}
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			var res sim.RepResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = sim.RunReplicated(context.Background(), c)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanQueue.Mean, "L")
+			b.ReportMetric(res.MeanQueue.HalfWidth, "CI95")
+		})
+	}
+}
+
+// BenchmarkSimulateService measures the engine's memoised simulation path:
+// the first call runs 4 replications, every subsequent call is a cache hit.
+func BenchmarkSimulateService(b *testing.B) {
+	eng := service.NewEngine(service.Config{})
+	sys := core.System{
+		Servers:     10,
+		ArrivalRate: 8,
+		ServiceRate: 1,
+		Operative:   benchOps,
+		Repair:      benchRepair,
+	}
+	opts := core.SimOptions{Seed: 1, Warmup: 500, Horizon: 10000, Replications: 4}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Seed = int64(i + 1) // unique key: every call simulates
+			if _, err := eng.Simulate(context.Background(), sys, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		if _, err := eng.Simulate(context.Background(), sys, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Simulate(context.Background(), sys, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

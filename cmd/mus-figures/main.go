@@ -27,7 +27,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mus-figures", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "all", "figure to regenerate: 3|4|5|6|7|8|9|fit|all")
+		fig   = fs.String("fig", "all", "figure to regenerate: 3|4|5|6|7|8|9|sim|fit|all")
 		quick = fs.Bool("quick", false, "reduced sweeps and simulation horizons")
 		seed  = fs.Int64("seed", 0, "random seed override for data generation / simulation")
 		dat   = fs.String("dat", "", "directory for gnuplot-style .dat series files")
@@ -41,13 +41,14 @@ func run(args []string) error {
 		return printFitReport(opts)
 	}
 	builders := map[string]func(figures.Options) (*figures.Figure, error){
-		"3": figures.Figure3,
-		"4": figures.Figure4,
-		"5": figures.Figure5,
-		"6": figures.Figure6,
-		"7": figures.Figure7,
-		"8": figures.Figure8,
-		"9": figures.Figure9,
+		"3":   figures.Figure3,
+		"4":   figures.Figure4,
+		"5":   figures.Figure5,
+		"6":   figures.Figure6,
+		"7":   figures.Figure7,
+		"8":   figures.Figure8,
+		"9":   figures.Figure9,
+		"sim": figures.SimAgreement,
 	}
 	var figs []*figures.Figure
 	if *fig == "all" {

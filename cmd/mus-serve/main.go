@@ -10,6 +10,7 @@
 //	POST /v1/solve     — steady-state performance of one configuration
 //	POST /v1/sweep     — batch evaluation over a λ or N grid
 //	POST /v1/optimize  — cost-optimal N (Fig. 5) or min N for an SLA (Fig. 9)
+//	POST /v1/simulate  — replicated simulation with 95% confidence intervals
 //	GET  /v1/stats     — engine, worker-pool and cache counters
 //
 // Distribution fields default to the paper's fitted Sun parameters, so the

@@ -268,3 +268,100 @@ func TestStatsEndpointTracksCache(t *testing.T) {
 		t.Errorf("workers = %d", got.Workers)
 	}
 }
+
+func TestSimulateEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var got simulateResponse
+	status, raw := postJSON(t, ts.URL+"/v1/simulate",
+		`{"servers": 3, "lambda": 1.8, "seed": 11, "warmup": 500, "horizon": 20000, "replications": 4}`, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if got.Replications != 4 || !got.Converged {
+		t.Errorf("replications=%d converged=%v", got.Replications, got.Converged)
+	}
+	if got.Confidence != 0.95 {
+		t.Errorf("confidence = %v", got.Confidence)
+	}
+	if got.MeanQueue.HalfWidth <= 0 || got.MeanResponse.HalfWidth <= 0 {
+		t.Errorf("expected positive CI half-widths: %+v", got)
+	}
+	// The simulated point estimate must agree with the exact solution.
+	sys := core.System{
+		Servers:     3,
+		ArrivalRate: 1.8,
+		ServiceRate: 1,
+		Operative:   dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091}),
+		Repair:      dist.Exp(25),
+	}
+	want, err := sys.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(got.MeanQueue.Mean - want.MeanJobs); diff > 3*got.MeanQueue.HalfWidth {
+		t.Errorf("simulated L %v ± %v vs exact %v", got.MeanQueue.Mean, got.MeanQueue.HalfWidth, want.MeanJobs)
+	}
+	if got.Fingerprint != sys.Fingerprint() {
+		t.Errorf("fingerprint %s, want %s", got.Fingerprint, sys.Fingerprint())
+	}
+
+	// An identical request must be answered from the simulation cache.
+	var again simulateResponse
+	if status, raw := postJSON(t, ts.URL+"/v1/simulate",
+		`{"servers": 3, "lambda": 1.8, "seed": 11, "warmup": 500, "horizon": 20000, "replications": 4}`, &again); status != http.StatusOK {
+		t.Fatalf("repeat: status %d: %s", status, raw)
+	}
+	if again != got {
+		t.Error("repeat request not bit-identical")
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SimRuns != 1 {
+		t.Errorf("sim_runs = %d, want 1 (repeat must hit the cache)", st.SimRuns)
+	}
+	if st.SimCache.Hits != 1 {
+		t.Errorf("sim cache hits = %d, want 1", st.SimCache.Hits)
+	}
+}
+
+func TestSimulateEndpointEarlyStop(t *testing.T) {
+	ts := testServer(t)
+	var got simulateResponse
+	status, raw := postJSON(t, ts.URL+"/v1/simulate",
+		`{"servers": 3, "lambda": 1.5, "seed": 3, "warmup": 200, "horizon": 5000,
+		  "replications": 32, "min_replications": 3, "rel_precision": 0.5}`, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if !got.Converged || got.Replications >= 32 {
+		t.Errorf("loose precision should stop early: ran %d, converged %v", got.Replications, got.Converged)
+	}
+}
+
+func TestSimulateEndpointRejectsBadInput(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"invalid json", `{"servers": `, http.StatusBadRequest},
+		{"no servers", `{"lambda": 8}`, http.StatusBadRequest},
+		{"unknown field", `{"servers": 3, "lambda": 1, "horizons": 2}`, http.StatusBadRequest},
+		{"unstable", `{"servers": 2, "lambda": 50}`, http.StatusUnprocessableEntity},
+		{"bad confidence", `{"servers": 3, "lambda": 1, "horizon": 1000, "confidence": 2}`, http.StatusBadRequest},
+		{"negative precision", `{"servers": 3, "lambda": 1, "horizon": 1000, "rel_precision": -0.1}`, http.StatusBadRequest},
+		{"negative horizon", `{"servers": 3, "lambda": 1, "horizon": -5}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if status, raw := postJSON(t, ts.URL+"/v1/simulate", c.body, nil); status != c.wantStatus {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, status, c.wantStatus, raw)
+		}
+	}
+}

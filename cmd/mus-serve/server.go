@@ -31,6 +31,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.count(s.handleSolve))
 	mux.HandleFunc("POST /v1/sweep", s.count(s.handleSweep))
 	mux.HandleFunc("POST /v1/optimize", s.count(s.handleOptimize))
+	mux.HandleFunc("POST /v1/simulate", s.count(s.handleSimulate))
 	mux.HandleFunc("GET /v1/stats", s.count(s.handleStats))
 	return mux
 }
@@ -356,37 +357,152 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+type simulateRequest struct {
+	systemJSON
+	Seed            int64   `json:"seed,omitempty"`
+	Warmup          float64 `json:"warmup,omitempty"`
+	Horizon         float64 `json:"horizon,omitempty"`
+	Replications    int     `json:"replications,omitempty"`
+	MinReplications int     `json:"min_replications,omitempty"`
+	RelPrecision    float64 `json:"rel_precision,omitempty"`
+	Confidence      float64 `json:"confidence,omitempty"`
+}
+
+// ciJSON is the wire form of one point estimate with its confidence
+// half-width: the true value lies in [mean−half_width, mean+half_width]
+// with the response's confidence level.
+type ciJSON struct {
+	Mean      float64 `json:"mean"`
+	HalfWidth float64 `json:"half_width"`
+}
+
+type simulateResponse struct {
+	Fingerprint  string  `json:"fingerprint"`
+	Replications int     `json:"replications"`
+	Converged    bool    `json:"converged"`
+	Confidence   float64 `json:"confidence"`
+	MeanQueue    ciJSON  `json:"mean_queue"`
+	MeanResponse ciJSON  `json:"mean_response"`
+	Availability ciJSON  `json:"availability"`
+	Completed    int64   `json:"completed"`
+}
+
+// handleSimulate estimates the steady state by parallel independent
+// replications with Student-t confidence intervals — the statistical
+// validation companion to /v1/solve. With rel_precision set, replications
+// stop as soon as the CI half-width on L is within ε of the mean (capped
+// at replications); results are memoised by (fingerprint, seed, precision)
+// and are bit-for-bit reproducible for a fixed request.
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sys, err := req.toSystem()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sys.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !sys.Stable() {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf(
+			"unstable: load %.4g ≥ 1, need at least %d servers — a simulation would never reach steady state",
+			sys.Load(), core.MinServersForStability(sys)))
+		return
+	}
+	// Option errors are client errors: reject them here so they get a 400
+	// and never inflate the engine's simulation-failure counter.
+	switch {
+	case req.Confidence != 0 && !(req.Confidence > 0 && req.Confidence < 1):
+		writeError(w, http.StatusBadRequest, fmt.Errorf("confidence %v outside (0, 1)", req.Confidence))
+		return
+	case req.RelPrecision < 0:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rel_precision %v must be ≥ 0", req.RelPrecision))
+		return
+	case req.Replications < 0 || req.MinReplications < 0:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("replication counts must be ≥ 0"))
+		return
+	case req.Warmup < 0 || req.Horizon < 0:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("warmup and horizon must be ≥ 0"))
+		return
+	}
+	opts := core.SimOptions{
+		Seed:            req.Seed,
+		Warmup:          req.Warmup,
+		Horizon:         req.Horizon,
+		Replications:    req.Replications,
+		MinReplications: req.MinReplications,
+		RelPrecision:    req.RelPrecision,
+		Confidence:      req.Confidence,
+	}
+	if opts.Replications == 0 {
+		opts.Replications = 8 // CIs by default: one batch-means run cannot bracket W
+	}
+	res, err := s.eng.Simulate(r.Context(), sys, opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simulateResponse{
+		Fingerprint:  sys.Fingerprint(),
+		Replications: res.Replications,
+		Converged:    res.Converged,
+		Confidence:   res.Confidence,
+		MeanQueue:    ciJSON{res.MeanQueue, res.MeanQueueHalfWidth},
+		MeanResponse: ciJSON{res.MeanResponse, res.MeanResponseHalfWidth},
+		Availability: ciJSON{res.Availability, res.AvailabilityHalfWidth},
+		Completed:    res.Completed,
+	})
+}
+
 type statsResponse struct {
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-	Requests       uint64  `json:"requests"`
-	Workers        int     `json:"workers"`
-	Solves         uint64  `json:"solves"`
-	SolverErrors   uint64  `json:"solver_errors"`
-	SharedInFlight uint64  `json:"shared_in_flight"`
-	Cache          struct {
-		Hits      uint64  `json:"hits"`
-		Misses    uint64  `json:"misses"`
-		Evictions uint64  `json:"evictions"`
-		Entries   int     `json:"entries"`
-		Capacity  int     `json:"capacity"`
-		HitRate   float64 `json:"hit_rate"`
-	} `json:"cache"`
+	UptimeSeconds  float64   `json:"uptime_seconds"`
+	Requests       uint64    `json:"requests"`
+	Workers        int       `json:"workers"`
+	Solves         uint64    `json:"solves"`
+	SolverErrors   uint64    `json:"solver_errors"`
+	SharedInFlight uint64    `json:"shared_in_flight"`
+	SimRuns        uint64    `json:"sim_runs"`
+	SimErrors      uint64    `json:"sim_errors"`
+	Cache          cacheJSON `json:"cache"`
+	SimCache       cacheJSON `json:"sim_cache"`
+}
+
+type cacheJSON struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func toCacheJSON(c service.CacheStats) cacheJSON {
+	return cacheJSON{
+		Hits:      c.Hits,
+		Misses:    c.Misses,
+		Evictions: c.Evictions,
+		Entries:   c.Entries,
+		Capacity:  c.Capacity,
+		HitRate:   c.HitRate(),
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
-	var resp statsResponse
-	resp.UptimeSeconds = time.Since(s.started).Seconds()
-	resp.Requests = s.requests.Load()
-	resp.Workers = st.Workers
-	resp.Solves = st.Solves
-	resp.SolverErrors = st.Errors
-	resp.SharedInFlight = st.SharedInFlight
-	resp.Cache.Hits = st.Cache.Hits
-	resp.Cache.Misses = st.Cache.Misses
-	resp.Cache.Evictions = st.Cache.Evictions
-	resp.Cache.Entries = st.Cache.Entries
-	resp.Cache.Capacity = st.Cache.Capacity
-	resp.Cache.HitRate = st.Cache.HitRate()
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Requests:       s.requests.Load(),
+		Workers:        st.Workers,
+		Solves:         st.Solves,
+		SolverErrors:   st.Errors,
+		SharedInFlight: st.SharedInFlight,
+		SimRuns:        st.SimRuns,
+		SimErrors:      st.SimErrors,
+		Cache:          toCacheJSON(st.Cache),
+		SimCache:       toCacheJSON(st.SimCache),
+	})
 }

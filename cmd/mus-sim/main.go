@@ -5,9 +5,18 @@
 // shapes of Figure 6 that no hyperexponential can represent.
 //
 //	mus-sim -servers 10 -lambda 8.5 -op-mean 34.62 -op-cv2 0 -rep-mean 5
+//
+// With -reps ≥ 2 the run fans out across parallel independent
+// replications (one deterministic RNG stream per replication, so results
+// are reproducible for a fixed -seed) and reports Student-t confidence
+// intervals; -rel-precision ε keeps adding replications until the CI
+// half-width on L is within ε of the mean, capped at -reps:
+//
+//	mus-sim -servers 10 -lambda 8 -reps 32 -rel-precision 0.05
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,10 +42,15 @@ func run(args []string) error {
 		opCV2   = fs.Float64("op-cv2", 4.6, "squared coefficient of variation of operative periods")
 		repMean = fs.Float64("rep-mean", 0.04, "mean repair period")
 		repCV2  = fs.Float64("rep-cv2", 1, "squared coefficient of variation of repair periods")
-		warmup  = fs.Float64("warmup", 5000, "discarded warmup time")
-		horizon = fs.Float64("horizon", 300000, "measured simulation time")
-		seed    = fs.Int64("seed", 0, "random seed (0 = fixed default)")
+		warmup  = fs.Float64("warmup", 5000, "discarded warmup time per replication")
+		horizon = fs.Float64("horizon", 300000, "measured simulation time per replication")
+		seed    = fs.Int64("seed", 0, "base random seed (0 = fixed default)")
 		qmax    = fs.Int("qmax", 0, "print queue-length distribution up to this length")
+		reps    = fs.Int("reps", 1, "independent replications R_max (≥ 2 enables Student-t CIs)")
+		minReps = fs.Int("min-reps", 0, "replications before the stopping rule applies (0 = default)")
+		relPrec = fs.Float64("rel-precision", 0, "stop once the CI half-width on L is within this fraction of the mean (0 = run exactly -reps)")
+		conf    = fs.Float64("confidence", 0.95, "confidence level of the intervals")
+		workers = fs.Int("workers", 0, "parallel replication workers (0 = one per CPU; never affects results)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,7 +63,7 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("repair distribution: %w", err)
 	}
-	res, err := sim.Run(sim.Config{
+	cfg := sim.Config{
 		Servers:   *servers,
 		Lambda:    *lambda,
 		Mu:        *mu,
@@ -58,11 +72,35 @@ func run(args []string) error {
 		Seed:      *seed,
 		Warmup:    *warmup,
 		Horizon:   *horizon,
-	})
+	}
+	fmt.Printf("operative: %v   repair: %v\n", op, rep)
+	if *reps >= 2 {
+		res, err := sim.RunReplicated(context.Background(), sim.RepConfig{
+			Config:          cfg,
+			Replications:    *reps,
+			MinReplications: *minReps,
+			RelPrecision:    *relPrec,
+			Confidence:      *conf,
+			Workers:         *workers,
+		})
+		if err != nil {
+			return err
+		}
+		pct := 100 * *conf
+		fmt.Printf("replications = %d (converged = %v)\n", res.Replications, res.Converged)
+		fmt.Printf("L  = %.6g ± %.3g (%g%% CI over replications)\n", res.MeanQueue.Mean, res.MeanQueue.HalfWidth, pct)
+		fmt.Printf("W  = %.6g ± %.3g\n", res.MeanResponse.Mean, res.MeanResponse.HalfWidth)
+		fmt.Printf("availability = %.6g ± %.3g\n", res.Availability.Mean, res.Availability.HalfWidth)
+		fmt.Printf("jobs completed = %d\n", res.Completed)
+		for j := 0; j <= *qmax && j < len(res.QueueDist); j++ {
+			fmt.Printf("P(queue=%d) = %.6g\n", j, res.QueueDist[j])
+		}
+		return nil
+	}
+	res, err := sim.Run(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("operative: %v   repair: %v\n", op, rep)
 	fmt.Printf("L  = %.6g ± %.3g (95%% batch-means CI)\n", res.MeanQueue, res.MeanQueueHalfWidth)
 	fmt.Printf("W  = %.6g\n", res.MeanResponse)
 	fmt.Printf("availability = %.6g\n", res.Availability)

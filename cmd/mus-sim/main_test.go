@@ -33,6 +33,34 @@ func TestRunErlangOperative(t *testing.T) {
 	}
 }
 
+func TestRunReplicatedFlags(t *testing.T) {
+	err := run([]string{
+		"-servers", "3", "-lambda", "1.5", "-seed", "7",
+		"-warmup", "100", "-horizon", "3000", "-qmax", "2",
+		"-reps", "4", "-workers", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRelPrecisionFlags(t *testing.T) {
+	err := run([]string{
+		"-servers", "3", "-lambda", "1.5", "-seed", "7",
+		"-warmup", "100", "-horizon", "3000",
+		"-reps", "16", "-min-reps", "3", "-rel-precision", "0.5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadReplicationFlags(t *testing.T) {
+	if err := run([]string{"-reps", "2", "-confidence", "2", "-horizon", "1000"}); err == nil {
+		t.Fatal("expected error for confidence outside (0,1)")
+	}
+}
+
 func TestRunBadDistribution(t *testing.T) {
 	if err := run([]string{"-op-mean", "-1"}); err == nil {
 		t.Fatal("expected error for negative mean")

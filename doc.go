@@ -1,32 +1,46 @@
 // Package repro is a complete Go reproduction of J. Palmer & I. Mitrani,
 // "Empirical and Analytical Evaluation of Systems with Multiple Unreliable
-// Servers" (University of Newcastle CS-TR-936; DSN 2006).
+// Servers" (University of Newcastle CS-TR-936; DSN 2006), grown into a
+// concurrent evaluation service.
 //
 // The library models a cluster of N parallel servers serving a Poisson
 // stream from one unbounded queue, where every server alternates between
 // hyperexponentially distributed operative periods and repair periods. It
-// contains:
+// contains two subsystems and the numerical substrate beneath them:
 //
 //   - internal/core — the public model: System, exact/approximate solvers,
-//     cost optimisation, capacity planning and canonical fingerprints;
-//   - internal/service — the concurrent evaluation engine: a bounded
-//     worker pool with an LRU solver cache keyed by System.Fingerprint,
-//     shared by the figures package, the benchmarks and mus-serve;
+//     replicated simulation with confidence intervals (SimResult), cost
+//     optimisation, capacity planning and canonical fingerprints;
+//   - internal/service — the evaluation engine: a bounded worker pool with
+//     an LRU solver cache keyed by System.Fingerprint and a separate
+//     simulation cache keyed by (fingerprint, seed, precision), shared by
+//     the figures package, the benchmarks and mus-serve;
 //   - internal/qbd — the spectral-expansion solver (paper §3.1), the
 //     geometric heavy-traffic approximation (§3.2), a matrix-geometric
 //     baseline and a truncated-chain oracle;
 //   - internal/markov — the operational-mode state space (eq. 9, 12);
-//   - internal/dist, internal/stats, internal/optimize — the §2 statistics:
-//     hyperexponential fitting, histograms, Kolmogorov–Smirnov testing;
+//   - internal/dist, internal/stats, internal/optimize — the §2 statistics
+//     (hyperexponential fitting, histograms, Kolmogorov–Smirnov) plus the
+//     Student-t confidence intervals behind the replicated simulator;
 //   - internal/dataset — a synthetic stand-in for the proprietary Sun
 //     breakdown log;
-//   - internal/sim — a discrete-event simulator used for the C² = 0 point
-//     of Figure 6 and as an independent oracle;
+//   - internal/sim — the discrete-event simulator: single runs (Figure 6's
+//     C² = 0 point) and the parallel independent-replications engine with
+//     per-replication RNG streams and relative-precision stopping;
 //   - internal/figures — one experiment per paper figure, with every
-//     analytical sweep routed through the evaluation engine;
-//   - cmd/* — CLI tools, including the mus-serve HTTP daemon;
-//     examples/* — runnable walkthroughs.
+//     analytical sweep routed through the evaluation engine and a
+//     SimAgreement experiment checking CI coverage of the exact solution;
+//   - cmd/* — CLI tools, including the mus-serve HTTP daemon
+//     (/v1/solve, /v1/sweep, /v1/optimize, /v1/simulate, /v1/stats);
+//     examples/* — runnable walkthroughs; tools/* — the CI documentation
+//     gates.
 //
 // bench_test.go regenerates every figure of the evaluation as a Go
-// benchmark; see EXPERIMENTS.md for the paper-vs-measured record.
+// benchmark, including BenchmarkReplications (parallel simulation
+// speedup).
+//
+// Repository guides: ARCHITECTURE.md (package map and request data flow),
+// EXPERIMENTS.md (paper-vs-measured record, simulated-vs-analytical
+// agreement), ROADMAP.md (direction), README.md (usage and the full
+// mus-serve API reference).
 package repro

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -249,34 +250,123 @@ func (s System) SolveMatrixGeometric() (*Performance, error) {
 }
 
 // SimOptions tunes Simulate. The zero value picks defaults suited to the
-// paper's parameter ranges.
+// paper's parameter ranges and runs a single replication; set Replications
+// (and optionally RelPrecision) for Student-t confidence intervals from
+// independent replications.
 type SimOptions struct {
-	// Seed fixes the random stream (0 = default).
+	// Seed fixes the random stream (0 = default). With replications it is
+	// the base seed from which each replication's stream derives via
+	// sim.RepSeed.
 	Seed int64
 	// Warmup is the discarded initial period (default 5,000 time units).
 	Warmup float64
-	// Horizon is the measured period (default 300,000 time units).
+	// Horizon is the measured period per replication (default 300,000 time
+	// units).
 	Horizon float64
 	// Operative / Repair override the system's distributions — this is how
 	// non-hyperexponential shapes (Erlang, deterministic) enter, since the
 	// analytical model cannot represent them.
 	Operative dist.Distribution
 	Repair    dist.Distribution
+
+	// Replications is R_max, the maximum number of independent
+	// replications. 0 or 1 runs a single replication whose half-widths come
+	// from batch means within the run; ≥ 2 runs the independent-replications
+	// engine with cross-replication Student-t intervals.
+	Replications int
+	// MinReplications is the number of replications run before the
+	// relative-precision rule is first consulted (default min(4, R_max)).
+	MinReplications int
+	// RelPrecision is ε of the stopping rule: replications stop once the
+	// CI half-width on L is within ε·|L̂| (0 = run exactly Replications).
+	RelPrecision float64
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// Workers bounds concurrent replications (default GOMAXPROCS); it never
+	// affects the estimates, only the wall-clock time.
+	Workers int
+	// Gate is an optional external semaphore bounding replication
+	// concurrency across runs (see sim.RepConfig.Gate); internal/service
+	// sets it to the engine's worker gate. Never affects the estimates.
+	Gate chan struct{}
 }
 
-// Simulate estimates the steady state by discrete-event simulation; it
-// accepts arbitrary period distributions via SimOptions (e.g. the
-// deterministic operative periods of Figure 6's C² = 0 point).
-func (s System) Simulate(opts SimOptions) (sim.Result, error) {
-	if err := s.Validate(); err != nil {
-		return sim.Result{}, err
+// SimResult reports simulated steady-state estimates with confidence
+// intervals. With a single replication the half-widths on W and the
+// availability are zero (the batch-means method only brackets L); with
+// independent replications every half-width is a cross-replication
+// Student-t interval at the configured confidence level.
+type SimResult struct {
+	// MeanQueue is the point estimate of L.
+	MeanQueue float64
+	// MeanQueueHalfWidth brackets MeanQueue at the Confidence level.
+	MeanQueueHalfWidth float64
+	// MeanResponse is the point estimate of W.
+	MeanResponse float64
+	// MeanResponseHalfWidth brackets MeanResponse (replicated runs only).
+	MeanResponseHalfWidth float64
+	// Availability is the time-averaged fraction of operative servers.
+	Availability float64
+	// AvailabilityHalfWidth brackets Availability (replicated runs only).
+	AvailabilityHalfWidth float64
+	// Confidence is the level of every interval above (e.g. 0.95).
+	Confidence float64
+	// Replications is the number of independent replications run (1 for a
+	// single batch-means run).
+	Replications int
+	// Converged reports whether the relative-precision criterion was met
+	// (true when no criterion was requested).
+	Converged bool
+	// Completed counts jobs finished across all replications.
+	Completed int64
+	// QueueDist[k] is the fraction of time with exactly k jobs present,
+	// averaged across replications.
+	QueueDist []float64
+}
+
+// Normalized returns the options with every result-affecting default made
+// explicit — the canonical form under which simulation output may be
+// memoised: two option values with equal Normalized() forms (and equal
+// override distributions) produce bit-identical SimResults. Workers and
+// Gate are zeroed because they never affect the estimates.
+func (o SimOptions) Normalized() SimOptions {
+	if o.Warmup == 0 {
+		o.Warmup = 5000
 	}
-	if opts.Warmup == 0 {
-		opts.Warmup = 5000
+	if o.Horizon == 0 {
+		o.Horizon = 300000
 	}
-	if opts.Horizon == 0 {
-		opts.Horizon = 300000
+	if o.Confidence == 0 {
+		o.Confidence = 0.95
 	}
+	if o.Replications <= 1 {
+		// Single batch-means run: the replication knobs are inert.
+		o.Replications = 1
+		o.MinReplications = 0
+		o.RelPrecision = 0
+	} else {
+		// Mirror sim.RunReplicated's defaulting so equal effective
+		// configurations share one canonical form.
+		if o.MinReplications == 0 {
+			o.MinReplications = 4
+		}
+		if o.MinReplications < 2 {
+			o.MinReplications = 2
+		}
+		if o.MinReplications > o.Replications {
+			o.MinReplications = o.Replications
+		}
+		if o.RelPrecision == 0 {
+			o.MinReplications = o.Replications
+		}
+	}
+	o.Workers = 0
+	o.Gate = nil
+	return o
+}
+
+// simConfig assembles the per-replication simulator configuration.
+func (s System) simConfig(opts SimOptions) sim.Config {
 	op := opts.Operative
 	if op == nil {
 		op = s.Operative
@@ -285,7 +375,7 @@ func (s System) Simulate(opts SimOptions) (sim.Result, error) {
 	if rep == nil {
 		rep = s.Repair
 	}
-	return sim.Run(sim.Config{
+	return sim.Config{
 		Servers:   s.Servers,
 		Lambda:    s.ArrivalRate,
 		Mu:        s.ServiceRate,
@@ -294,5 +384,68 @@ func (s System) Simulate(opts SimOptions) (sim.Result, error) {
 		Seed:      opts.Seed,
 		Warmup:    opts.Warmup,
 		Horizon:   opts.Horizon,
+	}
+}
+
+// Simulate estimates the steady state by discrete-event simulation; it
+// accepts arbitrary period distributions via SimOptions (e.g. the
+// deterministic operative periods of Figure 6's C² = 0 point). With
+// Replications ≥ 2 it delegates to SimulateContext and reports
+// cross-replication confidence intervals.
+func (s System) Simulate(opts SimOptions) (SimResult, error) {
+	return s.SimulateContext(context.Background(), opts)
+}
+
+// SimulateContext is Simulate with cancellation: replicated runs stop
+// between replications when ctx is cancelled. The result is bit-for-bit
+// reproducible for a fixed (System, SimOptions) regardless of Workers.
+func (s System) SimulateContext(ctx context.Context, opts SimOptions) (SimResult, error) {
+	if err := s.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	workers, gate := opts.Workers, opts.Gate
+	opts = opts.Normalized()
+	opts.Workers, opts.Gate = workers, gate
+	if opts.Replications <= 1 {
+		res, err := sim.Run(s.simConfig(opts))
+		if err != nil {
+			return SimResult{}, err
+		}
+		return SimResult{
+			MeanQueue:          res.MeanQueue,
+			MeanQueueHalfWidth: res.MeanQueueHalfWidth,
+			MeanResponse:       res.MeanResponse,
+			Availability:       res.Availability,
+			Confidence:         0.95, // sim.Run's batch-means interval level
+			Replications:       1,
+			Converged:          true,
+			Completed:          res.Completed,
+			QueueDist:          res.QueueDist,
+		}, nil
+	}
+	rep, err := sim.RunReplicated(ctx, sim.RepConfig{
+		Config:          s.simConfig(opts),
+		Replications:    opts.Replications,
+		MinReplications: opts.MinReplications,
+		RelPrecision:    opts.RelPrecision,
+		Confidence:      opts.Confidence,
+		Workers:         opts.Workers,
+		Gate:            opts.Gate,
 	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{
+		MeanQueue:             rep.MeanQueue.Mean,
+		MeanQueueHalfWidth:    rep.MeanQueue.HalfWidth,
+		MeanResponse:          rep.MeanResponse.Mean,
+		MeanResponseHalfWidth: rep.MeanResponse.HalfWidth,
+		Availability:          rep.Availability.Mean,
+		AvailabilityHalfWidth: rep.Availability.HalfWidth,
+		Confidence:            opts.Confidence,
+		Replications:          rep.Replications,
+		Converged:             rep.Converged,
+		Completed:             rep.Completed,
+		QueueDist:             rep.QueueDist,
+	}, nil
 }

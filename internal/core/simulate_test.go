@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSimulateReplicatedCIsCoverSolve(t *testing.T) {
+	s := fig5System(3, 1.8)
+	perf, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Simulate(SimOptions{
+		Seed:         11,
+		Warmup:       2000,
+		Horizon:      60000,
+		Replications: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replications != 6 || !res.Converged {
+		t.Errorf("Replications = %d, Converged = %v", res.Replications, res.Converged)
+	}
+	if res.MeanQueueHalfWidth <= 0 || res.MeanResponseHalfWidth <= 0 || res.AvailabilityHalfWidth <= 0 {
+		t.Errorf("expected positive half-widths, got %+v", res)
+	}
+	if res.Confidence != 0.95 {
+		t.Errorf("Confidence = %v", res.Confidence)
+	}
+	// The exact L should land inside (or very near) the 95% interval; allow
+	// 2× the half-width so an unlucky seed doesn't flake the suite.
+	if diff := math.Abs(res.MeanQueue - perf.MeanJobs); diff > 2*res.MeanQueueHalfWidth {
+		t.Errorf("exact L = %v vs simulated %v ± %v", perf.MeanJobs, res.MeanQueue, res.MeanQueueHalfWidth)
+	}
+	if diff := math.Abs(res.MeanResponse - perf.MeanResponse); diff > 2*res.MeanResponseHalfWidth {
+		t.Errorf("exact W = %v vs simulated %v ± %v", perf.MeanResponse, res.MeanResponse, res.MeanResponseHalfWidth)
+	}
+	av := s.Availability()
+	if diff := math.Abs(res.Availability - av); diff > 2*res.AvailabilityHalfWidth {
+		t.Errorf("analytic availability %v vs simulated %v ± %v", av, res.Availability, res.AvailabilityHalfWidth)
+	}
+}
+
+func TestSimulateReplicatedReproducible(t *testing.T) {
+	s := fig5System(3, 1.8)
+	opts := SimOptions{Seed: 5, Warmup: 500, Horizon: 10000, Replications: 4}
+	a, err := s.Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 1
+	b, err := s.Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different workers: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulateRelPrecisionStops(t *testing.T) {
+	s := fig5System(3, 1.5)
+	res, err := s.Simulate(SimOptions{
+		Seed:            3,
+		Warmup:          500,
+		Horizon:         20000,
+		Replications:    32,
+		MinReplications: 3,
+		RelPrecision:    0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Replications >= 32 {
+		t.Errorf("loose criterion should stop early: ran %d, converged %v", res.Replications, res.Converged)
+	}
+	if rel := res.MeanQueueHalfWidth / res.MeanQueue; rel > 0.5 {
+		t.Errorf("claimed convergence at relative precision %v", rel)
+	}
+}
+
+func TestSimulateContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := fig5System(3, 1.5)
+	if _, err := s.SimulateContext(ctx, SimOptions{Replications: 4}); err == nil {
+		t.Error("cancelled context must abort a replicated run")
+	}
+}
+
+func TestSimOptionsNormalized(t *testing.T) {
+	n := SimOptions{}.Normalized()
+	if n.Warmup != 5000 || n.Horizon != 300000 || n.Confidence != 0.95 || n.Replications != 1 {
+		t.Errorf("zero-value normalization wrong: %+v", n)
+	}
+	r := SimOptions{Replications: 6, Workers: 9}.Normalized()
+	// RelPrecision 0 runs all replications, so the min is pinned to R_max.
+	if r.MinReplications != 6 || r.Workers != 0 {
+		t.Errorf("replicated normalization wrong: %+v", r)
+	}
+	p := SimOptions{Replications: 6, RelPrecision: 0.05}.Normalized()
+	if p.MinReplications != 4 {
+		t.Errorf("precision normalization wrong: %+v", p)
+	}
+	// Normalization is idempotent — the fixed point property cache keys rely
+	// on.
+	if p.Normalized() != p {
+		t.Error("Normalized not idempotent")
+	}
+}

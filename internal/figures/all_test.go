@@ -11,7 +11,7 @@ func TestAllRunsEveryFigureQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantIDs := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	wantIDs := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figsim"}
 	if len(figs) != len(wantIDs) {
 		t.Fatalf("got %d figures, want %d", len(figs), len(wantIDs))
 	}

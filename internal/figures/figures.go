@@ -183,6 +183,7 @@ func All(opts Options) ([]*Figure, error) {
 		{"fig7", Figure7},
 		{"fig8", Figure8},
 		{"fig9", Figure9},
+		{"figsim", SimAgreement},
 	}
 	if opts.Engine == nil {
 		opts.Engine = opts.engine()

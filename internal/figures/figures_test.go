@@ -263,3 +263,31 @@ func TestSeriesArgmin(t *testing.T) {
 		t.Errorf("argmin = %v, want 2", got)
 	}
 }
+
+func TestSimAgreementCoversAnalytical(t *testing.T) {
+	fig, err := SimAgreement(Options{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("got %d series", len(fig.Series))
+	}
+	exact, simulated := fig.Series[0], fig.Series[1]
+	if len(exact.X) != 4 || len(simulated.X) != 4 {
+		t.Fatalf("expected 4 agreement cases, got %d/%d", len(exact.X), len(simulated.X))
+	}
+	for i := range exact.X {
+		if rel := math.Abs(simulated.Y[i]-exact.Y[i]) / exact.Y[i]; rel > 0.35 {
+			t.Errorf("case %d: simulated %v vs exact %v (rel %v)", i, simulated.Y[i], exact.Y[i], rel)
+		}
+	}
+	found := false
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "CI coverage:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing CI-coverage summary note")
+	}
+}

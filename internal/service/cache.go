@@ -3,11 +3,11 @@ package service
 import (
 	"container/list"
 	"sync"
-
-	"repro/internal/core"
 )
 
-// CacheStats is a point-in-time snapshot of solver-cache effectiveness.
+// CacheStats is a point-in-time snapshot of one engine cache's
+// effectiveness (the solver cache and the simulation cache report
+// independently).
 type CacheStats struct {
 	// Hits counts lookups answered from memory.
 	Hits uint64
@@ -32,10 +32,13 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// solverCache is a mutex-guarded LRU of solved performances keyed by the
-// canonical system fingerprint plus solver method. Solutions are immutable
-// once computed, so cached *core.Performance values are shared freely.
-type solverCache struct {
+// lruCache is a mutex-guarded LRU keyed by canonical strings. The engine
+// instantiates one per result family — solver output (*core.Performance,
+// keyed by fingerprint + method) and simulation output (core.SimResult,
+// keyed by fingerprint + seed + precision) — so the two workloads never
+// evict each other. Cached values must be immutable once inserted, since
+// they are handed out to concurrent readers without copying.
+type lruCache[V any] struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used
@@ -44,43 +47,44 @@ type solverCache struct {
 	hits, misses, evictions uint64
 }
 
-type cacheEntry struct {
-	key  string
-	perf *core.Performance
+type cacheEntry[V any] struct {
+	key string
+	val V
 }
 
-func newSolverCache(capacity int) *solverCache {
+func newLRUCache[V any](capacity int) *lruCache[V] {
 	if capacity <= 0 {
 		return nil // cache disabled
 	}
-	return &solverCache{
+	return &lruCache[V]{
 		cap:   capacity,
 		order: list.New(),
 		items: make(map[string]*list.Element, capacity),
 	}
 }
 
-// get returns the cached performance and promotes the entry. It does not
-// touch the hit/miss counters: the engine records those once it knows how
-// the lookup resolved (hit, solver run, or in-flight join).
-func (c *solverCache) get(key string) (*core.Performance, bool) {
+// get returns the cached value and promotes the entry. It does not touch
+// the hit/miss counters: the engine records those once it knows how the
+// lookup resolved (hit, fresh run, or in-flight join).
+func (c *lruCache[V]) get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).perf, true
+	return el.Value.(*cacheEntry[V]).val, true
 }
 
-func (c *solverCache) recordHit() {
+func (c *lruCache[V]) recordHit() {
 	c.mu.Lock()
 	c.hits++
 	c.mu.Unlock()
 }
 
-func (c *solverCache) recordMiss() {
+func (c *lruCache[V]) recordMiss() {
 	c.mu.Lock()
 	c.misses++
 	c.mu.Unlock()
@@ -88,11 +92,11 @@ func (c *solverCache) recordMiss() {
 
 // add inserts (or refreshes) an entry, evicting the least recently used
 // entry when full.
-func (c *solverCache) add(key string, perf *core.Performance) {
+func (c *lruCache[V]) add(key string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).perf = perf
+		el.Value.(*cacheEntry[V]).val = val
 		c.order.MoveToFront(el)
 		return
 	}
@@ -100,15 +104,15 @@ func (c *solverCache) add(key string, perf *core.Performance) {
 		oldest := c.order.Back()
 		if oldest != nil {
 			c.order.Remove(oldest)
-			delete(c.items, oldest.Value.(*cacheEntry).key)
+			delete(c.items, oldest.Value.(*cacheEntry[V]).key)
 			c.evictions++
 		}
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, perf: perf})
+	c.items[key] = c.order.PushFront(&cacheEntry[V]{key: key, val: val})
 }
 
 // stats snapshots the counters.
-func (c *solverCache) stats() CacheStats {
+func (c *lruCache[V]) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{

@@ -5,6 +5,13 @@
 // N-sweeps for Figures 4–9 and the cost optimisation — is embarrassingly
 // parallel and highly repetitive, so every figure run, benchmark and
 // mus-serve request routes through one engine and shares its cache.
+//
+// The engine also fronts the replicated discrete-event simulator
+// (Simulate, SimulateBatch): simulation results are memoised in their own
+// LRU keyed by (fingerprint, seed, precision) — simulation output is
+// deterministic for a fixed request, so a cached result is
+// indistinguishable from a fresh run — with concurrent identical requests
+// joining one in-flight run exactly like solver evaluations.
 package service
 
 import (
@@ -18,35 +25,49 @@ import (
 	"repro/internal/core"
 )
 
-// Config tunes an Engine. The zero value selects a worker per CPU and a
-// 4096-entry solution cache.
+// Config tunes an Engine. The zero value selects a worker per CPU, a
+// 4096-entry solution cache and a 256-entry simulation cache.
 type Config struct {
 	// Workers bounds concurrent solver invocations (default GOMAXPROCS).
 	Workers int
 	// CacheSize is the maximum number of memoised solutions; negative
 	// disables caching entirely (default 4096).
 	CacheSize int
+	// SimCacheSize is the maximum number of memoised simulation results;
+	// negative disables the simulation cache (default 256 — simulation
+	// output is far larger and far more expensive than solver output, so
+	// the two families never share a cache or evict each other).
+	SimCacheSize int
 }
 
-// DefaultCacheSize is the cache capacity used when Config.CacheSize is 0.
+// DefaultCacheSize is the solver-cache capacity used when Config.CacheSize
+// is 0.
 const DefaultCacheSize = 4096
+
+// DefaultSimCacheSize is the simulation-cache capacity used when
+// Config.SimCacheSize is 0.
+const DefaultSimCacheSize = 256
 
 // Engine evaluates system configurations on a bounded worker pool with
 // solver memoization. It is safe for concurrent use.
 type Engine struct {
-	workers int
-	cache   *solverCache
+	workers  int
+	cache    *lruCache[*core.Performance]
+	simCache *lruCache[core.SimResult]
 	// sem is the engine-wide solver gate: every solver invocation — from
 	// Evaluate, any number of concurrent EvaluateBatch calls, or both —
 	// holds one slot, so total concurrency never exceeds Workers.
 	sem chan struct{}
 
-	mu       sync.Mutex
-	inflight map[string]*flight
+	mu          sync.Mutex
+	inflight    map[string]*flight
+	simInflight map[string]*simFlight
 
-	solves atomic.Uint64 // solver invocations that actually ran
-	errs   atomic.Uint64 // solver invocations that returned an error
-	shared atomic.Uint64 // evaluations that joined an in-flight solve
+	solves  atomic.Uint64 // solver invocations that actually ran
+	errs    atomic.Uint64 // solver invocations that returned an error
+	shared  atomic.Uint64 // evaluations that joined an in-flight solve
+	simRuns atomic.Uint64 // replicated simulations that actually ran
+	simErrs atomic.Uint64 // replicated simulations that failed
 }
 
 // flight is one in-progress solve that concurrent callers of the same
@@ -54,6 +75,13 @@ type Engine struct {
 type flight struct {
 	done chan struct{}
 	perf *core.Performance
+	err  error
+}
+
+// simFlight is the simulation counterpart of flight.
+type simFlight struct {
+	done chan struct{}
+	res  core.SimResult
 	err  error
 }
 
@@ -66,11 +94,17 @@ func NewEngine(cfg Config) *Engine {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
+	simSize := cfg.SimCacheSize
+	if simSize == 0 {
+		simSize = DefaultSimCacheSize
+	}
 	return &Engine{
-		workers:  cfg.Workers,
-		cache:    newSolverCache(size), // nil when size < 0
-		sem:      make(chan struct{}, cfg.Workers),
-		inflight: make(map[string]*flight),
+		workers:     cfg.Workers,
+		cache:       newLRUCache[*core.Performance](size), // nil when size < 0
+		simCache:    newLRUCache[core.SimResult](simSize),
+		sem:         make(chan struct{}, cfg.Workers),
+		inflight:    make(map[string]*flight),
+		simInflight: make(map[string]*simFlight),
 	}
 }
 
@@ -346,10 +380,19 @@ type Stats struct {
 	// Errors counts solver invocations that failed.
 	Errors uint64
 	// SharedInFlight counts evaluations answered by joining a concurrent
-	// identical solve instead of running their own.
+	// identical solve or simulation instead of running their own.
 	SharedInFlight uint64
-	// Cache reports memoization effectiveness; zero-valued when disabled.
+	// SimRuns counts replicated simulations that actually ran (simulation
+	// cache misses and uncacheable runs).
+	SimRuns uint64
+	// SimErrors counts replicated simulations that failed.
+	SimErrors uint64
+	// Cache reports solver memoization effectiveness; zero-valued when
+	// disabled.
 	Cache CacheStats
+	// SimCache reports simulation memoization effectiveness; zero-valued
+	// when disabled.
+	SimCache CacheStats
 }
 
 // Stats snapshots the engine counters.
@@ -359,9 +402,14 @@ func (e *Engine) Stats() Stats {
 		Solves:         e.solves.Load(),
 		Errors:         e.errs.Load(),
 		SharedInFlight: e.shared.Load(),
+		SimRuns:        e.simRuns.Load(),
+		SimErrors:      e.simErrs.Load(),
 	}
 	if e.cache != nil {
 		s.Cache = e.cache.stats()
+	}
+	if e.simCache != nil {
+		s.SimCache = e.simCache.stats()
 	}
 	return s
 }

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// RepConfig parameterises a replicated simulation: R independent
+// replications of the embedded per-replication Config, each on its own
+// deterministic RNG stream, aggregated into Student-t confidence
+// intervals across replication means (the classical
+// independent-replications method, which the paper's validation runs rely
+// on for its "simulated" data points).
+type RepConfig struct {
+	// Config is the per-replication simulation; its Seed is the base seed
+	// from which every replication's stream is derived.
+	Config
+
+	// Replications is R_max, the maximum number of replications (default 8).
+	Replications int
+	// MinReplications is the number of replications always run before the
+	// stopping rule is first consulted (default min(4, Replications)).
+	MinReplications int
+	// RelPrecision is ε of the relative-precision stopping rule: stop as
+	// soon as the confidence half-width on the mean queue length is within
+	// ε·|mean|. Zero disables early stopping, running exactly Replications.
+	RelPrecision float64
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// Workers bounds concurrent replications (default GOMAXPROCS). The
+	// worker count never affects the result, only the wall-clock time:
+	// replication i is fully determined by (Seed, i), the stopping point is
+	// a pure function of the replication sequence, and aggregation is in
+	// replication order.
+	Workers int
+	// Gate, when non-nil, is an external semaphore each replication must
+	// hold a slot of while it runs, on top of the run-local Workers bound.
+	// internal/service passes its engine-wide worker gate here so that any
+	// number of concurrent replicated simulations (plus solver work) never
+	// oversubscribe the pool. Like Workers it cannot affect the result.
+	Gate chan struct{}
+}
+
+// RepResult aggregates R independent replications.
+type RepResult struct {
+	// MeanQueue is the confidence interval for L across replication means.
+	MeanQueue stats.CI
+	// MeanResponse is the confidence interval for W.
+	MeanResponse stats.CI
+	// Availability is the confidence interval for the operative fraction.
+	Availability stats.CI
+	// Replications is the number of replications actually run.
+	Replications int
+	// Converged reports whether the relative-precision criterion was met
+	// (always true when RelPrecision is 0: the requested R was delivered).
+	Converged bool
+	// Completed totals the jobs finished across all replications.
+	Completed int64
+	// QueueDist[k] is the fraction of time with k jobs present, averaged
+	// across replications.
+	QueueDist []float64
+	// Reps holds the per-replication results in replication order.
+	Reps []Result
+}
+
+// RepSeed derives the RNG seed of replication i from the base seed by a
+// SplitMix64 mix, giving every replication a well-separated deterministic
+// stream: the same (base, i) always yields the same stream, so replicated
+// runs are bit-for-bit reproducible regardless of worker count or
+// scheduling. Exported so callers (service cache keys, tests) can name the
+// exact stream a replication used.
+func RepSeed(base int64, i int) int64 {
+	x := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	s := int64(x)
+	if s == 0 {
+		s = 1 // Seed 0 means "default" to Run; keep streams distinct
+	}
+	return s
+}
+
+// RunReplicated executes independent replications across a bounded worker
+// pool until the relative-precision criterion is met or R_max replications
+// have run. The stopping point is a pure function of the replication
+// sequence: the smallest R ≥ MinReplications whose prefix [0, R) meets
+// the criterion (capped at R_max). Workers only batch replications into
+// speculative waves — replications computed beyond the stopping point are
+// discarded, never aggregated — so the number of replications reported,
+// and therefore the result, is bit-for-bit identical for every worker
+// count. Cancelling the context stops between replications; a replication
+// in flight runs to completion.
+func RunReplicated(ctx context.Context, cfg RepConfig) (RepResult, error) {
+	if cfg.Replications == 0 {
+		cfg.Replications = 8
+	}
+	if cfg.Replications < 2 {
+		return RepResult{}, fmt.Errorf("sim: need ≥ 2 replications for confidence intervals, got %d", cfg.Replications)
+	}
+	if cfg.MinReplications == 0 {
+		cfg.MinReplications = 4
+	}
+	if cfg.MinReplications < 2 {
+		cfg.MinReplications = 2
+	}
+	if cfg.MinReplications > cfg.Replications {
+		cfg.MinReplications = cfg.Replications
+	}
+	if cfg.RelPrecision < 0 {
+		return RepResult{}, fmt.Errorf("sim: relative precision %v must be ≥ 0", cfg.RelPrecision)
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 0.95
+	}
+	if !(cfg.Confidence > 0 && cfg.Confidence < 1) {
+		return RepResult{}, fmt.Errorf("sim: confidence level %v outside (0, 1)", cfg.Confidence)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	res := RepResult{}
+	reps := make([]Result, 0, cfg.Replications)
+	checked := cfg.MinReplications - 1 // longest prefix already ruled on
+	stopAt := -1                       // deterministic stopping point, once found
+	for len(reps) < cfg.Replications && stopAt < 0 {
+		if err := ctx.Err(); err != nil {
+			return RepResult{}, err
+		}
+		// Wave size: the first wave runs the minimum the rule needs before
+		// it can first apply (everything when there is no rule); later
+		// waves speculate one pool width ahead.
+		n := cfg.Workers
+		if len(reps) == 0 {
+			if cfg.RelPrecision == 0 {
+				n = cfg.Replications
+			} else {
+				n = cfg.MinReplications
+			}
+		}
+		if len(reps)+n > cfg.Replications {
+			n = cfg.Replications - len(reps)
+		}
+		wave := make([]Result, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Workers)
+		for w := range wave {
+			i := len(reps) + w
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(w, i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if cfg.Gate != nil {
+					select {
+					case cfg.Gate <- struct{}{}:
+						defer func() { <-cfg.Gate }()
+					case <-ctx.Done():
+						errs[w] = ctx.Err()
+						return
+					}
+				}
+				c := cfg.Config
+				c.Seed = RepSeed(cfg.Seed, i)
+				wave[w], errs[w] = Run(c)
+			}(w, i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return RepResult{}, err
+			}
+		}
+		reps = append(reps, wave...)
+
+		// Rule on every newly completed prefix in replication order. The
+		// stopping point is the first prefix that satisfies the criterion,
+		// regardless of how replications were batched into waves, so
+		// Workers cannot influence it.
+		if cfg.RelPrecision > 0 {
+			for i := checked + 1; i <= len(reps); i++ {
+				ci, err := queueCI(reps[:i], cfg.Confidence)
+				if err != nil {
+					return RepResult{}, err
+				}
+				if ci.Relative() <= cfg.RelPrecision {
+					stopAt = i
+					break
+				}
+			}
+			checked = len(reps)
+		}
+	}
+	if stopAt >= 0 {
+		reps = reps[:stopAt] // discard speculative replications past the stop
+		res.Converged = true
+	} else if cfg.RelPrecision == 0 {
+		res.Converged = true
+	}
+	return aggregate(res, reps, cfg.Confidence)
+}
+
+// queueCI builds the stopping-rule interval over the replication means of L.
+func queueCI(reps []Result, level float64) (stats.CI, error) {
+	means := make([]float64, len(reps))
+	for i, r := range reps {
+		means[i] = r.MeanQueue
+	}
+	return stats.MeanCI(means, level)
+}
+
+// aggregate folds per-replication results into the cross-replication CIs
+// and averaged queue distribution, in replication order.
+func aggregate(res RepResult, reps []Result, level float64) (RepResult, error) {
+	ls := make([]float64, len(reps))
+	ws := make([]float64, len(reps))
+	av := make([]float64, len(reps))
+	maxDist := 0
+	for i, r := range reps {
+		ls[i] = r.MeanQueue
+		ws[i] = r.MeanResponse
+		av[i] = r.Availability
+		res.Completed += r.Completed
+		if len(r.QueueDist) > maxDist {
+			maxDist = len(r.QueueDist)
+		}
+	}
+	var err error
+	if res.MeanQueue, err = stats.MeanCI(ls, level); err != nil {
+		return RepResult{}, err
+	}
+	if res.MeanResponse, err = stats.MeanCI(ws, level); err != nil {
+		return RepResult{}, err
+	}
+	if res.Availability, err = stats.MeanCI(av, level); err != nil {
+		return RepResult{}, err
+	}
+	res.QueueDist = make([]float64, maxDist)
+	for _, r := range reps {
+		for k, p := range r.QueueDist {
+			res.QueueDist[k] += p / float64(len(reps))
+		}
+	}
+	res.Replications = len(reps)
+	res.Reps = reps
+	return res, nil
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func repTestConfig() RepConfig {
+	return RepConfig{
+		Config: Config{
+			Servers:   3,
+			Lambda:    1.8,
+			Mu:        1,
+			Operative: dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091}),
+			Repair:    dist.Exp(25),
+			Seed:      7,
+			Warmup:    500,
+			Horizon:   20000,
+		},
+		Replications: 6,
+	}
+}
+
+func TestRunReplicatedDeterministic(t *testing.T) {
+	cfg := repTestConfig()
+	a, err := RunReplicated(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplicated(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripSamples(a), stripSamples(b)) {
+		t.Errorf("same seed not bit-for-bit reproducible:\n%+v\nvs\n%+v", a.MeanQueue, b.MeanQueue)
+	}
+	if a.Replications != 6 || !a.Converged {
+		t.Errorf("Replications = %d, Converged = %v", a.Replications, a.Converged)
+	}
+	if a.MeanQueue.N != 6 || a.MeanQueue.Level != 0.95 {
+		t.Errorf("CI metadata wrong: %+v", a.MeanQueue)
+	}
+	if a.MeanQueue.HalfWidth <= 0 || a.MeanResponse.HalfWidth <= 0 {
+		t.Error("expected positive half-widths from independent replications")
+	}
+}
+
+// stripSamples drops the unexported response reservoirs before comparing
+// (they are deterministic too, but huge).
+func stripSamples(r RepResult) RepResult {
+	for i := range r.Reps {
+		r.Reps[i].responses = nil
+	}
+	return r
+}
+
+func TestRunReplicatedWorkerCountInvariant(t *testing.T) {
+	cfg := repTestConfig()
+	cfg.Workers = 1
+	serial, err := RunReplicated(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parallel, err := RunReplicated(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.MeanQueue != parallel.MeanQueue || serial.MeanResponse != parallel.MeanResponse {
+		t.Errorf("worker count changed the result: %+v vs %+v", serial.MeanQueue, parallel.MeanQueue)
+	}
+}
+
+func TestRunReplicatedRelPrecisionStopsEarly(t *testing.T) {
+	cfg := repTestConfig()
+	cfg.Replications = 64
+	cfg.MinReplications = 3
+	cfg.RelPrecision = 0.5 // loose: met immediately at min reps
+	cfg.Workers = 2
+	res, err := RunReplicated(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("loose criterion should converge")
+	}
+	if res.Replications >= 64 {
+		t.Errorf("expected early stop, ran all %d replications", res.Replications)
+	}
+	if got := res.MeanQueue.Relative(); got > 0.5 {
+		t.Errorf("stopped with relative precision %v > 0.5", got)
+	}
+	// The stopping decision must be deterministic in the worker count too.
+	cfg.Workers = 7
+	res2, err := RunReplicated(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Replications != res.Replications {
+		t.Errorf("worker count changed the stopping point: %d vs %d", res2.Replications, res.Replications)
+	}
+}
+
+// Regression: the stopping rule is prefix-based, so a precision tight
+// enough to need several waves still stops at the same replication — with
+// the same aggregate result — for every worker count. (An earlier
+// implementation ruled only at wave boundaries sized by Workers, so the
+// worker count silently changed the answer.)
+func TestRunReplicatedStoppingPointWorkerInvariant(t *testing.T) {
+	base := RepConfig{
+		Config: Config{
+			Servers:   3,
+			Lambda:    1.5,
+			Mu:        1,
+			Operative: dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091}),
+			Repair:    dist.Exp(25),
+			Seed:      3,
+			Warmup:    200,
+			Horizon:   5000,
+		},
+		Replications:    64,
+		MinReplications: 2,
+		RelPrecision:    0.1,
+	}
+	var first RepResult
+	for i, workers := range []int{1, 3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := RunReplicated(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		if res.Replications != first.Replications {
+			t.Errorf("workers=%d stopped at %d replications, workers=1 at %d",
+				workers, res.Replications, first.Replications)
+		}
+		if res.MeanQueue != first.MeanQueue || res.MeanResponse != first.MeanResponse {
+			t.Errorf("workers=%d result differs: %+v vs %+v", workers, res.MeanQueue, first.MeanQueue)
+		}
+	}
+	if !first.Converged || first.Replications >= 64 {
+		t.Fatalf("scenario should converge early, ran %d (converged=%v)", first.Replications, first.Converged)
+	}
+}
+
+func TestRunReplicatedGateBoundsConcurrency(t *testing.T) {
+	cfg := repTestConfig()
+	cfg.Workers = 4
+	cfg.Gate = make(chan struct{}, 1) // engine-style external bound
+	gated, err := RunReplicated(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Gate = nil
+	free, err := RunReplicated(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.MeanQueue != free.MeanQueue || gated.Replications != free.Replications {
+		t.Errorf("gate changed the result: %+v vs %+v", gated.MeanQueue, free.MeanQueue)
+	}
+}
+
+func TestRunReplicatedUnattainablePrecision(t *testing.T) {
+	cfg := repTestConfig()
+	cfg.Config.Horizon = 2000
+	cfg.Replications = 4
+	cfg.MinReplications = 2
+	cfg.RelPrecision = 1e-9 // unattainable
+	res, err := RunReplicated(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("criterion cannot have been met")
+	}
+	if res.Replications != 4 {
+		t.Errorf("expected the R_max cap of 4, ran %d", res.Replications)
+	}
+}
+
+func TestRunReplicatedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunReplicated(ctx, repTestConfig()); err == nil {
+		t.Error("cancelled context must abort")
+	}
+}
+
+func TestRunReplicatedConfigErrors(t *testing.T) {
+	cfg := repTestConfig()
+	cfg.Replications = 1
+	if _, err := RunReplicated(context.Background(), cfg); err == nil {
+		t.Error("1 replication cannot produce a CI")
+	}
+	cfg = repTestConfig()
+	cfg.Servers = 0
+	if _, err := RunReplicated(context.Background(), cfg); err == nil {
+		t.Error("invalid per-replication config must propagate")
+	}
+	cfg = repTestConfig()
+	cfg.Confidence = 2
+	if _, err := RunReplicated(context.Background(), cfg); err == nil {
+		t.Error("confidence outside (0,1) must error")
+	}
+}
+
+func TestRepSeedDistinctStreams(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := RepSeed(20051215, i)
+		if s == 0 {
+			t.Fatal("RepSeed produced the reserved zero seed")
+		}
+		if seen[s] {
+			t.Fatalf("seed collision at replication %d", i)
+		}
+		seen[s] = true
+	}
+	if RepSeed(1, 0) == RepSeed(2, 0) {
+		t.Error("different base seeds must give different streams")
+	}
+}
+
+func TestReplicatedAgreesWithSingleRun(t *testing.T) {
+	// The CI midpoint should sit near the long single-run estimate.
+	cfg := repTestConfig()
+	cfg.Replications = 8
+	rep, err := RunReplicated(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := cfg.Config
+	one.Horizon = 160000
+	single, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rep.MeanQueue.Mean-single.MeanQueue) / single.MeanQueue; rel > 0.15 {
+		t.Errorf("replicated L %v vs single-run %v (rel %v)", rep.MeanQueue.Mean, single.MeanQueue, rel)
+	}
+	if rep.Completed <= 0 || len(rep.QueueDist) == 0 {
+		t.Error("aggregate counters missing")
+	}
+	var sum float64
+	for _, p := range rep.QueueDist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 0.02 {
+		t.Errorf("averaged queue distribution sums to %v", sum)
+	}
+}

@@ -9,6 +9,14 @@
 // The simulator covers what the analytical model cannot: non-phase-type
 // period distributions (the deterministic C² = 0 point of Figure 6) — and
 // independently validates the spectral-expansion solution.
+//
+// Run executes one replication and brackets the mean queue length L with a
+// batch-means confidence interval. RunReplicated executes R independent
+// replications in parallel — one deterministic RNG stream per replication
+// (RepSeed), aggregated in replication order so results are bit-for-bit
+// reproducible for any worker count — and reports Student-t confidence
+// intervals for L, the response time W and the availability, optionally
+// stopping early once a relative-precision criterion ε is met.
 package sim
 
 import (

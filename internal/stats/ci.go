@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// CI is a two-sided Student-t confidence interval for a population mean,
+// estimated from n independent observations (in the simulator, one
+// observation per replication): Mean ± HalfWidth covers the true mean with
+// probability Level under the usual normality-of-means assumption.
+type CI struct {
+	// Mean is the sample mean x̄.
+	Mean float64
+	// HalfWidth is t_{n−1, (1+Level)/2} · s/√n, the interval half-width.
+	HalfWidth float64
+	// Level is the confidence level (e.g. 0.95).
+	Level float64
+	// N is the number of observations the interval was built from.
+	N int
+}
+
+// Lo returns the interval lower end-point Mean − HalfWidth.
+func (c CI) Lo() float64 { return c.Mean - c.HalfWidth }
+
+// Hi returns the interval upper end-point Mean + HalfWidth.
+func (c CI) Hi() float64 { return c.Mean + c.HalfWidth }
+
+// Contains reports whether x lies inside the interval — the coverage check
+// used when validating an analytical result against simulation.
+func (c CI) Contains(x float64) bool { return x >= c.Lo() && x <= c.Hi() }
+
+// Relative returns HalfWidth/|Mean|, the relative precision achieved; it
+// is +Inf when the mean is zero, so a relative-precision stopping rule
+// never terminates on a degenerate estimate.
+func (c CI) Relative() float64 {
+	if c.Mean == 0 {
+		return math.Inf(1)
+	}
+	return c.HalfWidth / math.Abs(c.Mean)
+}
+
+// String renders the interval as "mean ± half-width (level% CI, n=N)".
+func (c CI) String() string {
+	return fmt.Sprintf("%.6g ± %.3g (%g%% CI, n=%d)", c.Mean, c.HalfWidth, 100*c.Level, c.N)
+}
+
+// MeanCI builds the two-sided Student-t interval at the given confidence
+// level from a sample of independent observations. It needs at least two
+// observations to estimate the variance.
+func MeanCI(sample []float64, level float64) (CI, error) {
+	n := len(sample)
+	if n < 2 {
+		return CI{}, fmt.Errorf("stats: confidence interval needs ≥ 2 observations, got %d", n)
+	}
+	if !(level > 0 && level < 1) {
+		return CI{}, fmt.Errorf("stats: confidence level %v must be in (0, 1)", level)
+	}
+	mean := Mean(sample)
+	var ss float64
+	for _, x := range sample {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1)) // unbiased sample standard deviation
+	t := TQuantile((1+level)/2, n-1)
+	return CI{
+		Mean:      mean,
+		HalfWidth: t * sd / math.Sqrt(float64(n)),
+		Level:     level,
+		N:         n,
+	}, nil
+}
+
+// TQuantile returns the p-quantile (0 < p < 1) of the Student-t
+// distribution with df degrees of freedom — e.g. TQuantile(0.975, 9) ≈
+// 2.262, the multiplier for a 95% interval from 10 replications. It inverts
+// the t CDF by bisection on the regularized incomplete beta function, which
+// is monotone and keeps the computation dependency-free and deterministic.
+func TQuantile(p float64, df int) float64 {
+	if df < 1 {
+		panic(fmt.Sprintf("stats: t quantile needs df ≥ 1, got %d", df))
+	}
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("stats: t quantile probability %v outside (0, 1)", p))
+	}
+	if p == 0.5 {
+		return 0
+	}
+	if p < 0.5 {
+		return -TQuantile(1-p, df)
+	}
+	// Two-sided tail mass α = 2(1−p); t solves I_{ν/(ν+t²)}(ν/2, 1/2) = α.
+	alpha := 2 * (1 - p)
+	cdf := func(t float64) float64 { // P(T ≤ t) for t ≥ 0
+		x := float64(df) / (float64(df) + t*t)
+		return 1 - 0.5*regIncBeta(float64(df)/2, 0.5, x)
+	}
+	lo, hi := 0.0, 2.0
+	for cdf(hi) < p && hi < 1e9 {
+		hi *= 2
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := 0.5 * (lo + hi)
+		a := float64(df) / (float64(df) + mid*mid)
+		if regIncBeta(float64(df)/2, 0.5, a) > alpha {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// evaluated by the standard Lentz continued fraction (converges fast for
+// x < (a+1)/(a+b+2); the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) covers the
+// rest).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta function
+// (Numerical Recipes §6.4 form) by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-15
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		num := fm * (b - fm) * x / ((qam + 2*fm) * (a + 2*fm))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		num = -(a + fm) * (qab + fm) * x / ((a + 2*fm) * (qap + 2*fm))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Reference two-sided 95% critical values t_{df, 0.975} (standard tables).
+func TestTQuantileAgainstTables(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.7062},
+		{2, 4.3027},
+		{4, 2.7764},
+		{9, 2.2622},
+		{19, 2.0930},
+		{29, 2.0452},
+		{99, 1.9842},
+		{999, 1.9623},
+	}
+	for _, c := range cases {
+		got := TQuantile(0.975, c.df)
+		if math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("TQuantile(0.975, %d) = %.5f, want %.4f", c.df, got, c.want)
+		}
+	}
+	// 99% two-sided, df = 9: 3.2498.
+	if got := TQuantile(0.995, 9); math.Abs(got-3.2498) > 5e-4 {
+		t.Errorf("TQuantile(0.995, 9) = %.5f, want 3.2498", got)
+	}
+	// Symmetry and the median.
+	if got := TQuantile(0.5, 7); got != 0 {
+		t.Errorf("TQuantile(0.5, 7) = %v, want 0", got)
+	}
+	if lo, hi := TQuantile(0.025, 9), TQuantile(0.975, 9); math.Abs(lo+hi) > 1e-9 {
+		t.Errorf("quantiles not symmetric: %v vs %v", lo, hi)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	// Known sample: mean 5, sd 1, n = 4 → half-width t_{3,0.975}·1/2 =
+	// 3.1824/2.
+	sample := []float64{4, 5, 5, 6}
+	ci, err := MeanCI(sample, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Mean != 5 {
+		t.Errorf("mean %v, want 5", ci.Mean)
+	}
+	sd := math.Sqrt(2.0 / 3.0)
+	want := TQuantile(0.975, 3) * sd / 2
+	if math.Abs(ci.HalfWidth-want) > 1e-12 {
+		t.Errorf("half-width %v, want %v", ci.HalfWidth, want)
+	}
+	if !ci.Contains(5) || ci.Contains(5+ci.HalfWidth*1.01) {
+		t.Error("Contains misbehaves at the interval edges")
+	}
+	if math.Abs(ci.Relative()-ci.HalfWidth/5) > 1e-15 {
+		t.Errorf("Relative() = %v", ci.Relative())
+	}
+	if ci.Lo() != 5-ci.HalfWidth || ci.Hi() != 5+ci.HalfWidth {
+		t.Error("Lo/Hi inconsistent with Mean ± HalfWidth")
+	}
+}
+
+func TestMeanCIErrors(t *testing.T) {
+	if _, err := MeanCI([]float64{1}, 0.95); err == nil {
+		t.Error("single observation must error")
+	}
+	if _, err := MeanCI([]float64{1, 2}, 1.5); err == nil {
+		t.Error("level outside (0,1) must error")
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = x²(3−2x).
+	x := 0.3
+	if got, want := regIncBeta(2, 2, x), x*x*(3-2*x); math.Abs(got-want) > 1e-12 {
+		t.Errorf("I_0.3(2,2) = %v, want %v", got, want)
+	}
+}

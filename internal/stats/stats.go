@@ -1,7 +1,10 @@
 // Package stats implements the empirical machinery of Palmer & Mitrani §2:
 // equal-width histograms with the paper's density and moment estimators
 // (eqs. 1–3), raw-sample statistics, and the Kolmogorov–Smirnov
-// goodness-of-fit test (eq. 4) with asymptotic critical values.
+// goodness-of-fit test (eq. 4) with asymptotic critical values. It also
+// provides the Student-t confidence intervals (MeanCI, TQuantile) that the
+// replicated simulator uses to bracket its estimates of L and W across
+// independent replications.
 package stats
 
 import (

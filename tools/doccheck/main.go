@@ -1,0 +1,158 @@
+// Command doccheck fails when an exported identifier in the given package
+// directories lacks a doc comment — the repository's golint-equivalent
+// documentation gate, run by the CI docs job over internal/... so the
+// godoc story never regresses. It needs only the standard library.
+//
+//	go run ./tools/doccheck internal/qbd internal/sim internal/stats internal/service
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, root := range os.Args[1:] {
+		dirs, err := packageDirs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			n, err := checkDir(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doccheck:", err)
+				os.Exit(2)
+			}
+			bad += n
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers\n", bad)
+		os.Exit(1)
+	}
+}
+
+// packageDirs expands a "dir/..." suffix into every subdirectory holding
+// Go files; a plain directory is returned as itself.
+func packageDirs(root string) ([]string, error) {
+	recursive := strings.HasSuffix(root, "/...")
+	if !recursive {
+		return []string{root}, nil
+	}
+	root = strings.TrimSuffix(root, "/...")
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// checkDir reports every undocumented exported identifier in one package
+// directory (test files excluded).
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	report := func(kind, name, docstr string) {
+		if strings.TrimSpace(docstr) == "" {
+			fmt.Printf("%s: %s %s undocumented\n", dir, kind, name)
+			bad++
+		}
+	}
+	exported := func(name string) bool {
+		// For methods the name arrives as Type.Method; both parts count.
+		for _, part := range strings.Split(name, ".") {
+			if !ast.IsExported(part) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, p := range pkgs {
+		d := doc.New(p, dir, 0)
+		report("package", p.Name, d.Doc)
+		for _, f := range d.Funcs {
+			if exported(f.Name) {
+				report("func", f.Name, f.Doc)
+			}
+		}
+		for _, t := range d.Types {
+			if !exported(t.Name) {
+				continue
+			}
+			report("type", t.Name, t.Doc)
+			for _, m := range t.Methods {
+				if exported(m.Name) {
+					report("method", t.Name+"."+m.Name, m.Doc)
+				}
+			}
+			for _, f := range t.Funcs {
+				if exported(f.Name) {
+					report("func", f.Name, f.Doc)
+				}
+			}
+			// Constructors and grouped values attached to the type.
+			for _, v := range append(t.Consts, t.Vars...) {
+				reportValues(v, report)
+			}
+		}
+		for _, v := range append(d.Consts, d.Vars...) {
+			reportValues(v, report)
+		}
+	}
+	return bad, nil
+}
+
+// reportValues checks one const/var declaration group: the group comment
+// covers every name in it.
+func reportValues(v *doc.Value, report func(kind, name, docstr string)) {
+	docstr := v.Doc
+	if strings.TrimSpace(docstr) == "" && v.Decl != nil {
+		// A group may document each spec individually instead.
+		allSpecsDocumented := len(v.Decl.Specs) > 0
+		for _, spec := range v.Decl.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || (vs.Doc == nil && vs.Comment == nil) {
+				allSpecsDocumented = false
+				break
+			}
+		}
+		if allSpecsDocumented {
+			return
+		}
+	}
+	for _, n := range v.Names {
+		if ast.IsExported(n) {
+			report("value", n, docstr)
+			return // one report per group is enough
+		}
+	}
+}

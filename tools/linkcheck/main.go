@@ -1,0 +1,81 @@
+// Command linkcheck verifies that intra-repository markdown links resolve:
+// every [text](target) whose target is neither an external URL nor a bare
+// anchor must point at an existing file or directory, relative to the file
+// containing the link. The CI docs job runs it over every tracked .md file
+// so ARCHITECTURE.md, README.md and friends never drift out of sync with
+// the tree.
+//
+//	go run ./tools/linkcheck README.md ARCHITECTURE.md docs/...
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target); images and nested
+// brackets are close enough to this form for a docs tree of this size.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, name := range os.Args[1:] {
+		n, err := checkFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken intra-repo links\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports every broken repository-relative link in one file.
+func checkFile(name string) (int, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			// Drop a trailing #anchor; the file part must still exist.
+			if j := strings.Index(target, "#"); j >= 0 {
+				target = target[:j]
+				if target == "" {
+					continue
+				}
+			}
+			resolved := filepath.Join(filepath.Dir(name), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: broken link %q (resolved %s)\n", name, i+1, m[1], resolved)
+				bad++
+			}
+		}
+	}
+	return bad, nil
+}
+
+// skip reports whether a link target is outside this checker's scope.
+func skip(target string) bool {
+	for _, prefix := range []string{"http://", "https://", "mailto:", "#"} {
+		if strings.HasPrefix(target, prefix) {
+			return true
+		}
+	}
+	return false
+}
