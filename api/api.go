@@ -1,0 +1,212 @@
+// Package api is the versioned wire contract of the mus-serve evaluation
+// daemon: every request and response body of the v1 HTTP API is defined
+// here once, shared by the server handlers (cmd/mus-serve), the Go SDK
+// (package client), the CLIs' remote modes and every test — so there is
+// exactly one schema to integrate against.
+//
+// The package owns three things:
+//
+//   - the DTOs — System (the common system object every POST embeds),
+//     Performance, CI, and one request/response pair per endpoint — each
+//     request carrying a Validate method that reports wire-level problems
+//     as structured *Error values;
+//   - the error taxonomy — Error{Code, Message, Field} with
+//     machine-readable codes, the ErrorEnvelope body of every non-2xx
+//     response, and the Code↔HTTP-status mapping;
+//   - the converters to the model layer — System.ToSystem,
+//     FromSystem, FromPerformance, ParseMethod — so handlers and clients
+//     never hand-roll translations.
+//
+// Sweeps stream: a /v1/sweep request sent with "Accept:
+// application/x-ndjson" is answered as newline-delimited JSON, one
+// SweepPoint per line flushed as soon as that grid point is solved,
+// instead of one buffered SweepResponse.
+package api
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// The v1 endpoint paths served by mus-serve.
+const (
+	// PathSolve is the steady-state evaluation endpoint (POST).
+	PathSolve = "/v1/solve"
+	// PathSweep is the grid-evaluation endpoint (POST); it also streams
+	// NDJSON when asked to (see ContentTypeNDJSON).
+	PathSweep = "/v1/sweep"
+	// PathOptimize is the provisioning-optimisation endpoint (POST).
+	PathOptimize = "/v1/optimize"
+	// PathSimulate is the replicated-simulation endpoint (POST).
+	PathSimulate = "/v1/simulate"
+	// PathStats is the engine-counters endpoint (GET).
+	PathStats = "/v1/stats"
+	// PathHealthz is the load-balancer readiness probe (GET).
+	PathHealthz = "/v1/healthz"
+)
+
+// Wire media types and headers.
+const (
+	// ContentTypeJSON is the default request and response body type.
+	ContentTypeJSON = "application/json"
+	// ContentTypeNDJSON, sent as an Accept header on /v1/sweep, switches
+	// the response to newline-delimited JSON: one SweepPoint per line,
+	// flushed as each grid point completes.
+	ContentTypeNDJSON = "application/x-ndjson"
+	// HeaderRequestID carries the request correlation ID. The server
+	// generates one when the client sends none, echoes it on every
+	// response, and embeds it in error envelopes.
+	HeaderRequestID = "X-Request-ID"
+)
+
+// Method names accepted by the "method" request field. ParseMethod also
+// accepts the aliases "approximation" and "matrix-geometric".
+const (
+	// MethodSpectral selects the exact spectral-expansion solution
+	// (the default when the field is empty).
+	MethodSpectral = "spectral"
+	// MethodApprox selects the geometric heavy-traffic approximation.
+	MethodApprox = "approx"
+	// MethodMG selects the matrix-geometric (R-matrix) solution.
+	MethodMG = "mg"
+)
+
+// MaxSweepPoints bounds the values grid of one sweep request.
+const MaxSweepPoints = 10000
+
+// DefaultReplications is the replication count a simulate request gets
+// when it does not name one — enough for cross-replication Student-t
+// confidence intervals on every estimate.
+const DefaultReplications = 8
+
+// ParseMethod resolves a wire method name to the core solver selector.
+// The empty string means spectral.
+func ParseMethod(name string) (core.Method, error) {
+	switch name {
+	case "", MethodSpectral:
+		return core.Spectral, nil
+	case MethodApprox, "approximation":
+		return core.Approximation, nil
+	case MethodMG, "matrix-geometric":
+		return core.MatrixGeometric, nil
+	default:
+		return 0, InvalidArgument("method", "unknown method %q (want spectral, approx or mg)", name)
+	}
+}
+
+// System is the wire form of core.System — the common system object every
+// POST body embeds. Omitted distribution fields default to the paper's
+// fitted Sun parameters (H2 operative periods with C² ≈ 4.6, exponential
+// repairs with rate 25) and Mu defaults to 1, so a minimal request is just
+// {"servers": N, "lambda": λ}.
+type System struct {
+	// Servers is N, the number of parallel servers (≥ 1).
+	Servers int `json:"servers"`
+	// Lambda is the Poisson arrival rate λ (> 0).
+	Lambda float64 `json:"lambda"`
+	// Mu is the service rate µ of one operative server (default 1).
+	Mu float64 `json:"mu,omitempty"`
+	// OpWeights and OpRates describe the hyperexponential operative-period
+	// distribution (phase probabilities α and rates ξ).
+	OpWeights []float64 `json:"op_weights,omitempty"`
+	// OpRates are the operative-period phase rates.
+	OpRates []float64 `json:"op_rates,omitempty"`
+	// RepWeights and RepRates describe the hyperexponential repair-period
+	// distribution.
+	RepWeights []float64 `json:"rep_weights,omitempty"`
+	// RepRates are the repair-period phase rates.
+	RepRates []float64 `json:"rep_rates,omitempty"`
+}
+
+// ToSystem converts the wire form to a validated core.System, applying
+// the documented defaults. Failures are *Error values with Field set.
+func (s System) ToSystem() (core.System, error) {
+	sys := core.System{
+		Servers:     s.Servers,
+		ArrivalRate: s.Lambda,
+		ServiceRate: s.Mu,
+	}
+	if sys.ServiceRate == 0 {
+		sys.ServiceRate = 1
+	}
+	var err error
+	switch {
+	case len(s.OpWeights) == 0 && len(s.OpRates) == 0:
+		sys.Operative = dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091})
+	default:
+		sys.Operative, err = dist.NewHyperExp(s.OpWeights, s.OpRates)
+		if err != nil {
+			return core.System{}, InvalidArgument("op_weights", "operative distribution: %v", err)
+		}
+	}
+	switch {
+	case len(s.RepWeights) == 0 && len(s.RepRates) == 0:
+		sys.Repair = dist.Exp(25)
+	default:
+		sys.Repair, err = dist.NewHyperExp(s.RepWeights, s.RepRates)
+		if err != nil {
+			return core.System{}, InvalidArgument("rep_weights", "repair distribution: %v", err)
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return core.System{}, InvalidArgument("system", "%v", err)
+	}
+	return sys, nil
+}
+
+// FromSystem converts a model system to its wire form — how CLIs and
+// other Go callers that already hold a core.System build requests.
+func FromSystem(sys core.System) System {
+	s := System{
+		Servers: sys.Servers,
+		Lambda:  sys.ArrivalRate,
+		Mu:      sys.ServiceRate,
+	}
+	if sys.Operative != nil {
+		s.OpWeights = append([]float64(nil), sys.Operative.Weights...)
+		s.OpRates = append([]float64(nil), sys.Operative.Rates...)
+	}
+	if sys.Repair != nil {
+		s.RepWeights = append([]float64(nil), sys.Repair.Weights...)
+		s.RepRates = append([]float64(nil), sys.Repair.Rates...)
+	}
+	return s
+}
+
+// Performance is the wire form of core.Performance — the steady-state
+// metrics block of solve, sweep and optimize responses.
+type Performance struct {
+	// MeanJobs is L, the mean number of jobs present.
+	MeanJobs float64 `json:"mean_jobs"`
+	// MeanResponse is W = L/λ (Little's law).
+	MeanResponse float64 `json:"mean_response"`
+	// TailDecay is z_s, the geometric decay rate of the queue-length tail.
+	TailDecay float64 `json:"tail_decay"`
+	// Load is the offered load relative to capacity (stable iff < 1).
+	Load float64 `json:"load"`
+}
+
+// FromPerformance converts solver output to its wire form.
+func FromPerformance(p *core.Performance) Performance {
+	return Performance{
+		MeanJobs:     p.MeanJobs,
+		MeanResponse: p.MeanResponse,
+		TailDecay:    p.TailDecay,
+		Load:         p.Load,
+	}
+}
+
+// CI is one point estimate with its confidence half-width: the true value
+// lies in [Mean−HalfWidth, Mean+HalfWidth] at the response's confidence
+// level.
+type CI struct {
+	// Mean is the point estimate.
+	Mean float64 `json:"mean"`
+	// HalfWidth brackets Mean at the enclosing response's confidence.
+	HalfWidth float64 `json:"half_width"`
+}
+
+// String renders the interval as "mean ± half-width".
+func (c CI) String() string { return fmt.Sprintf("%.6g ± %.3g", c.Mean, c.HalfWidth) }

@@ -1,0 +1,144 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Code is a machine-readable error classification carried on the wire.
+// Clients branch on codes, never on message text.
+type Code string
+
+// The error codes of the v1 API. Every error envelope carries exactly one.
+const (
+	// CodeInvalidArgument marks a malformed or out-of-range request
+	// (HTTP 400). Field, when set, names the offending request field.
+	CodeInvalidArgument Code = "invalid_argument"
+	// CodeUnstableSystem marks a well-formed configuration that violates
+	// the ergodicity condition (paper eq. 11) and therefore has no steady
+	// state (HTTP 422).
+	CodeUnstableSystem Code = "unstable_system"
+	// CodeUnsatisfiable marks a well-formed optimisation whose constraints
+	// cannot be met — e.g. no N in the range achieves the response-time
+	// target (HTTP 422).
+	CodeUnsatisfiable Code = "unsatisfiable"
+	// CodeCanceled marks a request abandoned by the caller before the
+	// engine finished (HTTP 499, nginx's "client closed request").
+	CodeCanceled Code = "canceled"
+	// CodeDeadlineExceeded marks a request that ran past its deadline
+	// (HTTP 504).
+	CodeDeadlineExceeded Code = "deadline_exceeded"
+	// CodeInternal marks an unexpected engine failure (HTTP 500).
+	CodeInternal Code = "internal"
+)
+
+// StatusClientClosedRequest is the non-standard HTTP status reported when
+// the client cancels a request mid-evaluation (nginx convention).
+const StatusClientClosedRequest = 499
+
+// Error is the structured error of the v1 API: every non-2xx response
+// carries one inside an ErrorEnvelope. It implements the error interface,
+// so clients recover it with errors.As after any SDK call.
+type Error struct {
+	// Code classifies the failure; see the Code constants.
+	Code Code `json:"code"`
+	// Message is a human-readable description. Not meant for matching.
+	Message string `json:"message"`
+	// Field optionally names the request field that caused an
+	// invalid_argument failure.
+	Field string `json:"field,omitempty"`
+}
+
+// Error renders the code, field and message as one line.
+func (e *Error) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("%s (field %q): %s", e.Code, e.Field, e.Message)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// HTTPStatus maps the error code to its canonical HTTP status.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeInvalidArgument:
+		return http.StatusBadRequest
+	case CodeUnstableSystem, CodeUnsatisfiable:
+		return http.StatusUnprocessableEntity
+	case CodeCanceled:
+		return StatusClientClosedRequest
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// CodeForStatus recovers the most specific code implied by an HTTP status;
+// it is the client-side fallback when a response carries no decodable
+// envelope (e.g. a proxy-generated 502).
+func CodeForStatus(status int) Code {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidArgument
+	case http.StatusUnprocessableEntity:
+		return CodeUnsatisfiable
+	case StatusClientClosedRequest:
+		return CodeCanceled
+	case http.StatusGatewayTimeout:
+		return CodeDeadlineExceeded
+	default:
+		return CodeInternal
+	}
+}
+
+// ErrorEnvelope is the body of every non-2xx response:
+//
+//	{"error": {"code": "...", "message": "...", "field": "..."}, "request_id": "..."}
+type ErrorEnvelope struct {
+	// Error is the structured failure.
+	Error *Error `json:"error"`
+	// RequestID echoes the X-Request-ID header of the failed request so
+	// log lines on both sides of the wire can be joined.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// InvalidArgument builds an invalid_argument error for one request field.
+func InvalidArgument(field, format string, args ...any) *Error {
+	return &Error{Code: CodeInvalidArgument, Field: field, Message: fmt.Sprintf(format, args...)}
+}
+
+// Internal builds an internal error from an engine failure.
+func Internal(err error) *Error {
+	return &Error{Code: CodeInternal, Message: err.Error()}
+}
+
+// Unstable builds the unstable_system error for a configuration violating
+// eq. 11, naming the smallest stabilising fleet size.
+func Unstable(sys core.System) *Error {
+	return &Error{
+		Code: CodeUnstableSystem,
+		Message: fmt.Sprintf("unstable: load %.4g ≥ 1, need at least %d servers",
+			sys.Load(), core.MinServersForStability(sys)),
+	}
+}
+
+// Classify lifts an arbitrary error into the wire taxonomy: an *Error
+// passes through unchanged, context cancellation and deadline expiry map
+// to their dedicated codes, and everything else is internal.
+func Classify(err error) *Error {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return &Error{Code: CodeCanceled, Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Code: CodeDeadlineExceeded, Message: err.Error()}
+	}
+	return Internal(err)
+}

@@ -1,0 +1,282 @@
+// Package client is the Go SDK for the mus-serve evaluation daemon: a
+// thin, typed wrapper over the versioned wire contract of package api.
+// Every endpoint has one context-aware method, every failure unwraps to a
+// structured *api.Error via errors.As, transient 5xx and transport
+// failures are retried with exponential backoff, and one underlying
+// http.Client reuses connections across calls.
+//
+//	c := client.New("http://localhost:8350")
+//	resp, err := c.Solve(ctx, api.SolveRequest{
+//	    System: api.System{Servers: 12, Lambda: 8},
+//	})
+//	var ae *api.Error
+//	if errors.As(err, &ae) && ae.Code == api.CodeUnstableSystem {
+//	    // add servers and retry
+//	}
+//
+// Long sweeps stream: SweepStream asks the server for NDJSON and invokes
+// a callback per grid point as soon as it is solved, so a 10k-point sweep
+// yields its first result in milliseconds.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/api"
+)
+
+// DefaultRetries is the number of times a call is re-sent after a 5xx or
+// transport failure when WithRetries is not used.
+const DefaultRetries = 2
+
+// DefaultBackoff is the base delay of the exponential retry backoff when
+// WithBackoff is not used; attempt k sleeps backoff·2ᵏ.
+const DefaultBackoff = 100 * time.Millisecond
+
+// Client talks to one mus-serve daemon. It is safe for concurrent use;
+// create it once and share it so connections are reused.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option customises a Client at construction.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (timeouts,
+// transport limits, instrumentation). The default is a dedicated client
+// with connection reuse and no global timeout — per-call deadlines come
+// from the context.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetries sets how many times a call is re-sent after a retryable
+// failure (HTTP 5xx or a transport error); 0 disables retries.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base delay of the exponential retry backoff.
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://localhost:8350"). A trailing slash is tolerated.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		httpc:   &http.Client{},
+		retries: DefaultRetries,
+		backoff: DefaultBackoff,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Solve evaluates one configuration (POST /v1/solve).
+func (c *Client) Solve(ctx context.Context, req api.SolveRequest) (*api.SolveResponse, error) {
+	var resp api.SolveResponse
+	if err := c.call(ctx, http.MethodPost, api.PathSolve, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sweep evaluates a parameter grid and returns the whole response at once
+// (POST /v1/sweep). For long grids prefer SweepStream.
+func (c *Client) Sweep(ctx context.Context, req api.SweepRequest) (*api.SweepResponse, error) {
+	var resp api.SweepResponse
+	if err := c.call(ctx, http.MethodPost, api.PathSweep, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SweepStream evaluates a parameter grid as an NDJSON stream
+// (POST /v1/sweep with Accept: application/x-ndjson): fn is invoked once
+// per grid point, in grid order, as soon as the server solves it.
+// Returning an error from fn abandons the stream (and the server's
+// remaining work) and returns that error. Per-point failures arrive in
+// SweepPoint.Error and do not stop the stream.
+func (c *Client) SweepStream(ctx context.Context, req api.SweepRequest, fn func(api.SweepPoint) error) error {
+	resp, err := c.send(ctx, http.MethodPost, api.PathSweep, req, api.ContentTypeNDJSON)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.errorFrom(resp, api.PathSweep)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	received := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var pt api.SweepPoint
+		if err := json.Unmarshal(line, &pt); err != nil {
+			return fmt.Errorf("client: POST %s: decode stream line: %w", api.PathSweep, err)
+		}
+		received++
+		if err := fn(pt); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: POST %s: read stream: %w", api.PathSweep, err)
+	}
+	// The stream carries its 200 before any point is solved, so a
+	// server-side failure (timeout, cancellation, crash) can only show up
+	// as truncation: fewer lines than grid points is an error, never a
+	// silent partial result.
+	if received < len(req.Values) {
+		return fmt.Errorf("client: POST %s: stream truncated after %d of %d points", api.PathSweep, received, len(req.Values))
+	}
+	return nil
+}
+
+// Optimize answers a provisioning question (POST /v1/optimize).
+func (c *Client) Optimize(ctx context.Context, req api.OptimizeRequest) (*api.OptimizeResponse, error) {
+	var resp api.OptimizeResponse
+	if err := c.call(ctx, http.MethodPost, api.PathOptimize, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Simulate runs a replicated simulation with confidence intervals
+// (POST /v1/simulate).
+func (c *Client) Simulate(ctx context.Context, req api.SimulateRequest) (*api.SimulateResponse, error) {
+	var resp api.SimulateResponse
+	if err := c.call(ctx, http.MethodPost, api.PathSimulate, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the engine counters (GET /v1/stats).
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var resp api.StatsResponse
+	if err := c.call(ctx, http.MethodGet, api.PathStats, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health probes daemon readiness (GET /v1/healthz).
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	var resp api.HealthResponse
+	if err := c.call(ctx, http.MethodGet, api.PathHealthz, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// call sends one JSON request and decodes a JSON response, translating
+// non-2xx statuses into *api.Error values.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	resp, err := c.send(ctx, method, path, in, api.ContentTypeJSON)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.errorFrom(resp, path)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: %s %s: decode response: %w", method, path, err)
+	}
+	return nil
+}
+
+// send issues the request with retries: a transport failure or a 5xx
+// status is retried up to c.retries times with exponential backoff, the
+// request body re-sent from scratch each attempt. Responses below 500
+// (including structured 4xx errors) return immediately.
+func (c *Client) send(ctx context.Context, method, path string, in any, accept string) (*http.Response, error) {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return nil, fmt.Errorf("client: %s %s: encode request: %w", method, path, err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", api.ContentTypeJSON)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := c.httpc.Do(req)
+		switch {
+		case err != nil:
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+		case resp.StatusCode >= http.StatusInternalServerError:
+			if attempt >= c.retries {
+				return resp, nil // caller renders the final 5xx as *api.Error
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10)) //nolint:errcheck
+			resp.Body.Close()
+			lastErr = nil
+		default:
+			return resp, nil
+		}
+		if attempt >= c.retries {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(c.backoff << attempt):
+		case <-ctx.Done():
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
+		}
+	}
+}
+
+// errorFrom turns a non-2xx response into an error wrapping *api.Error,
+// so callers recover the code with errors.As. The response body is
+// consumed.
+func (c *Client) errorFrom(resp *http.Response, path string) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	reqID := resp.Header.Get(api.HeaderRequestID)
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		if env.RequestID != "" {
+			reqID = env.RequestID
+		}
+		return c.wrapError(resp.Request.Method, path, reqID, env.Error)
+	}
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return c.wrapError(resp.Request.Method, path, reqID,
+		&api.Error{Code: api.CodeForStatus(resp.StatusCode), Message: msg})
+}
+
+// wrapError attaches call context (and the request ID when known) while
+// keeping the *api.Error reachable through errors.As.
+func (c *Client) wrapError(method, path, reqID string, ae *api.Error) error {
+	if reqID != "" {
+		return fmt.Errorf("client: %s %s (request %s): %w", method, path, reqID, ae)
+	}
+	return fmt.Errorf("client: %s %s: %w", method, path, ae)
+}

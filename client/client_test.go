@@ -1,0 +1,375 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// stubServer is a miniature mus-serve speaking the api wire schema: it
+// round-trips every endpoint's request/response types without doing real
+// solver work, so these tests pin the SDK's wire behaviour (encoding,
+// typed errors, streaming, retries) in isolation. The full-stack
+// round trip against the real daemon handlers lives in cmd/mus-serve.
+func stubServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	writeErr := func(w http.ResponseWriter, ae *api.Error, reqID string) {
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.WriteHeader(ae.HTTPStatus())
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: ae, RequestID: reqID}) //nolint:errcheck
+	}
+	mux.HandleFunc("POST "+api.PathSolve, func(w http.ResponseWriter, r *http.Request) {
+		var req api.SolveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, api.InvalidArgument("body", "decode: %v", err), "")
+			return
+		}
+		if err := req.Validate(); err != nil {
+			writeErr(w, api.Classify(err), "req-stub-1")
+			return
+		}
+		sys, err := req.ToSystem()
+		if err != nil {
+			writeErr(w, api.Classify(err), "")
+			return
+		}
+		if !sys.Stable() {
+			writeErr(w, api.Unstable(sys), "req-stub-2")
+			return
+		}
+		resp := api.SolveResponse{
+			Fingerprint:  sys.Fingerprint(),
+			Method:       "spectral",
+			Availability: sys.Availability(),
+			Modes:        sys.Modes(),
+			Stable:       true,
+			Perf:         api.Performance{MeanJobs: 42, MeanResponse: 42 / sys.ArrivalRate, Load: sys.Load()},
+		}
+		if req.HoldingCost > 0 || req.ServerCost > 0 {
+			cost := req.HoldingCost*42 + req.ServerCost*float64(sys.Servers)
+			resp.Cost = &cost
+		}
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	})
+	mux.HandleFunc("POST "+api.PathSweep, func(w http.ResponseWriter, r *http.Request) {
+		var req api.SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, api.InvalidArgument("body", "decode: %v", err), "")
+			return
+		}
+		if err := req.Validate(); err != nil {
+			writeErr(w, api.Classify(err), "")
+			return
+		}
+		points := make([]api.SweepPoint, len(req.Values))
+		for i, v := range req.Values {
+			points[i] = api.SweepPoint{Index: i, Value: v, Perf: &api.Performance{MeanJobs: v * 2}}
+		}
+		if r.Header.Get("Accept") == api.ContentTypeNDJSON {
+			w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+			enc := json.NewEncoder(w)
+			fl, _ := w.(http.Flusher)
+			for _, pt := range points {
+				enc.Encode(pt) //nolint:errcheck
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+			return
+		}
+		json.NewEncoder(w).Encode(api.SweepResponse{Method: "spectral", Param: req.Param, Points: points}) //nolint:errcheck
+	})
+	mux.HandleFunc("POST "+api.PathOptimize, func(w http.ResponseWriter, r *http.Request) {
+		var req api.OptimizeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, api.InvalidArgument("body", "decode: %v", err), "")
+			return
+		}
+		if err := req.Validate(); err != nil {
+			writeErr(w, api.Classify(err), "")
+			return
+		}
+		if req.TargetResponse > 0 && req.TargetResponse < 0.001 {
+			writeErr(w, &api.Error{Code: api.CodeUnsatisfiable, Message: "no N achieves the target"}, "")
+			return
+		}
+		cost := 58.13
+		json.NewEncoder(w).Encode(api.OptimizeResponse{ //nolint:errcheck
+			Objective: "stub", Servers: 12, Cost: &cost, Perf: api.Performance{MeanJobs: 8.28},
+		})
+	})
+	mux.HandleFunc("POST "+api.PathSimulate, func(w http.ResponseWriter, r *http.Request) {
+		var req api.SimulateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, api.InvalidArgument("body", "decode: %v", err), "")
+			return
+		}
+		if err := req.Validate(); err != nil {
+			writeErr(w, api.Classify(err), "")
+			return
+		}
+		json.NewEncoder(w).Encode(api.SimulateResponse{ //nolint:errcheck
+			Fingerprint:  "stub",
+			Replications: req.Options().Replications,
+			Converged:    true,
+			Confidence:   0.95,
+			MeanQueue:    api.CI{Mean: 12.3, HalfWidth: 0.2},
+			MeanResponse: api.CI{Mean: 1.5, HalfWidth: 0.03},
+			Availability: api.CI{Mean: 0.993, HalfWidth: 0.001},
+			Completed:    1000,
+		})
+	})
+	mux.HandleFunc("GET "+api.PathStats, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.StatsResponse{Workers: 4, Solves: 7, Cache: api.CacheStats{Hits: 3, Misses: 7, HitRate: 0.3}}) //nolint:errcheck
+	})
+	mux.HandleFunc("GET "+api.PathHealthz, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok", Workers: 4, CacheCapacity: 4096, SimCacheCapacity: 256}) //nolint:errcheck
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientRoundTripsAllEndpoints(t *testing.T) {
+	ts := stubServer(t)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	solve, err := c.Solve(ctx, api.SolveRequest{System: api.System{Servers: 12, Lambda: 8}, HoldingCost: 4, ServerCost: 1})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if solve.Perf.MeanJobs != 42 || solve.Cost == nil || *solve.Cost != 4*42+12 {
+		t.Errorf("solve round trip lost fields: %+v", solve)
+	}
+
+	sweep, err := c.Sweep(ctx, api.SweepRequest{System: api.System{Servers: 10}, Param: api.ParamLambda, Values: []float64{1, 2, 3}})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(sweep.Points) != 3 || sweep.Points[2].Perf.MeanJobs != 6 {
+		t.Errorf("sweep round trip lost fields: %+v", sweep)
+	}
+
+	opt, err := c.Optimize(ctx, api.OptimizeRequest{System: api.System{Lambda: 8}, HoldingCost: 4, ServerCost: 1, MinServers: 9, MaxServers: 17})
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if opt.Servers != 12 || opt.Cost == nil {
+		t.Errorf("optimize round trip lost fields: %+v", opt)
+	}
+
+	sim, err := c.Simulate(ctx, api.SimulateRequest{System: api.System{Servers: 3, Lambda: 1.8}})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if sim.Replications != api.DefaultReplications || sim.MeanQueue.HalfWidth != 0.2 {
+		t.Errorf("simulate round trip lost fields: %+v", sim)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Solves != 7 || st.Cache.Hits != 3 {
+		t.Errorf("stats round trip lost fields: %+v", st)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.Status != "ok" || h.Workers != 4 {
+		t.Errorf("health round trip lost fields: %+v", h)
+	}
+}
+
+func TestClientTypedErrors(t *testing.T) {
+	ts := stubServer(t)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	_, err := c.Solve(ctx, api.SolveRequest{System: api.System{Servers: 2, Lambda: 50}})
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("unstable error %v does not unwrap to *api.Error", err)
+	}
+	if ae.Code != api.CodeUnstableSystem || ae.HTTPStatus() != http.StatusUnprocessableEntity {
+		t.Errorf("code = %s, want unstable_system", ae.Code)
+	}
+
+	_, err = c.Solve(ctx, api.SolveRequest{System: api.System{Servers: 3, Lambda: 1}, Method: "quantum"})
+	ae = nil
+	if !errors.As(err, &ae) || ae.Code != api.CodeInvalidArgument || ae.Field != "method" {
+		t.Errorf("invalid method: got %v", err)
+	}
+
+	_, err = c.Optimize(ctx, api.OptimizeRequest{System: api.System{Lambda: 8}, TargetResponse: 0.0001})
+	ae = nil
+	if !errors.As(err, &ae) || ae.Code != api.CodeUnsatisfiable {
+		t.Errorf("unsatisfiable: got %v", err)
+	}
+}
+
+func TestClientSweepStream(t *testing.T) {
+	ts := stubServer(t)
+	c := New(ts.URL)
+	var got []api.SweepPoint
+	err := c.SweepStream(context.Background(),
+		api.SweepRequest{System: api.System{Servers: 10}, Param: api.ParamLambda, Values: []float64{1, 2, 3, 4}},
+		func(pt api.SweepPoint) error {
+			got = append(got, pt)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("%d points, want 4", len(got))
+	}
+	for i, pt := range got {
+		if pt.Index != i || pt.Perf == nil || pt.Perf.MeanJobs != pt.Value*2 {
+			t.Errorf("point %d corrupted: %+v", i, pt)
+		}
+	}
+
+	// A validation failure surfaces as a typed error, not a stream.
+	err = c.SweepStream(context.Background(),
+		api.SweepRequest{System: api.System{Servers: 10}, Param: "mu", Values: []float64{1}},
+		func(api.SweepPoint) error { t.Error("callback on failed stream"); return nil })
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeInvalidArgument {
+		t.Errorf("stream validation error: got %v", err)
+	}
+
+	// A callback error abandons the stream.
+	sentinel := errors.New("enough")
+	calls := 0
+	err = c.SweepStream(context.Background(),
+		api.SweepRequest{System: api.System{Servers: 10}, Param: api.ParamLambda, Values: []float64{1, 2, 3, 4}},
+		func(api.SweepPoint) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Errorf("callback error: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestClientSweepStreamDetectsTruncation(t *testing.T) {
+	// A server that dies mid-stream (timeout, crash, cancellation) leaves
+	// a clean EOF behind the 200 — the SDK must refuse to pass that off
+	// as a complete sweep.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+		enc := json.NewEncoder(w)
+		for i := 0; i < 2; i++ { // only 2 of the 4 requested points
+			enc.Encode(api.SweepPoint{Index: i, Value: float64(i), Perf: &api.Performance{}}) //nolint:errcheck
+		}
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(0))
+	seen := 0
+	err := c.SweepStream(context.Background(),
+		api.SweepRequest{System: api.System{Servers: 10}, Param: api.ParamLambda, Values: []float64{1, 2, 3, 4}},
+		func(api.SweepPoint) error { seen++; return nil })
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated stream returned %v, want a truncation error", err)
+	}
+	if seen != 2 {
+		t.Errorf("callback saw %d points, want the 2 that arrived", seen)
+	}
+}
+
+func TestClientRetriesOn5xx(t *testing.T) {
+	var hits atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "worker crashed", http.StatusBadGateway)
+			return
+		}
+		json.NewEncoder(w).Encode(api.StatsResponse{Workers: 1}) //nolint:errcheck
+	}))
+	defer flaky.Close()
+	c := New(flaky.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("retries did not recover: %v", err)
+	}
+	if st.Workers != 1 || hits.Load() != 3 {
+		t.Errorf("workers=%d after %d attempts", st.Workers, hits.Load())
+	}
+}
+
+func TestClientRetriesExhausted(t *testing.T) {
+	var hits atomic.Int32
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "still down", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	c := New(down.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	_, err := c.Stats(context.Background())
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeInternal {
+		t.Fatalf("exhausted retries: got %v, want internal", err)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("%d attempts, want 3 (1 + 2 retries)", hits.Load())
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.InvalidArgument("lambda", "bad")}) //nolint:errcheck
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(5), WithBackoff(time.Millisecond))
+	_, err := c.Solve(context.Background(), api.SolveRequest{System: api.System{Servers: 1, Lambda: 1}})
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeInvalidArgument {
+		t.Fatalf("got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("4xx retried %d times", hits.Load())
+	}
+}
+
+func TestClientErrorMessageCarriesRequestID(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.HeaderRequestID, "req-77")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{ //nolint:errcheck
+			Error:     &api.Error{Code: api.CodeUnstableSystem, Message: "unstable"},
+			RequestID: "req-77",
+		})
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(0))
+	_, err := c.Solve(context.Background(), api.SolveRequest{System: api.System{Servers: 1, Lambda: 99}})
+	if err == nil || !strings.Contains(err.Error(), "req-77") {
+		t.Errorf("error %q does not mention the request id", err)
+	}
+}
+
+func TestClientHonoursContext(t *testing.T) {
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer stall.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := New(stall.URL, WithRetries(0))
+	if _, err := c.Stats(ctx); err == nil {
+		t.Fatal("expected a context error")
+	}
+}

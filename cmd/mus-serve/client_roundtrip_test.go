@@ -1,0 +1,276 @@
+package main
+
+// Full-stack round trips: the client SDK (package client) against the
+// real daemon handlers, so the one wire schema in package api is
+// exercised end to end from both sides. The SDK's wire mechanics in
+// isolation (retries, stub errors) are covered in package client; here
+// the numbers are real.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/service"
+)
+
+func TestClientServerRoundTripAllEndpoints(t *testing.T) {
+	ts := testServer(t)
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	solve, err := c.Solve(ctx, api.SolveRequest{
+		System:      api.System{Servers: 12, Lambda: 8},
+		HoldingCost: 4, ServerCost: 1,
+	})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if solve.Cost == nil || !solve.Stable {
+		t.Errorf("solve response incomplete: %+v", solve)
+	}
+
+	sweep, err := c.Sweep(ctx, api.SweepRequest{
+		System: api.System{Servers: 10},
+		Param:  api.ParamLambda,
+		Values: []float64{4, 5, 6},
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(sweep.Points) != 3 || sweep.Points[2].Perf == nil {
+		t.Fatalf("sweep response incomplete: %+v", sweep)
+	}
+	// The λ=8, N=12 point must agree between /v1/solve and /v1/sweep.
+	one, err := c.Sweep(ctx, api.SweepRequest{
+		System: api.System{Servers: 12},
+		Param:  api.ParamLambda,
+		Values: []float64{8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one.Points[0].Perf.MeanJobs-solve.Perf.MeanJobs) > 1e-12 {
+		t.Errorf("sweep L=%v vs solve L=%v", one.Points[0].Perf.MeanJobs, solve.Perf.MeanJobs)
+	}
+
+	opt, err := c.Optimize(ctx, api.OptimizeRequest{
+		System:      api.System{Lambda: 8},
+		HoldingCost: 4, ServerCost: 1,
+		MinServers: 9, MaxServers: 17,
+	})
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if opt.Servers != 12 {
+		t.Errorf("N* = %d, paper says 12", opt.Servers)
+	}
+
+	sim, err := c.Simulate(ctx, api.SimulateRequest{
+		System: api.System{Servers: 3, Lambda: 1.8},
+		Seed:   11, Warmup: 500, Horizon: 20000, Replications: 4,
+	})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if sim.Replications != 4 || sim.MeanQueue.HalfWidth <= 0 {
+		t.Errorf("simulate response incomplete: %+v", sim)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Requests == 0 || st.Solves == 0 {
+		t.Errorf("stats counters empty: %+v", st)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.Status != "ok" || h.Workers != st.Workers {
+		t.Errorf("health response inconsistent: %+v vs workers %d", h, st.Workers)
+	}
+}
+
+func TestClientServerTypedErrors(t *testing.T) {
+	ts := testServer(t)
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	_, err := c.Solve(ctx, api.SolveRequest{System: api.System{Servers: 2, Lambda: 50}})
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeUnstableSystem {
+		t.Errorf("unstable over the wire: got %v", err)
+	}
+
+	_, err = c.Optimize(ctx, api.OptimizeRequest{
+		System:         api.System{Lambda: 8},
+		TargetResponse: 0.9, MinServers: 1, MaxServers: 2,
+	})
+	ae = nil
+	if !errors.As(err, &ae) || ae.Code != api.CodeUnsatisfiable {
+		t.Errorf("unsatisfiable over the wire: got %v", err)
+	}
+
+	_, err = c.Simulate(ctx, api.SimulateRequest{System: api.System{Servers: 3, Lambda: 1}, Confidence: 2})
+	ae = nil
+	if !errors.As(err, &ae) || ae.Code != api.CodeInvalidArgument || ae.Field != "confidence" {
+		t.Errorf("invalid argument over the wire: got %v", err)
+	}
+}
+
+// TestSweepStreamDeliversFirstPointEarly pins the NDJSON contract: with a
+// single-worker engine and increasingly expensive grid points, the first
+// point must arrive while most of the sweep is still unsolved — i.e. the
+// server streams incrementally instead of buffering the whole response.
+func TestSweepStreamDeliversFirstPointEarly(t *testing.T) {
+	// One worker, no cache: the points solve strictly in order, each
+	// N=15..18 point costing hundreds of milliseconds to seconds.
+	eng := service.NewEngine(service.Config{Workers: 1, CacheSize: -1})
+	ts := httptest.NewServer(newServer(eng).handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(api.SweepRequest{
+		System: api.System{Lambda: 5},
+		Param:  api.ParamServers,
+		Values: []float64{10, 15, 16, 17, 18},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+api.PathSweep, strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", api.ContentTypeJSON)
+	req.Header.Set("Accept", api.ContentTypeNDJSON)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != api.ContentTypeNDJSON {
+		t.Fatalf("content type %q, want %s", ct, api.ContentTypeNDJSON)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+	var first api.SweepPoint
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("first line is not a SweepPoint: %v\n%s", err, sc.Bytes())
+	}
+	if first.Index != 0 || first.Value != 10 || first.Perf == nil {
+		t.Fatalf("first point wrong: %+v", first)
+	}
+	// The first point is in hand; the engine must still be far from done.
+	// Each remaining point needs ≥700ms of solver time on one worker, so
+	// even generous scheduling slack cannot have finished the sweep.
+	if solves := eng.Stats().Solves; solves >= 5 {
+		t.Errorf("all %d points solved before the first was read — stream is buffering", solves)
+	}
+	// Abandoning the stream cancels the remaining evaluations server-side.
+	cancel()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if eng.Stats().Solves < 5 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if solves := eng.Stats().Solves; solves >= 5 {
+		t.Errorf("sweep ran to completion (%d solves) despite client cancellation", solves)
+	}
+}
+
+// TestSweepStreamOutlivesServerWriteTimeout pins the per-point write
+// deadline: the server's absolute WriteTimeout would cut a long stream
+// mid-flight, so streamSweep must roll the deadline forward at every
+// point. With a 1-second WriteTimeout and a sweep that streams for
+// several seconds, every point must still arrive.
+func TestSweepStreamOutlivesServerWriteTimeout(t *testing.T) {
+	eng := service.NewEngine(service.Config{Workers: 1, CacheSize: -1})
+	ts := httptest.NewUnstartedServer(newServer(eng).handler())
+	ts.Config.WriteTimeout = time.Second
+	ts.Start()
+	defer ts.Close()
+
+	// Ten distinct N=14 solves on one worker with no cache: each costs
+	// hundreds of milliseconds, so the stream far outlasts the timeout.
+	values := make([]float64, 10)
+	for i := range values {
+		values[i] = 4 + 0.3*float64(i)
+	}
+	c := client.New(ts.URL, client.WithRetries(0))
+	count := 0
+	err := c.SweepStream(context.Background(), api.SweepRequest{
+		System: api.System{Servers: 14},
+		Param:  api.ParamLambda,
+		Values: values,
+	}, func(pt api.SweepPoint) error {
+		if pt.Error != "" {
+			t.Errorf("point %d failed: %s", pt.Index, pt.Error)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream died before the grid was done (after %d points): %v", count, err)
+	}
+	if count != len(values) {
+		t.Errorf("%d points, want %d", count, len(values))
+	}
+}
+
+// TestClientSweepStreamAgainstRealServer round-trips the streaming path
+// through the SDK: every point arrives, in order, with per-point errors
+// carried in-band.
+func TestClientSweepStreamAgainstRealServer(t *testing.T) {
+	ts := testServer(t)
+	c := client.New(ts.URL)
+	var got []api.SweepPoint
+	err := c.SweepStream(context.Background(), api.SweepRequest{
+		System: api.System{Lambda: 8},
+		Param:  api.ParamServers,
+		Values: []float64{0, 9, 12}, // N=0 is invalid: its point carries the error
+	}, func(pt api.SweepPoint) error {
+		got = append(got, pt)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d points, want 3", len(got))
+	}
+	for i, pt := range got {
+		if pt.Index != i {
+			t.Errorf("point %d has index %d — out of order", i, pt.Index)
+		}
+	}
+	if got[0].Error == "" || got[0].Perf != nil {
+		t.Errorf("invalid point not reported in-band: %+v", got[0])
+	}
+	if got[1].Perf == nil || got[2].Perf == nil {
+		t.Fatalf("valid points missing perf: %+v", got)
+	}
+	if got[1].Perf.MeanJobs <= got[2].Perf.MeanJobs {
+		t.Error("L(N=9) should exceed L(N=12)")
+	}
+}

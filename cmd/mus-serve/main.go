@@ -5,16 +5,24 @@
 //
 //	mus-serve -addr :8350 -workers 8 -cache 16384
 //
-// Endpoints (see README.md for request/response schemas):
+// The wire contract — request/response DTOs, the structured error
+// envelope with machine-readable codes, and the NDJSON streaming scheme —
+// lives in package api; package client is the matching Go SDK. Endpoints
+// (see README.md for schemas):
 //
 //	POST /v1/solve     — steady-state performance of one configuration
-//	POST /v1/sweep     — batch evaluation over a λ or N grid
+//	POST /v1/sweep     — batch evaluation over a λ or N grid; with
+//	                     "Accept: application/x-ndjson" each grid point
+//	                     streams back as soon as it is solved
 //	POST /v1/optimize  — cost-optimal N (Fig. 5) or min N for an SLA (Fig. 9)
 //	POST /v1/simulate  — replicated simulation with 95% confidence intervals
 //	GET  /v1/stats     — engine, worker-pool and cache counters
+//	GET  /v1/healthz   — load-balancer readiness probe
 //
-// Distribution fields default to the paper's fitted Sun parameters, so the
-// smallest useful request is
+// Every response echoes an X-Request-ID header (generated when the caller
+// sends none) that also appears in error envelopes, so client and server
+// logs can be joined. Distribution fields default to the paper's fitted
+// Sun parameters, so the smallest useful request is
 //
 //	curl -s localhost:8350/v1/solve -d '{"servers": 12, "lambda": 8}'
 package main
@@ -57,7 +65,9 @@ func run(args []string) error {
 		Handler:           newServer(eng).handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      5 * time.Minute, // large sweeps take a while
+		// Buffered sweeps take a while; NDJSON streams roll their own
+		// per-point write deadline past this (see streamSweep).
+		WriteTimeout: 5 * time.Minute,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

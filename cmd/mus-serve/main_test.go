@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/api"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/service"
@@ -40,9 +41,28 @@ func postJSON(t *testing.T, url string, body string, out any) (int, string) {
 	return resp.StatusCode, string(raw)
 }
 
+// postForError posts a request expected to fail and decodes its envelope.
+func postForError(t *testing.T, url, body string) (int, api.ErrorEnvelope) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("error body is not an envelope: %v\n%s", err, raw)
+	}
+	return resp.StatusCode, env
+}
+
 func TestSolveEndpoint(t *testing.T) {
 	ts := testServer(t)
-	var got solveResponse
+	var got api.SolveResponse
 	status, raw := postJSON(t, ts.URL+"/v1/solve",
 		`{"servers": 12, "lambda": 8, "holding_cost": 4, "server_cost": 1}`, &got)
 	if status != http.StatusOK {
@@ -87,17 +107,25 @@ func TestSolveEndpointRejectsBadInput(t *testing.T) {
 	cases := []struct {
 		name, body string
 		wantStatus int
+		wantCode   api.Code
 	}{
-		{"invalid json", `{"servers": `, http.StatusBadRequest},
-		{"unknown field", `{"serverz": 3}`, http.StatusBadRequest},
-		{"no servers", `{"lambda": 8}`, http.StatusBadRequest},
-		{"bad method", `{"servers": 3, "lambda": 1, "method": "quantum"}`, http.StatusBadRequest},
-		{"bad distribution", `{"servers": 3, "lambda": 1, "op_weights": [0.5], "op_rates": [0.5, 1]}`, http.StatusBadRequest},
-		{"unstable", `{"servers": 2, "lambda": 50}`, http.StatusUnprocessableEntity},
+		{"invalid json", `{"servers": `, http.StatusBadRequest, api.CodeInvalidArgument},
+		{"unknown field", `{"serverz": 3}`, http.StatusBadRequest, api.CodeInvalidArgument},
+		{"no servers", `{"lambda": 8}`, http.StatusBadRequest, api.CodeInvalidArgument},
+		{"bad method", `{"servers": 3, "lambda": 1, "method": "quantum"}`, http.StatusBadRequest, api.CodeInvalidArgument},
+		{"bad distribution", `{"servers": 3, "lambda": 1, "op_weights": [0.5], "op_rates": [0.5, 1]}`, http.StatusBadRequest, api.CodeInvalidArgument},
+		{"unstable", `{"servers": 2, "lambda": 50}`, http.StatusUnprocessableEntity, api.CodeUnstableSystem},
 	}
 	for _, c := range cases {
-		if status, raw := postJSON(t, ts.URL+"/v1/solve", c.body, nil); status != c.wantStatus {
-			t.Errorf("%s: status %d, want %d (%s)", c.name, status, c.wantStatus, raw)
+		status, env := postForError(t, ts.URL+"/v1/solve", c.body)
+		if status != c.wantStatus {
+			t.Errorf("%s: status %d, want %d", c.name, status, c.wantStatus)
+		}
+		if env.Error == nil || env.Error.Code != c.wantCode {
+			t.Errorf("%s: envelope %+v, want code %s", c.name, env.Error, c.wantCode)
+		}
+		if env.RequestID == "" {
+			t.Errorf("%s: error envelope missing request_id", c.name)
 		}
 	}
 	// Wrong verb.
@@ -113,7 +141,7 @@ func TestSolveEndpointRejectsBadInput(t *testing.T) {
 
 func TestSweepEndpointLambda(t *testing.T) {
 	ts := testServer(t)
-	var got sweepResponse
+	var got api.SweepResponse
 	status, raw := postJSON(t, ts.URL+"/v1/sweep",
 		`{"servers": 10, "param": "lambda", "values": [4, 5, 6, 7], "method": "spectral"}`, &got)
 	if status != http.StatusOK {
@@ -127,6 +155,9 @@ func TestSweepEndpointLambda(t *testing.T) {
 		if pt.Error != "" {
 			t.Fatalf("point %d failed: %s", i, pt.Error)
 		}
+		if pt.Index != i {
+			t.Errorf("point %d carries index %d", i, pt.Index)
+		}
 		if pt.Perf.MeanJobs <= prev {
 			t.Errorf("L not increasing with λ at %v", pt.Value)
 		}
@@ -136,7 +167,7 @@ func TestSweepEndpointLambda(t *testing.T) {
 
 func TestSweepEndpointServersWithPerPointErrors(t *testing.T) {
 	ts := testServer(t)
-	var got sweepResponse
+	var got api.SweepResponse
 	// N=8 is unstable at λ=8 with the default availability (≈0.993·8 < 8);
 	// its point must carry an error while the others succeed.
 	status, raw := postJSON(t, ts.URL+"/v1/sweep",
@@ -169,7 +200,7 @@ func TestSweepEndpointRejectsBadParam(t *testing.T) {
 
 func TestOptimizeEndpointCost(t *testing.T) {
 	ts := testServer(t)
-	var got optimizeResponse
+	var got api.OptimizeResponse
 	// Figure 5, λ = 8: the cost-optimal fleet is N* = 12.
 	status, raw := postJSON(t, ts.URL+"/v1/optimize",
 		`{"lambda": 8, "holding_cost": 4, "server_cost": 1, "min_servers": 9, "max_servers": 17}`, &got)
@@ -186,7 +217,7 @@ func TestOptimizeEndpointCost(t *testing.T) {
 
 func TestOptimizeEndpointResponseTarget(t *testing.T) {
 	ts := testServer(t)
-	var got optimizeResponse
+	var got api.OptimizeResponse
 	// Figure 9: λ = 7.5, W ≤ 1.5 needs 9 servers.
 	status, raw := postJSON(t, ts.URL+"/v1/optimize",
 		`{"lambda": 7.5, "target_response": 1.5}`, &got)
@@ -203,7 +234,7 @@ func TestOptimizeEndpointResponseTarget(t *testing.T) {
 
 func TestOptimizeEndpointRespectsMinServersFloor(t *testing.T) {
 	ts := testServer(t)
-	var got optimizeResponse
+	var got api.OptimizeResponse
 	// Without the floor the answer is 9; the client's min_servers must hold.
 	status, raw := postJSON(t, ts.URL+"/v1/optimize",
 		`{"lambda": 7.5, "target_response": 1.5, "min_servers": 11, "max_servers": 20}`, &got)
@@ -212,6 +243,20 @@ func TestOptimizeEndpointRespectsMinServersFloor(t *testing.T) {
 	}
 	if got.Servers != 11 {
 		t.Errorf("min N = %d, want the requested floor 11", got.Servers)
+	}
+}
+
+func TestOptimizeEndpointUnsatisfiableCode(t *testing.T) {
+	ts := testServer(t)
+	// No N in [1, 2] can hold W ≤ 0.9 at λ = 8 — a well-formed question
+	// with no answer must come back as 422/unsatisfiable, not 500.
+	status, env := postForError(t, ts.URL+"/v1/optimize",
+		`{"lambda": 8, "target_response": 0.9, "min_servers": 1, "max_servers": 2}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 (%+v)", status, env.Error)
+	}
+	if env.Error == nil || env.Error.Code != api.CodeUnsatisfiable {
+		t.Errorf("envelope %+v, want code unsatisfiable", env.Error)
 	}
 }
 
@@ -248,7 +293,7 @@ func TestStatsEndpointTracksCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var got statsResponse
+	var got api.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
@@ -269,9 +314,97 @@ func TestStatsEndpointTracksCache(t *testing.T) {
 	}
 }
 
+func TestHealthzEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var got api.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != "ok" {
+		t.Errorf("status %q, want ok", got.Status)
+	}
+	if got.Workers < 1 {
+		t.Errorf("workers = %d", got.Workers)
+	}
+	if got.CacheCapacity != service.DefaultCacheSize {
+		t.Errorf("cache capacity = %d, want %d", got.CacheCapacity, service.DefaultCacheSize)
+	}
+	if got.SimCacheCapacity != service.DefaultSimCacheSize {
+		t.Errorf("sim cache capacity = %d, want %d", got.SimCacheCapacity, service.DefaultSimCacheSize)
+	}
+
+	// Load-balancer probes must not drown the stats request counter.
+	for i := 0; i < 5; i++ {
+		probe, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe.Body.Close()
+	}
+	stats, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stats.Body.Close()
+	var st api.StatsResponse
+	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 {
+		t.Errorf("requests = %d after 6 healthz probes and 1 stats call, want 1 (probes uncounted)", st.Requests)
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	ts := testServer(t)
+	// A caller-supplied ID is echoed verbatim on the response header.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve",
+		bytes.NewReader([]byte(`{"servers": 10, "lambda": 6}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(api.HeaderRequestID, "trace-abc")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if got := resp.Header.Get(api.HeaderRequestID); got != "trace-abc" {
+		t.Errorf("echoed request id %q, want trace-abc", got)
+	}
+
+	// An absent ID is generated, echoed, and embedded in error envelopes.
+	resp, err = http.Post(ts.URL+"/v1/solve", "application/json",
+		bytes.NewReader([]byte(`{"servers": 2, "lambda": 50}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	headerID := resp.Header.Get(api.HeaderRequestID)
+	if headerID == "" {
+		t.Fatal("no generated request id on the response")
+	}
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.RequestID != headerID {
+		t.Errorf("envelope request_id %q != header %q", env.RequestID, headerID)
+	}
+}
+
 func TestSimulateEndpoint(t *testing.T) {
 	ts := testServer(t)
-	var got simulateResponse
+	var got api.SimulateResponse
 	status, raw := postJSON(t, ts.URL+"/v1/simulate",
 		`{"servers": 3, "lambda": 1.8, "seed": 11, "warmup": 500, "horizon": 20000, "replications": 4}`, &got)
 	if status != http.StatusOK {
@@ -306,7 +439,7 @@ func TestSimulateEndpoint(t *testing.T) {
 	}
 
 	// An identical request must be answered from the simulation cache.
-	var again simulateResponse
+	var again api.SimulateResponse
 	if status, raw := postJSON(t, ts.URL+"/v1/simulate",
 		`{"servers": 3, "lambda": 1.8, "seed": 11, "warmup": 500, "horizon": 20000, "replications": 4}`, &again); status != http.StatusOK {
 		t.Fatalf("repeat: status %d: %s", status, raw)
@@ -319,7 +452,7 @@ func TestSimulateEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st statsResponse
+	var st api.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +466,7 @@ func TestSimulateEndpoint(t *testing.T) {
 
 func TestSimulateEndpointEarlyStop(t *testing.T) {
 	ts := testServer(t)
-	var got simulateResponse
+	var got api.SimulateResponse
 	status, raw := postJSON(t, ts.URL+"/v1/simulate",
 		`{"servers": 3, "lambda": 1.5, "seed": 3, "warmup": 200, "horizon": 5000,
 		  "replications": 32, "min_replications": 3, "rel_precision": 0.5}`, &got)

@@ -1,20 +1,24 @@
 package main
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"math"
 	"net/http"
 	"sync/atomic"
 	"time"
 
+	"repro/api"
 	"repro/internal/core"
-	"repro/internal/dist"
 	"repro/internal/service"
 )
 
-// server wires the evaluation engine to the HTTP API. All state lives in
-// the engine; the server itself only counts requests.
+// server wires the evaluation engine to the HTTP API. Every wire type
+// lives in package api — the handlers below only decode, validate,
+// dispatch to the engine and encode; all state lives in the engine, the
+// server itself only counts requests.
 type server struct {
 	eng      *service.Engine
 	started  time.Time
@@ -25,17 +29,67 @@ func newServer(eng *service.Engine) *server {
 	return &server{eng: eng, started: time.Now()}
 }
 
-// handler builds the /v1 route table.
+// handler builds the /v1 route table behind the middleware chain.
+// Request-ID propagation wraps everything; the stats request counter
+// wraps only the real API routes, so health probes, 404s and wrong-verb
+// rejections never drown the traffic signal. /v1/healthz stays uncounted
+// by design — load balancers poll it continuously.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/solve", s.count(s.handleSolve))
-	mux.HandleFunc("POST /v1/sweep", s.count(s.handleSweep))
-	mux.HandleFunc("POST /v1/optimize", s.count(s.handleOptimize))
-	mux.HandleFunc("POST /v1/simulate", s.count(s.handleSimulate))
-	mux.HandleFunc("GET /v1/stats", s.count(s.handleStats))
-	return mux
+	mux.HandleFunc("POST "+api.PathSolve, s.count(s.handleSolve))
+	mux.HandleFunc("POST "+api.PathSweep, s.count(s.handleSweep))
+	mux.HandleFunc("POST "+api.PathOptimize, s.count(s.handleOptimize))
+	mux.HandleFunc("POST "+api.PathSimulate, s.count(s.handleSimulate))
+	mux.HandleFunc("GET "+api.PathStats, s.count(s.handleStats))
+	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealthz)
+	return chain(mux, withRequestID)
 }
 
+// middleware wraps a handler with one cross-cutting concern.
+type middleware func(http.Handler) http.Handler
+
+// chain composes middlewares around h; the first listed is outermost.
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// requestIDKey carries the request correlation ID through the context.
+type requestIDKey struct{}
+
+// withRequestID propagates X-Request-ID: an incoming ID is reused (so
+// callers can stitch their own traces), an absent one is generated, and
+// either way the ID is echoed on the response and stored in the request
+// context for error envelopes.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(api.HeaderRequestID)
+		if id == "" || len(id) > 128 {
+			id = newRequestID()
+		}
+		w.Header().Set(api.HeaderRequestID, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// newRequestID draws a 64-bit random hex ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestID recovers the correlation ID stored by withRequestID.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// count feeds the /v1/stats request counter for one matched route.
 func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
@@ -43,156 +97,58 @@ func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// systemJSON is the wire form of core.System. Omitted distribution fields
-// default to the paper's fitted parameters (H2 operative periods with
-// C² ≈ 4.6, exponential repairs with rate 25) and µ defaults to 1, so a
-// minimal request is just {"servers": N, "lambda": λ}.
-type systemJSON struct {
-	Servers    int       `json:"servers"`
-	Lambda     float64   `json:"lambda"`
-	Mu         float64   `json:"mu,omitempty"`
-	OpWeights  []float64 `json:"op_weights,omitempty"`
-	OpRates    []float64 `json:"op_rates,omitempty"`
-	RepWeights []float64 `json:"rep_weights,omitempty"`
-	RepRates   []float64 `json:"rep_rates,omitempty"`
-}
-
-func (j systemJSON) toSystem() (core.System, error) {
-	sys := core.System{
-		Servers:     j.Servers,
-		ArrivalRate: j.Lambda,
-		ServiceRate: j.Mu,
-	}
-	if sys.ServiceRate == 0 {
-		sys.ServiceRate = 1
-	}
-	var err error
-	switch {
-	case len(j.OpWeights) == 0 && len(j.OpRates) == 0:
-		sys.Operative = dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091})
-	default:
-		sys.Operative, err = dist.NewHyperExp(j.OpWeights, j.OpRates)
-		if err != nil {
-			return core.System{}, fmt.Errorf("operative distribution: %w", err)
-		}
-	}
-	switch {
-	case len(j.RepWeights) == 0 && len(j.RepRates) == 0:
-		sys.Repair = dist.Exp(25)
-	default:
-		sys.Repair, err = dist.NewHyperExp(j.RepWeights, j.RepRates)
-		if err != nil {
-			return core.System{}, fmt.Errorf("repair distribution: %w", err)
-		}
-	}
-	return sys, nil
-}
-
-func parseMethod(name string) (core.Method, error) {
-	switch name {
-	case "", "spectral":
-		return core.Spectral, nil
-	case "approx", "approximation":
-		return core.Approximation, nil
-	case "mg", "matrix-geometric":
-		return core.MatrixGeometric, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q (want spectral, approx or mg)", name)
-	}
-}
-
-// perfJSON is the wire form of core.Performance.
-type perfJSON struct {
-	MeanJobs     float64 `json:"mean_jobs"`
-	MeanResponse float64 `json:"mean_response"`
-	TailDecay    float64 `json:"tail_decay"`
-	Load         float64 `json:"load"`
-}
-
-func toPerfJSON(p *core.Performance) perfJSON {
-	return perfJSON{
-		MeanJobs:     p.MeanJobs,
-		MeanResponse: p.MeanResponse,
-		TailDecay:    p.TailDecay,
-		Load:         p.Load,
-	}
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", api.ContentTypeJSON)
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // response writer errors have no recovery path
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError classifies err into the wire taxonomy (client cancellations
+// become 499, deadline expiry 504, typed errors keep their code, anything
+// else 500) and renders the error envelope with the request ID.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	ae := api.Classify(err)
+	writeJSON(w, ae.HTTPStatus(), api.ErrorEnvelope{Error: ae, RequestID: requestID(r.Context())})
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeError(w, r, api.InvalidArgument("body", "decode request: %v", err))
 		return false
 	}
 	return true
 }
 
-type solveRequest struct {
-	systemJSON
-	Method      string  `json:"method,omitempty"`
-	HoldingCost float64 `json:"holding_cost,omitempty"`
-	ServerCost  float64 `json:"server_cost,omitempty"`
-}
-
-type solveResponse struct {
-	Fingerprint  string   `json:"fingerprint"`
-	Method       string   `json:"method"`
-	Availability float64  `json:"availability"`
-	Modes        int      `json:"modes"`
-	Stable       bool     `json:"stable"`
-	Perf         perfJSON `json:"perf"`
-	Cost         *float64 `json:"cost,omitempty"`
-}
-
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	var req solveRequest
+	var req api.SolveRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	sys, err := req.toSystem()
+	sys, m, err := req.Resolve()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	m, err := parseMethod(req.Method)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := sys.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, err)
 		return
 	}
 	if !sys.Stable() {
-		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf(
-			"unstable: load %.4g ≥ 1, need at least %d servers", sys.Load(), core.MinServersForStability(sys)))
+		writeError(w, r, api.Unstable(sys))
 		return
 	}
 	perf, err := s.eng.Evaluate(r.Context(), sys, m)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, err)
 		return
 	}
-	resp := solveResponse{
+	resp := api.SolveResponse{
 		Fingerprint:  sys.Fingerprint(),
 		Method:       m.String(),
 		Availability: sys.Availability(),
 		Modes:        sys.Modes(),
 		Stable:       true,
-		Perf:         toPerfJSON(perf),
+		Perf:         api.FromPerformance(perf),
 	}
 	if req.HoldingCost > 0 || req.ServerCost > 0 {
 		cm := core.CostModel{HoldingCost: req.HoldingCost, ServerCost: req.ServerCost}
@@ -202,97 +158,81 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-type sweepRequest struct {
-	systemJSON
-	Method string    `json:"method,omitempty"`
-	Param  string    `json:"param"` // "lambda" or "servers"
-	Values []float64 `json:"values"`
-}
-
-type sweepPoint struct {
-	Value float64   `json:"value"`
-	Perf  *perfJSON `json:"perf,omitempty"`
-	Error string    `json:"error,omitempty"`
-}
-
-type sweepResponse struct {
-	Method string       `json:"method"`
-	Param  string       `json:"param"`
-	Points []sweepPoint `json:"points"`
-}
-
+// handleSweep evaluates a grid. With "Accept: application/x-ndjson" the
+// response streams one api.SweepPoint per line, flushed as each point is
+// solved — a 10k-point sweep starts returning in milliseconds; otherwise
+// the points are buffered into one api.SweepResponse.
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
+	var req api.SweepRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	base, err := req.toSystem()
+	systems, err := req.Systems() // validates and expands the grid
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, err)
 		return
 	}
-	m, err := parseMethod(req.Method)
+	m, err := api.ParseMethod(req.Method) // cannot fail after Systems
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, err)
 		return
 	}
-	if len(req.Values) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep needs at least one value"))
-		return
-	}
-	const maxSweep = 10000
-	if len(req.Values) > maxSweep {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep of %d points exceeds the %d-point limit", len(req.Values), maxSweep))
-		return
-	}
-	jobs := make([]service.Job, len(req.Values))
-	for i, v := range req.Values {
-		sys := base
-		switch req.Param {
-		case "lambda":
-			sys.ArrivalRate = v
-		case "servers":
-			if v != math.Trunc(v) {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("servers sweep value %v is not an integer", v))
-				return
-			}
-			sys.Servers = int(v)
-		default:
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown sweep param %q (want lambda or servers)", req.Param))
-			return
-		}
+	jobs := make([]service.Job, len(systems))
+	for i, sys := range systems {
 		jobs[i] = service.Job{System: sys, Method: m}
 	}
+	if r.Header.Get("Accept") == api.ContentTypeNDJSON {
+		s.streamSweep(w, r, req, jobs)
+		return
+	}
 	results := s.eng.EvaluateBatch(r.Context(), jobs)
-	resp := sweepResponse{Method: m.String(), Param: req.Param, Points: make([]sweepPoint, len(results))}
+	resp := api.SweepResponse{Method: m.String(), Param: req.Param, Points: make([]api.SweepPoint, len(results))}
 	for i, res := range results {
-		pt := sweepPoint{Value: req.Values[i]}
-		if res.Err != nil {
-			pt.Error = res.Err.Error()
-		} else {
-			pj := toPerfJSON(res.Perf)
-			pt.Perf = &pj
-		}
-		resp.Points[i] = pt
+		resp.Points[i] = sweepPointOf(req, res)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-type optimizeRequest struct {
-	systemJSON
-	Method         string  `json:"method,omitempty"`
-	HoldingCost    float64 `json:"holding_cost,omitempty"`
-	ServerCost     float64 `json:"server_cost,omitempty"`
-	MinServers     int     `json:"min_servers"`
-	MaxServers     int     `json:"max_servers"`
-	TargetResponse float64 `json:"target_response,omitempty"`
+// streamPointTimeout bounds the wait for any single streamed grid point.
+// The server's WriteTimeout is one absolute deadline for the whole
+// response — flushing does not extend it — so streamSweep rolls the
+// write deadline forward per point instead: a sweep may stream for hours
+// as long as points keep landing, while a stalled client (or one stuck
+// point) still tears the connection down.
+const streamPointTimeout = 5 * time.Minute
+
+// streamSweep renders a sweep as NDJSON: each grid point is written and
+// flushed as soon as the engine solves it, in grid order. A disconnecting
+// client cancels the remaining evaluations through the request context.
+func (s *server) streamSweep(w http.ResponseWriter, r *http.Request, req api.SweepRequest, jobs []service.Job) {
+	rc := http.NewResponseController(w)
+	// Per-point deadlines supersede the server-wide WriteTimeout; errors
+	// are ignored so transports without deadline support still stream.
+	_ = rc.SetWriteDeadline(time.Now().Add(streamPointTimeout))
+	w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	// The stream already carries a 200; mid-stream failures (client gone,
+	// context cancelled) can only terminate it early.
+	_ = s.eng.EvaluateStream(r.Context(), jobs, func(res service.Result) error {
+		_ = rc.SetWriteDeadline(time.Now().Add(streamPointTimeout))
+		if err := enc.Encode(sweepPointOf(req, res)); err != nil {
+			return err
+		}
+		return rc.Flush()
+	})
 }
 
-type optimizeResponse struct {
-	Objective string   `json:"objective"`
-	Servers   int      `json:"servers"`
-	Cost      *float64 `json:"cost,omitempty"`
-	Perf      perfJSON `json:"perf"`
+// sweepPointOf converts one engine result to its wire form.
+func sweepPointOf(req api.SweepRequest, res service.Result) api.SweepPoint {
+	pt := api.SweepPoint{Index: res.Index, Value: req.Values[res.Index]}
+	if res.Err != nil {
+		pt.Error = res.Err.Error()
+	} else {
+		perf := api.FromPerformance(res.Perf)
+		pt.Perf = &perf
+	}
+	return pt
 }
 
 // handleOptimize answers the paper's two provisioning questions: with a
@@ -300,91 +240,51 @@ type optimizeResponse struct {
 // otherwise it minimises C = c₁L + c₂N over [min_servers, max_servers]
 // (Figure 5).
 func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	var req optimizeRequest
+	var req api.OptimizeRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	base, err := req.toSystem()
+	base, m, minN, maxN, err := req.Resolve()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	m, err := parseMethod(req.Method)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, err)
 		return
 	}
 	if req.TargetResponse > 0 {
-		minN := req.MinServers
-		if minN == 0 {
-			minN = 1
-		}
-		maxN := req.MaxServers
-		if maxN == 0 {
-			maxN = 64
-		}
 		pt, err := s.eng.MinServersForResponseTime(r.Context(), base, req.TargetResponse, minN, maxN, m)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeError(w, r, unsatisfiable(err))
 			return
 		}
-		writeJSON(w, http.StatusOK, optimizeResponse{
+		writeJSON(w, http.StatusOK, api.OptimizeResponse{
 			Objective: fmt.Sprintf("min N in [%d, %d] with W ≤ %g", minN, maxN, req.TargetResponse),
 			Servers:   pt.Servers,
-			Perf:      toPerfJSON(pt.Perf),
+			Perf:      api.FromPerformance(pt.Perf),
 		})
 		return
 	}
-	if req.HoldingCost <= 0 && req.ServerCost <= 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("optimize needs holding_cost/server_cost or target_response"))
-		return
-	}
-	if req.MinServers < 1 || req.MaxServers < req.MinServers {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid server range [%d, %d]", req.MinServers, req.MaxServers))
-		return
-	}
 	cm := core.CostModel{HoldingCost: req.HoldingCost, ServerCost: req.ServerCost}
-	best, err := s.eng.OptimizeServers(r.Context(), base, cm, req.MinServers, req.MaxServers, m)
+	best, err := s.eng.OptimizeServers(r.Context(), base, cm, minN, maxN, m)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, r, unsatisfiable(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, optimizeResponse{
-		Objective: fmt.Sprintf("min %g·L + %g·N over [%d, %d]", cm.HoldingCost, cm.ServerCost, req.MinServers, req.MaxServers),
+	writeJSON(w, http.StatusOK, api.OptimizeResponse{
+		Objective: fmt.Sprintf("min %g·L + %g·N over [%d, %d]", cm.HoldingCost, cm.ServerCost, minN, maxN),
 		Servers:   best.Servers,
 		Cost:      &best.Cost,
-		Perf:      toPerfJSON(best.Perf),
+		Perf:      api.FromPerformance(best.Perf),
 	})
 }
 
-type simulateRequest struct {
-	systemJSON
-	Seed            int64   `json:"seed,omitempty"`
-	Warmup          float64 `json:"warmup,omitempty"`
-	Horizon         float64 `json:"horizon,omitempty"`
-	Replications    int     `json:"replications,omitempty"`
-	MinReplications int     `json:"min_replications,omitempty"`
-	RelPrecision    float64 `json:"rel_precision,omitempty"`
-	Confidence      float64 `json:"confidence,omitempty"`
-}
-
-// ciJSON is the wire form of one point estimate with its confidence
-// half-width: the true value lies in [mean−half_width, mean+half_width]
-// with the response's confidence level.
-type ciJSON struct {
-	Mean      float64 `json:"mean"`
-	HalfWidth float64 `json:"half_width"`
-}
-
-type simulateResponse struct {
-	Fingerprint  string  `json:"fingerprint"`
-	Replications int     `json:"replications"`
-	Converged    bool    `json:"converged"`
-	Confidence   float64 `json:"confidence"`
-	MeanQueue    ciJSON  `json:"mean_queue"`
-	MeanResponse ciJSON  `json:"mean_response"`
-	Availability ciJSON  `json:"availability"`
-	Completed    int64   `json:"completed"`
+// unsatisfiable classifies an optimisation failure: cancellations and
+// deadline expiries keep their codes, everything else — no stable N, no
+// N meeting the target — is a well-formed question with no answer (422),
+// not an internal failure.
+func unsatisfiable(err error) error {
+	if ae := api.Classify(err); ae.Code != api.CodeInternal {
+		return ae
+	}
+	return &api.Error{Code: api.CodeUnsatisfiable, Message: err.Error()}
 }
 
 // handleSimulate estimates the steady state by parallel independent
@@ -394,94 +294,43 @@ type simulateResponse struct {
 // at replications); results are memoised by (fingerprint, seed, precision)
 // and are bit-for-bit reproducible for a fixed request.
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req simulateRequest
+	var req api.SimulateRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	sys, err := req.toSystem()
+	// Option errors are client errors: rejecting them here gets them a 400
+	// and keeps them out of the engine's simulation-failure counter.
+	sys, opts, err := req.Resolve()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := sys.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, err)
 		return
 	}
 	if !sys.Stable() {
-		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf(
-			"unstable: load %.4g ≥ 1, need at least %d servers — a simulation would never reach steady state",
-			sys.Load(), core.MinServersForStability(sys)))
+		ae := api.Unstable(sys)
+		ae.Message += " — a simulation would never reach steady state"
+		writeError(w, r, ae)
 		return
-	}
-	// Option errors are client errors: reject them here so they get a 400
-	// and never inflate the engine's simulation-failure counter.
-	switch {
-	case req.Confidence != 0 && !(req.Confidence > 0 && req.Confidence < 1):
-		writeError(w, http.StatusBadRequest, fmt.Errorf("confidence %v outside (0, 1)", req.Confidence))
-		return
-	case req.RelPrecision < 0:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("rel_precision %v must be ≥ 0", req.RelPrecision))
-		return
-	case req.Replications < 0 || req.MinReplications < 0:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("replication counts must be ≥ 0"))
-		return
-	case req.Warmup < 0 || req.Horizon < 0:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("warmup and horizon must be ≥ 0"))
-		return
-	}
-	opts := core.SimOptions{
-		Seed:            req.Seed,
-		Warmup:          req.Warmup,
-		Horizon:         req.Horizon,
-		Replications:    req.Replications,
-		MinReplications: req.MinReplications,
-		RelPrecision:    req.RelPrecision,
-		Confidence:      req.Confidence,
-	}
-	if opts.Replications == 0 {
-		opts.Replications = 8 // CIs by default: one batch-means run cannot bracket W
 	}
 	res, err := s.eng.Simulate(r.Context(), sys, opts)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, simulateResponse{
+	writeJSON(w, http.StatusOK, api.SimulateResponse{
 		Fingerprint:  sys.Fingerprint(),
 		Replications: res.Replications,
 		Converged:    res.Converged,
 		Confidence:   res.Confidence,
-		MeanQueue:    ciJSON{res.MeanQueue, res.MeanQueueHalfWidth},
-		MeanResponse: ciJSON{res.MeanResponse, res.MeanResponseHalfWidth},
-		Availability: ciJSON{res.Availability, res.AvailabilityHalfWidth},
+		MeanQueue:    api.CI{Mean: res.MeanQueue, HalfWidth: res.MeanQueueHalfWidth},
+		MeanResponse: api.CI{Mean: res.MeanResponse, HalfWidth: res.MeanResponseHalfWidth},
+		Availability: api.CI{Mean: res.Availability, HalfWidth: res.AvailabilityHalfWidth},
 		Completed:    res.Completed,
 	})
 }
 
-type statsResponse struct {
-	UptimeSeconds  float64   `json:"uptime_seconds"`
-	Requests       uint64    `json:"requests"`
-	Workers        int       `json:"workers"`
-	Solves         uint64    `json:"solves"`
-	SolverErrors   uint64    `json:"solver_errors"`
-	SharedInFlight uint64    `json:"shared_in_flight"`
-	SimRuns        uint64    `json:"sim_runs"`
-	SimErrors      uint64    `json:"sim_errors"`
-	Cache          cacheJSON `json:"cache"`
-	SimCache       cacheJSON `json:"sim_cache"`
-}
-
-type cacheJSON struct {
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	Evictions uint64  `json:"evictions"`
-	Entries   int     `json:"entries"`
-	Capacity  int     `json:"capacity"`
-	HitRate   float64 `json:"hit_rate"`
-}
-
-func toCacheJSON(c service.CacheStats) cacheJSON {
-	return cacheJSON{
+// cacheStatsOf converts engine cache counters to their wire form.
+func cacheStatsOf(c service.CacheStats) api.CacheStats {
+	return api.CacheStats{
 		Hits:      c.Hits,
 		Misses:    c.Misses,
 		Evictions: c.Evictions,
@@ -493,7 +342,7 @@ func toCacheJSON(c service.CacheStats) cacheJSON {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	writeJSON(w, http.StatusOK, api.StatsResponse{
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Requests:       s.requests.Load(),
 		Workers:        st.Workers,
@@ -502,7 +351,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SharedInFlight: st.SharedInFlight,
 		SimRuns:        st.SimRuns,
 		SimErrors:      st.SimErrors,
-		Cache:          toCacheJSON(st.Cache),
-		SimCache:       toCacheJSON(st.SimCache),
+		Cache:          cacheStatsOf(st.Cache),
+		SimCache:       cacheStatsOf(st.SimCache),
+	})
+}
+
+// handleHealthz answers load-balancer probes: 200 with the engine's
+// worker and cache configuration means "route traffic here".
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, api.HealthResponse{
+		Status:           "ok",
+		Workers:          st.Workers,
+		CacheCapacity:    st.Cache.Capacity,
+		SimCacheCapacity: st.SimCache.Capacity,
+		UptimeSeconds:    time.Since(s.started).Seconds(),
 	})
 }

@@ -13,14 +13,24 @@
 // half-width on L is within ε of the mean, capped at -reps:
 //
 //	mus-sim -servers 10 -lambda 8 -reps 32 -rel-precision 0.05
+//
+// With -server the replications run on a mus-serve daemon through the
+// client SDK (memoised by the daemon's simulation cache); only
+// hyperexponential shapes (C² ≥ 1) exist on the wire, so the C² < 1
+// shapes stay in-process:
+//
+//	mus-sim -servers 10 -lambda 8 -reps 16 -server http://localhost:8350
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/api"
+	"repro/client"
 	"repro/internal/dist"
 	"repro/internal/sim"
 )
@@ -35,22 +45,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mus-sim", flag.ContinueOnError)
 	var (
-		servers = fs.Int("servers", 10, "number of servers N")
-		lambda  = fs.Float64("lambda", 8, "Poisson arrival rate λ")
-		mu      = fs.Float64("mu", 1, "service rate µ")
-		opMean  = fs.Float64("op-mean", 34.62, "mean operative period")
-		opCV2   = fs.Float64("op-cv2", 4.6, "squared coefficient of variation of operative periods")
-		repMean = fs.Float64("rep-mean", 0.04, "mean repair period")
-		repCV2  = fs.Float64("rep-cv2", 1, "squared coefficient of variation of repair periods")
-		warmup  = fs.Float64("warmup", 5000, "discarded warmup time per replication")
-		horizon = fs.Float64("horizon", 300000, "measured simulation time per replication")
-		seed    = fs.Int64("seed", 0, "base random seed (0 = fixed default)")
-		qmax    = fs.Int("qmax", 0, "print queue-length distribution up to this length")
-		reps    = fs.Int("reps", 1, "independent replications R_max (≥ 2 enables Student-t CIs)")
-		minReps = fs.Int("min-reps", 0, "replications before the stopping rule applies (0 = default)")
-		relPrec = fs.Float64("rel-precision", 0, "stop once the CI half-width on L is within this fraction of the mean (0 = run exactly -reps)")
-		conf    = fs.Float64("confidence", 0.95, "confidence level of the intervals")
-		workers = fs.Int("workers", 0, "parallel replication workers (0 = one per CPU; never affects results)")
+		servers   = fs.Int("servers", 10, "number of servers N")
+		lambda    = fs.Float64("lambda", 8, "Poisson arrival rate λ")
+		mu        = fs.Float64("mu", 1, "service rate µ")
+		opMean    = fs.Float64("op-mean", 34.62, "mean operative period")
+		opCV2     = fs.Float64("op-cv2", 4.6, "squared coefficient of variation of operative periods")
+		repMean   = fs.Float64("rep-mean", 0.04, "mean repair period")
+		repCV2    = fs.Float64("rep-cv2", 1, "squared coefficient of variation of repair periods")
+		warmup    = fs.Float64("warmup", 5000, "discarded warmup time per replication")
+		horizon   = fs.Float64("horizon", 300000, "measured simulation time per replication")
+		seed      = fs.Int64("seed", 0, "base random seed (0 = fixed default)")
+		qmax      = fs.Int("qmax", 0, "print queue-length distribution up to this length")
+		reps      = fs.Int("reps", 1, "independent replications R_max (≥ 2 enables Student-t CIs)")
+		minReps   = fs.Int("min-reps", 0, "replications before the stopping rule applies (0 = default)")
+		relPrec   = fs.Float64("rel-precision", 0, "stop once the CI half-width on L is within this fraction of the mean (0 = run exactly -reps)")
+		conf      = fs.Float64("confidence", 0.95, "confidence level of the intervals")
+		workers   = fs.Int("workers", 0, "parallel replication workers (0 = one per CPU; never affects results)")
+		serverURL = fs.String("server", "", "simulate on a mus-serve daemon at this base URL instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +73,14 @@ func run(args []string) error {
 	rep, err := dist.WithMeanCV2(*repMean, *repCV2)
 	if err != nil {
 		return fmt.Errorf("repair distribution: %w", err)
+	}
+	if *serverURL != "" {
+		return runRemote(*serverURL, op, rep, remoteOptions{
+			servers: *servers, lambda: *lambda, mu: *mu,
+			seed: *seed, warmup: *warmup, horizon: *horizon,
+			reps: *reps, minReps: *minReps, relPrec: *relPrec, conf: *conf,
+			qmax: *qmax,
+		})
 	}
 	cfg := sim.Config{
 		Servers:   *servers,
@@ -107,6 +126,71 @@ func run(args []string) error {
 	fmt.Printf("jobs completed = %d\n", res.Completed)
 	for j := 0; j <= *qmax && j < len(res.QueueDist); j++ {
 		fmt.Printf("P(queue=%d) = %.6g\n", j, res.QueueDist[j])
+	}
+	return nil
+}
+
+// remoteOptions carries the flag values of one remote run.
+type remoteOptions struct {
+	servers         int
+	lambda, mu      float64
+	seed            int64
+	warmup, horizon float64
+	reps, minReps   int
+	relPrec, conf   float64
+	qmax            int
+}
+
+// runRemote simulates on a mus-serve daemon through the client SDK. The
+// wire schema is hyperexponential, so the deterministic and Erlang shapes
+// of Figure 6 (C² < 1) must stay in-process.
+func runRemote(serverURL string, op, rep dist.Distribution, o remoteOptions) error {
+	opH, ok := op.(*dist.HyperExp)
+	if !ok {
+		return fmt.Errorf("operative distribution %v is not hyperexponential; C² < 1 shapes cannot run via -server", op)
+	}
+	repH, ok := rep.(*dist.HyperExp)
+	if !ok {
+		return fmt.Errorf("repair distribution %v is not hyperexponential; C² < 1 shapes cannot run via -server", rep)
+	}
+	if o.conf == 0.95 {
+		o.conf = 0 // the wire default; keeps the request minimal and cacheable
+	}
+	c := client.New(serverURL)
+	res, err := c.Simulate(context.Background(), api.SimulateRequest{
+		System: api.System{
+			Servers:    o.servers,
+			Lambda:     o.lambda,
+			Mu:         o.mu,
+			OpWeights:  opH.Weights,
+			OpRates:    opH.Rates,
+			RepWeights: repH.Weights,
+			RepRates:   repH.Rates,
+		},
+		Seed:            o.seed,
+		Warmup:          o.warmup,
+		Horizon:         o.horizon,
+		Replications:    o.reps,
+		MinReplications: o.minReps,
+		RelPrecision:    o.relPrec,
+		Confidence:      o.conf,
+	})
+	if err != nil {
+		var ae *api.Error
+		if errors.As(err, &ae) {
+			return fmt.Errorf("server rejected the request: %s", ae.Message)
+		}
+		return err
+	}
+	fmt.Printf("operative: %v   repair: %v   server: %s\n", op, rep, serverURL)
+	fmt.Printf("replications = %d (converged = %v)\n", res.Replications, res.Converged)
+	pct := 100 * res.Confidence
+	fmt.Printf("L  = %.6g ± %.3g (%g%% CI over replications)\n", res.MeanQueue.Mean, res.MeanQueue.HalfWidth, pct)
+	fmt.Printf("W  = %.6g ± %.3g\n", res.MeanResponse.Mean, res.MeanResponse.HalfWidth)
+	fmt.Printf("availability = %.6g ± %.3g\n", res.Availability.Mean, res.Availability.HalfWidth)
+	fmt.Printf("jobs completed = %d\n", res.Completed)
+	if o.qmax > 0 {
+		fmt.Println("note: queue-length distribution is not served remotely; drop -server for -qmax")
 	}
 	return nil
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/api"
+)
+
+func simStub(t *testing.T) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.PathSimulate, func(w http.ResponseWriter, r *http.Request) {
+		var req api.SimulateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		if err := req.Validate(); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.Classify(err)}) //nolint:errcheck
+			return
+		}
+		calls.Add(1)
+		json.NewEncoder(w).Encode(api.SimulateResponse{ //nolint:errcheck
+			Fingerprint:  "stub",
+			Replications: req.Options().Replications,
+			Converged:    true,
+			Confidence:   0.95,
+			MeanQueue:    api.CI{Mean: 3.2, HalfWidth: 0.1},
+			MeanResponse: api.CI{Mean: 2.1, HalfWidth: 0.05},
+			Availability: api.CI{Mean: 0.99, HalfWidth: 0.001},
+			Completed:    4242,
+		})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func TestRunRemoteReplicated(t *testing.T) {
+	ts, calls := simStub(t)
+	err := run([]string{
+		"-servers", "3", "-lambda", "1.5", "-reps", "4",
+		"-warmup", "100", "-horizon", "3000", "-server", ts.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("%d simulate calls, want 1", calls.Load())
+	}
+}
+
+func TestRunRemoteRejectsNonHyperexpShapes(t *testing.T) {
+	ts, calls := simStub(t)
+	// The C²=0 deterministic shape has no wire form; the CLI must refuse
+	// locally instead of sending a lossy approximation.
+	if err := run([]string{"-servers", "3", "-lambda", "1.5", "-op-cv2", "0", "-server", ts.URL}); err == nil {
+		t.Fatal("deterministic operative periods accepted in remote mode")
+	}
+	if err := run([]string{"-servers", "2", "-lambda", "1", "-op-cv2", "0.25", "-server", ts.URL}); err == nil {
+		t.Fatal("Erlang operative periods accepted in remote mode")
+	}
+	if calls.Load() != 0 {
+		t.Errorf("daemon was contacted %d times for unrepresentable shapes", calls.Load())
+	}
+}
+
+func TestRunRemoteServerDown(t *testing.T) {
+	if err := run([]string{"-servers", "3", "-lambda", "1.5", "-server", "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("expected a connection error")
+	}
+}

@@ -9,14 +9,25 @@
 //
 // Methods: spectral (exact, default), approx (geometric approximation),
 // mg (matrix-geometric), sim (discrete-event simulation), or all.
+//
+// With -server the evaluation runs on a mus-serve daemon through the
+// client SDK instead of in-process — same flags, same output, shared
+// worker pool and solver cache on the far side:
+//
+//	mus-solve -servers 12 -lambda 8 -server http://localhost:8350
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
+	"repro/api"
+	"repro/client"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 )
@@ -41,9 +52,10 @@ func run(args []string) error {
 		method     = fs.String("method", "spectral", "spectral | approx | mg | sim | all")
 		c1         = fs.Float64("c1", 0, "holding cost per job per unit time (0 = skip cost)")
 		c2         = fs.Float64("c2", 0, "cost per server per unit time")
-		qmax       = fs.Int("qmax", 0, "print P(queue = j) for j ≤ qmax")
+		qmax       = fs.Int("qmax", 0, "print P(queue = j) for j ≤ qmax (in-process only)")
 		horizon    = fs.Float64("sim-horizon", 300000, "simulation horizon (sim method)")
 		seed       = fs.Int64("sim-seed", 0, "simulation seed (sim method)")
+		serverURL  = fs.String("server", "", "evaluate on a mus-serve daemon at this base URL instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +89,9 @@ func run(args []string) error {
 	if !sys.Stable() {
 		fmt.Fprintf(w, "stability\tUNSTABLE (eq. 11 violated) — need N ≥ %d\n", core.MinServersForStability(sys))
 		return nil
+	}
+	if *serverURL != "" {
+		return runRemote(w, *serverURL, sys, *method, *c1, *c2, *qmax, *horizon, *seed)
 	}
 
 	methods := map[string][]core.Method{
@@ -117,4 +132,60 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runRemote evaluates through a mus-serve daemon: the same wire schema
+// (package api) the server handlers use, spoken via the client SDK, so
+// CLI and daemon can never drift apart.
+func runRemote(w io.Writer, serverURL string, sys core.System, method string, c1, c2 float64, qmax int, horizon float64, seed int64) error {
+	c := client.New(serverURL)
+	ctx := context.Background()
+	wire := api.FromSystem(sys)
+	fmt.Fprintf(w, "server\t%s\n", serverURL)
+	if qmax > 0 {
+		fmt.Fprintf(w, "note\tqueue-length distribution is not served remotely; drop -server for -qmax\n")
+	}
+	if method == "sim" || method == "all" {
+		res, err := c.Simulate(ctx, api.SimulateRequest{System: wire, Seed: seed, Horizon: horizon, Replications: 1})
+		if err != nil {
+			return remoteErr(err)
+		}
+		fmt.Fprintf(w, "sim\tL=%.6g ± %.3g, W=%.6g, availability=%.5g, completed=%d\n",
+			res.MeanQueue.Mean, res.MeanQueue.HalfWidth, res.MeanResponse.Mean, res.Availability.Mean, res.Completed)
+		if method == "sim" {
+			return nil
+		}
+	}
+	methods := map[string][]string{
+		"spectral": {api.MethodSpectral},
+		"approx":   {api.MethodApprox},
+		"mg":       {api.MethodMG},
+		"all":      {api.MethodSpectral, api.MethodApprox, api.MethodMG},
+	}
+	ms, ok := methods[method]
+	if !ok {
+		return fmt.Errorf("unknown method %q", method)
+	}
+	for _, m := range ms {
+		resp, err := c.Solve(ctx, api.SolveRequest{System: wire, Method: m, HoldingCost: c1, ServerCost: c2})
+		if err != nil {
+			return remoteErr(err)
+		}
+		fmt.Fprintf(w, "%s\tL=%.6g, W=%.6g, tail z=%.6g\n",
+			resp.Method, resp.Perf.MeanJobs, resp.Perf.MeanResponse, resp.Perf.TailDecay)
+		if resp.Cost != nil {
+			fmt.Fprintf(w, "\tcost C = c1·L + c2·N = %.6g\n", *resp.Cost)
+		}
+	}
+	return nil
+}
+
+// remoteErr strips SDK wrapping down to the structured message for the
+// terminal while keeping unexpected failures verbatim.
+func remoteErr(err error) error {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return fmt.Errorf("server rejected the request: %s", ae.Message)
+	}
+	return err
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/api"
+)
+
+// remoteStub is a minimal daemon speaking the api wire schema, recording
+// what the CLI sends.
+func remoteStub(t *testing.T) (*httptest.Server, *atomic.Int32, *atomic.Int32) {
+	t.Helper()
+	var solves, sims atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.PathSolve, func(w http.ResponseWriter, r *http.Request) {
+		var req api.SolveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("solve decode: %v", err)
+		}
+		if err := req.Validate(); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.Classify(err)}) //nolint:errcheck
+			return
+		}
+		solves.Add(1)
+		resp := api.SolveResponse{Method: req.Method, Stable: true, Perf: api.Performance{MeanJobs: 5, MeanResponse: 5 / req.Lambda}}
+		if req.HoldingCost > 0 || req.ServerCost > 0 {
+			cost := req.HoldingCost*5 + req.ServerCost*float64(req.Servers)
+			resp.Cost = &cost
+		}
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	})
+	mux.HandleFunc("POST "+api.PathSimulate, func(w http.ResponseWriter, r *http.Request) {
+		var req api.SimulateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("simulate decode: %v", err)
+		}
+		sims.Add(1)
+		json.NewEncoder(w).Encode(api.SimulateResponse{ //nolint:errcheck
+			Replications: 1, Converged: true, Confidence: 0.95,
+			MeanQueue: api.CI{Mean: 5, HalfWidth: 0.1}, Completed: 99,
+		})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &solves, &sims
+}
+
+func TestRunRemoteSolve(t *testing.T) {
+	ts, solves, _ := remoteStub(t)
+	if err := run([]string{"-servers", "4", "-lambda", "2", "-server", ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if solves.Load() != 1 {
+		t.Errorf("%d solve calls, want 1", solves.Load())
+	}
+}
+
+func TestRunRemoteAllMethods(t *testing.T) {
+	ts, solves, sims := remoteStub(t)
+	if err := run([]string{"-servers", "4", "-lambda", "2", "-method", "all", "-c1", "4", "-c2", "1", "-server", ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if solves.Load() != 3 {
+		t.Errorf("%d solve calls, want 3 (spectral, approx, mg)", solves.Load())
+	}
+	if sims.Load() != 1 {
+		t.Errorf("%d simulate calls, want 1", sims.Load())
+	}
+}
+
+func TestRunRemoteSim(t *testing.T) {
+	ts, solves, sims := remoteStub(t)
+	if err := run([]string{"-servers", "4", "-lambda", "2", "-method", "sim", "-server", ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if sims.Load() != 1 || solves.Load() != 0 {
+		t.Errorf("sims=%d solves=%d, want 1/0", sims.Load(), solves.Load())
+	}
+}
+
+func TestRunRemoteUnstableStaysLocal(t *testing.T) {
+	// Stability is checked before the daemon is contacted: the CLI prints
+	// the diagnosis and exits cleanly without a request.
+	ts, solves, sims := remoteStub(t)
+	if err := run([]string{"-servers", "2", "-lambda", "50", "-server", ts.URL}); err != nil {
+		t.Fatalf("unstable system should be reported, not errored: %v", err)
+	}
+	if solves.Load() != 0 || sims.Load() != 0 {
+		t.Errorf("unstable system still contacted the daemon (%d/%d calls)", solves.Load(), sims.Load())
+	}
+}
+
+func TestRunRemoteBadMethod(t *testing.T) {
+	ts, _, _ := remoteStub(t)
+	if err := run([]string{"-servers", "4", "-lambda", "2", "-method", "bogus", "-server", ts.URL}); err == nil {
+		t.Fatal("unknown method accepted in remote mode")
+	}
+}
+
+func TestRunRemoteServerDown(t *testing.T) {
+	if err := run([]string{"-servers", "4", "-lambda", "2", "-server", "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("expected a connection error")
+	}
+}

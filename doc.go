@@ -6,8 +6,16 @@
 // The library models a cluster of N parallel servers serving a Poisson
 // stream from one unbounded queue, where every server alternates between
 // hyperexponentially distributed operative periods and repair periods. It
-// contains two subsystems and the numerical substrate beneath them:
+// contains the wire layer, two subsystems and the numerical substrate
+// beneath them:
 //
+//   - api — the versioned wire contract of the mus-serve daemon: every
+//     request/response DTO, the structured Error taxonomy with
+//     machine-readable codes, request validation, and converters to
+//     internal/core — one schema shared by server, SDK, CLIs and tests;
+//   - client — the Go SDK: a typed, context-aware method per endpoint,
+//     retries on 5xx, errors.As-recoverable *api.Error failures, and
+//     NDJSON sweep streaming (SweepStream);
 //   - internal/core — the public model: System, exact/approximate solvers,
 //     replicated simulation with confidence intervals (SimResult), cost
 //     optimisation, capacity planning and canonical fingerprints;
@@ -30,8 +38,10 @@
 //   - internal/figures — one experiment per paper figure, with every
 //     analytical sweep routed through the evaluation engine and a
 //     SimAgreement experiment checking CI coverage of the exact solution;
-//   - cmd/* — CLI tools, including the mus-serve HTTP daemon
-//     (/v1/solve, /v1/sweep, /v1/optimize, /v1/simulate, /v1/stats);
+//   - cmd/* — CLI tools (mus-solve and mus-sim accept -server to run
+//     against a remote daemon through the client SDK) and the mus-serve
+//     HTTP daemon (/v1/solve, /v1/sweep with NDJSON streaming,
+//     /v1/optimize, /v1/simulate, /v1/stats, /v1/healthz);
 //     examples/* — runnable walkthroughs; tools/* — the CI documentation
 //     gates.
 //

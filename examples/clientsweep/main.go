@@ -1,0 +1,103 @@
+// Clientsweep: the SDK walkthrough — talk to a running mus-serve daemon
+// through the typed client instead of hand-rolled HTTP. It probes
+// readiness, solves one configuration, streams a dense λ-sweep as NDJSON
+// (points print as the server solves them, long before the sweep
+// finishes), and shows structured error handling with errors.As.
+//
+// Start a daemon first, then run:
+//
+//	mus-serve -addr :8350 &
+//	go run ./examples/clientsweep -server http://localhost:8350
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/api"
+	"repro/client"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://localhost:8350", "base URL of a running mus-serve daemon")
+	flag.Parse()
+	ctx := context.Background()
+	c := client.New(*serverURL)
+
+	// Readiness probe — the same call a load balancer makes.
+	h, err := c.Health(ctx)
+	if err != nil {
+		log.Fatalf("no daemon at %s (start one with: mus-serve -addr :8350): %v", *serverURL, err)
+	}
+	fmt.Printf("daemon ready: %d workers, solver cache %d, sim cache %d\n\n",
+		h.Workers, h.CacheCapacity, h.SimCacheCapacity)
+
+	// One typed solve — the Figure 5 λ=8, N=12 point with its cost.
+	solve, err := c.Solve(ctx, api.SolveRequest{
+		System:      api.System{Servers: 12, Lambda: 8},
+		HoldingCost: 4, ServerCost: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solve N=12 λ=8: L=%.3f W=%.3f cost=%.2f (%s)\n\n",
+		solve.Perf.MeanJobs, solve.Perf.MeanResponse, *solve.Cost, solve.Method)
+
+	// A dense λ-sweep, streamed: each NDJSON line arrives as soon as that
+	// grid point is solved, so the first results print in milliseconds
+	// while the far end of the grid is still computing.
+	values := make([]float64, 48)
+	for i := range values {
+		values[i] = 4 + 5.5*float64(i)/float64(len(values)-1)
+	}
+	fmt.Println("streaming λ-sweep (N=10, spectral):")
+	start := time.Now()
+	var first time.Duration
+	err = c.SweepStream(ctx, api.SweepRequest{
+		System: api.System{Servers: 10},
+		Param:  api.ParamLambda,
+		Values: values,
+	}, func(pt api.SweepPoint) error {
+		if pt.Index == 0 {
+			first = time.Since(start)
+		}
+		if pt.Error != "" {
+			fmt.Printf("  λ=%6.3f  failed: %s\n", pt.Value, pt.Error)
+			return nil
+		}
+		if pt.Index%8 == 0 {
+			fmt.Printf("  λ=%6.3f  load=%.3f  L=%8.3f  W=%7.3f   (t=%v)\n",
+				pt.Value, pt.Perf.Load, pt.Perf.MeanJobs, pt.Perf.MeanResponse,
+				time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first point after %v, all %d points after %v\n\n",
+		first.Round(time.Millisecond), len(values), time.Since(start).Round(time.Millisecond))
+
+	// Structured errors: an unstable configuration comes back as a typed
+	// *api.Error with a machine-readable code, not a string to parse.
+	_, err = c.Solve(ctx, api.SolveRequest{System: api.System{Servers: 2, Lambda: 50}})
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		fmt.Printf("typed error from the daemon: code=%s message=%q\n", ae.Code, ae.Message)
+		if ae.Code == api.CodeUnstableSystem {
+			fmt.Println("→ a dashboard would suggest adding servers here")
+		}
+	}
+
+	// The daemon did all the work; show what the shared cache absorbed.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndaemon counters: %d requests, %d solves, cache hit rate %.0f%%\n",
+		st.Requests, st.Solves, 100*st.Cache.HitRate)
+}

@@ -239,6 +239,69 @@ dispatch:
 	return results
 }
 
+// EvaluateStream evaluates all jobs on the worker pool and calls emit
+// exactly once per job, in submission order, as soon as that job's result
+// (and every earlier one's) is available — the streaming counterpart of
+// EvaluateBatch, built for incremental HTTP responses: the first grid
+// point of a long sweep is delivered while later points are still being
+// solved. emit is never called concurrently. Per-job failures are carried
+// in Result.Err and do not stop the stream; the returned error is
+// non-nil only when the context is cancelled or emit itself fails, and
+// in both cases all remaining work is abandoned.
+func (e *Engine) EvaluateStream(ctx context.Context, jobs []Job, emit func(Result) error) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	done := make([]chan struct{}, len(jobs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				perf, err := e.Evaluate(ctx, jobs[i].System, jobs[i].Method)
+				results[i] = Result{Index: i, Job: jobs[i], Perf: perf, Err: err}
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		defer close(indices)
+		for i := range jobs {
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+	for i := range jobs {
+		select {
+		case <-done[i]:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if err := emit(results[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FirstError returns the first per-job error in a batch, or nil.
 func FirstError(results []Result) error {
 	for _, r := range results {

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func streamTestSystem(n int, lambda float64) core.System {
+	return core.System{
+		Servers:     n,
+		ArrivalRate: lambda,
+		ServiceRate: 1,
+		Operative:   dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091}),
+		Repair:      dist.Exp(25),
+	}
+}
+
+func TestEvaluateStreamOrderAndPerJobErrors(t *testing.T) {
+	eng := NewEngine(Config{Workers: 4})
+	jobs := []Job{
+		{System: streamTestSystem(10, 4), Method: core.Spectral},
+		{System: streamTestSystem(0, 4), Method: core.Spectral}, // invalid: 0 servers
+		{System: streamTestSystem(10, 6), Method: core.Spectral},
+	}
+	var got []Result
+	err := eng.EvaluateStream(context.Background(), jobs, func(r Result) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("%d emissions, want %d", len(got), len(jobs))
+	}
+	for i, r := range got {
+		if r.Index != i {
+			t.Errorf("emission %d has index %d — stream out of order", i, r.Index)
+		}
+	}
+	if got[0].Err != nil || got[2].Err != nil {
+		t.Errorf("valid points failed: %v, %v", got[0].Err, got[2].Err)
+	}
+	if got[1].Err == nil {
+		t.Error("invalid point did not carry its error")
+	}
+	if got[0].Perf.MeanJobs >= got[2].Perf.MeanJobs {
+		t.Error("L should grow with λ")
+	}
+}
+
+func TestEvaluateStreamEmitErrorStopsStream(t *testing.T) {
+	eng := NewEngine(Config{Workers: 2})
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{System: streamTestSystem(10, 4+0.1*float64(i)), Method: core.Spectral}
+	}
+	sentinel := errors.New("client went away")
+	calls := 0
+	err := eng.EvaluateStream(context.Background(), jobs, func(r Result) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if calls != 2 {
+		t.Errorf("emit called %d times after failing, want 2", calls)
+	}
+}
+
+func TestEvaluateStreamCancelledContext(t *testing.T) {
+	eng := NewEngine(Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := eng.EvaluateStream(ctx, []Job{{System: streamTestSystem(10, 4), Method: core.Spectral}},
+		func(Result) error { t.Error("emit called after cancellation"); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvaluateStreamMatchesBatch(t *testing.T) {
+	eng := NewEngine(Config{})
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = Job{System: streamTestSystem(10, 4+0.2*float64(i)), Method: core.Spectral}
+	}
+	batch := eng.EvaluateBatch(context.Background(), jobs)
+	var streamed []Result
+	if err := eng.EvaluateStream(context.Background(), jobs, func(r Result) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if batch[i].Err != nil || streamed[i].Err != nil {
+			t.Fatalf("point %d failed: %v / %v", i, batch[i].Err, streamed[i].Err)
+		}
+		if batch[i].Perf.MeanJobs != streamed[i].Perf.MeanJobs {
+			t.Errorf("point %d: batch L=%v stream L=%v", i, batch[i].Perf.MeanJobs, streamed[i].Perf.MeanJobs)
+		}
+	}
+}
