@@ -59,6 +59,11 @@ const (
 	// generates one when the client sends none, echoes it on every
 	// response, and embeds it in error envelopes.
 	HeaderRequestID = "X-Request-ID"
+	// HeaderJobState accompanies a partial NDJSON job-result response
+	// (GET /v1/jobs/{id}/result with Accept: application/x-ndjson): the
+	// job's state at snapshot time, so a reader can tell a complete stream
+	// ("done") from a mid-run one ("running").
+	HeaderJobState = "X-Job-State"
 )
 
 // Method names accepted by the "method" request field. ParseMethod also

@@ -32,6 +32,17 @@ const (
 	// CodeDeadlineExceeded marks a request that ran past its deadline
 	// (HTTP 504).
 	CodeDeadlineExceeded Code = "deadline_exceeded"
+	// CodeNotFound marks a reference to a job (or other resource) the
+	// server does not hold — never assigned, or already garbage-collected
+	// after its retention TTL (HTTP 404).
+	CodeNotFound Code = "not_found"
+	// CodeQueueFull marks a job submission rejected because the scheduler's
+	// bounded queue is at capacity — the API's backpressure signal; resubmit
+	// after a delay (HTTP 429).
+	CodeQueueFull Code = "queue_full"
+	// CodeNotReady marks a result fetched before the job reached a terminal
+	// state; poll GET /v1/jobs/{id} until Terminal (HTTP 409).
+	CodeNotReady Code = "not_ready"
 	// CodeInternal marks an unexpected engine failure (HTTP 500).
 	CodeInternal Code = "internal"
 )
@@ -72,6 +83,12 @@ func (e *Error) HTTPStatus() int {
 		return StatusClientClosedRequest
 	case CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeNotReady:
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}
@@ -90,6 +107,12 @@ func CodeForStatus(status int) Code {
 		return CodeCanceled
 	case http.StatusGatewayTimeout:
 		return CodeDeadlineExceeded
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusTooManyRequests:
+		return CodeQueueFull
+	case http.StatusConflict:
+		return CodeNotReady
 	default:
 		return CodeInternal
 	}
@@ -114,6 +137,22 @@ func InvalidArgument(field, format string, args ...any) *Error {
 // Internal builds an internal error from an engine failure.
 func Internal(err error) *Error {
 	return &Error{Code: CodeInternal, Message: err.Error()}
+}
+
+// JobNotFound builds the not_found error for an unknown (or expired) job.
+func JobNotFound(id string) *Error {
+	return &Error{Code: CodeNotFound, Field: "id", Message: fmt.Sprintf("no job %q (unknown, or expired past the retention TTL)", id)}
+}
+
+// QueueFull builds the queue_full backpressure error.
+func QueueFull(capacity int) *Error {
+	return &Error{Code: CodeQueueFull, Message: fmt.Sprintf("job queue is at its %d-job capacity; resubmit after a delay", capacity)}
+}
+
+// NotReady builds the not_ready error for a result fetched before the job
+// reached a terminal state.
+func NotReady(id, state string) *Error {
+	return &Error{Code: CodeNotReady, Message: fmt.Sprintf("job %q is still %s; poll %s until terminal", id, state, JobPath(id))}
 }
 
 // Unstable builds the unstable_system error for a configuration violating

@@ -1,0 +1,91 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzValidate throws arbitrary JSON at every request type's decode +
+// Validate path — the exact surface a hostile HTTP body reaches — and
+// demands three invariants: no panic, every rejection is a structured
+// *Error (the wire contract of the error envelope), and a request that
+// validates also resolves to model types without error (Validate and the
+// server's Resolve/Systems path can never disagree).
+func FuzzValidate(f *testing.F) {
+	seeds := []string{
+		`{"servers": 12, "lambda": 8}`,
+		`{"servers": 4, "lambda": 2, "mu": 1.5, "method": "mg"}`,
+		`{"servers": 4, "param": "lambda", "values": [1, 2, 3]}`,
+		`{"param": "servers", "lambda": 3, "values": [2, 4, 8]}`,
+		`{"param": "servers", "lambda": 3, "values": [2.5]}`,
+		`{"lambda": 3, "holding_cost": 4, "server_cost": 1, "min_servers": 1, "max_servers": 16}`,
+		`{"lambda": 3, "target_response": 2.5}`,
+		`{"servers": 8, "lambda": 3, "replications": 4, "rel_precision": 0.1}`,
+		`{"servers": 8, "lambda": 3, "confidence": 1.5}`,
+		`{"kind": "sweep", "sweep": {"servers": 4, "param": "lambda", "values": [1]}}`,
+		`{"kind": "simulate", "simulate": {"servers": 8, "lambda": 3}}`,
+		`{"kind": "optimize"}`,
+		`{"op_weights": [0.5, 0.5], "op_rates": [0.1], "servers": 1, "lambda": 0.1}`,
+		`{"servers": 1e9, "lambda": -1}`,
+		`null`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkStructured := func(what string, err error) {
+			t.Helper()
+			var ae *Error
+			if err != nil && !errors.As(err, &ae) {
+				t.Errorf("%s rejected %q with unstructured error %v", what, data, err)
+			}
+		}
+		decode := func(v any) bool {
+			dec := json.NewDecoder(bytes.NewReader(data))
+			dec.DisallowUnknownFields()
+			return dec.Decode(v) == nil
+		}
+		var solve SolveRequest
+		if decode(&solve) {
+			err := solve.Validate()
+			checkStructured("SolveRequest.Validate", err)
+			if _, _, rerr := solve.Resolve(); (err == nil) != (rerr == nil) {
+				t.Errorf("SolveRequest: Validate err %v but Resolve err %v for %q", err, rerr, data)
+			}
+		}
+		var sweep SweepRequest
+		if decode(&sweep) {
+			err := sweep.Validate()
+			checkStructured("SweepRequest.Validate", err)
+			systems, serr := sweep.Systems()
+			if (err == nil) != (serr == nil) {
+				t.Errorf("SweepRequest: Validate err %v but Systems err %v for %q", err, serr, data)
+			}
+			if serr == nil && len(systems) != len(sweep.Values) {
+				t.Errorf("SweepRequest: %d systems for %d values", len(systems), len(sweep.Values))
+			}
+		}
+		var opt OptimizeRequest
+		if decode(&opt) {
+			checkStructured("OptimizeRequest.Validate", opt.Validate())
+			if minN, maxN := opt.Bounds(); opt.Validate() == nil && (minN < 1 || maxN < minN) {
+				t.Errorf("OptimizeRequest: valid request with bad bounds [%d, %d] for %q", minN, maxN, data)
+			}
+		}
+		var sim SimulateRequest
+		if decode(&sim) {
+			err := sim.Validate()
+			checkStructured("SimulateRequest.Validate", err)
+			if err == nil && sim.Options().Replications <= 0 {
+				t.Errorf("SimulateRequest: valid request yields %d replications for %q", sim.Options().Replications, data)
+			}
+		}
+		var job JobRequest
+		if decode(&job) {
+			checkStructured("JobRequest.Validate", job.Validate())
+		}
+	})
+}

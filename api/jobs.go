@@ -1,0 +1,193 @@
+package api
+
+import "time"
+
+// PathJobs is the asynchronous-job collection endpoint: POST submits a
+// job, and the per-job paths (see JobPath, JobResultPath) poll, fetch and
+// cancel it. Jobs exist for workloads too large for one synchronous
+// request — a 10k-point sweep or a high-precision replicated simulation
+// survives connection loss, reports progress, streams partial results and
+// can be canceled.
+const PathJobs = "/v1/jobs"
+
+// JobPath returns the status/cancel path of one job:
+// GET polls its JobStatus, DELETE cancels it.
+func JobPath(id string) string { return PathJobs + "/" + id }
+
+// JobResultPath returns the result path of one job: GET fetches its
+// JobResult once terminal, or — for sweep jobs, with
+// "Accept: application/x-ndjson" — the SweepPoint lines solved so far,
+// even while the job is still running.
+func JobResultPath(id string) string { return JobPath(id) + "/result" }
+
+// Job kinds accepted by the JobRequest "kind" field. Each names the
+// synchronous endpoint whose payload the job runs asynchronously.
+const (
+	// JobKindSweep runs a SweepRequest (the /v1/sweep payload).
+	JobKindSweep = "sweep"
+	// JobKindOptimize runs an OptimizeRequest (the /v1/optimize payload).
+	JobKindOptimize = "optimize"
+	// JobKindSimulate runs a SimulateRequest (the /v1/simulate payload).
+	JobKindSimulate = "simulate"
+)
+
+// Job states. The machine is queued → running → done|failed|canceled;
+// the three right-hand states are terminal.
+const (
+	// JobStateQueued means the job is waiting for a scheduler worker.
+	JobStateQueued = "queued"
+	// JobStateRunning means the job is executing on the engine.
+	JobStateRunning = "running"
+	// JobStateDone means the job finished and its result is fetchable.
+	JobStateDone = "done"
+	// JobStateFailed means the job's evaluation failed; JobStatus.Error
+	// carries the structured failure.
+	JobStateFailed = "failed"
+	// JobStateCanceled means the job was canceled — by DELETE before or
+	// during execution, or by daemon shutdown.
+	JobStateCanceled = "canceled"
+)
+
+// JobRequest submits one asynchronous job (POST /v1/jobs): Kind selects
+// the workload and exactly one matching payload field must be set. The
+// payload is validated at submission — a malformed payload is rejected
+// synchronously with the same error the synchronous endpoint would give.
+type JobRequest struct {
+	// Kind selects the workload: sweep, optimize or simulate.
+	Kind string `json:"kind"`
+	// Sweep is the payload of a sweep job (kind "sweep").
+	Sweep *SweepRequest `json:"sweep,omitempty"`
+	// Optimize is the payload of an optimize job (kind "optimize").
+	Optimize *OptimizeRequest `json:"optimize,omitempty"`
+	// Simulate is the payload of a simulate job (kind "simulate").
+	Simulate *SimulateRequest `json:"simulate,omitempty"`
+}
+
+// NewSweepJob wraps a sweep payload as a job request.
+func NewSweepJob(req SweepRequest) JobRequest {
+	return JobRequest{Kind: JobKindSweep, Sweep: &req}
+}
+
+// NewOptimizeJob wraps an optimize payload as a job request.
+func NewOptimizeJob(req OptimizeRequest) JobRequest {
+	return JobRequest{Kind: JobKindOptimize, Optimize: &req}
+}
+
+// NewSimulateJob wraps a simulate payload as a job request.
+func NewSimulateJob(req SimulateRequest) JobRequest {
+	return JobRequest{Kind: JobKindSimulate, Simulate: &req}
+}
+
+// Validate reports wire-level problems as *Error values: an unknown kind,
+// a missing or mismatched payload, or a payload its own Validate rejects.
+func (r JobRequest) Validate() error {
+	set := 0
+	for _, p := range []bool{r.Sweep != nil, r.Optimize != nil, r.Simulate != nil} {
+		if p {
+			set++
+		}
+	}
+	if set > 1 {
+		return InvalidArgument("kind", "job carries %d payloads, want exactly one", set)
+	}
+	switch r.Kind {
+	case JobKindSweep:
+		if r.Sweep == nil {
+			return InvalidArgument("sweep", "kind %q needs a sweep payload", r.Kind)
+		}
+		return r.Sweep.Validate()
+	case JobKindOptimize:
+		if r.Optimize == nil {
+			return InvalidArgument("optimize", "kind %q needs an optimize payload", r.Kind)
+		}
+		return r.Optimize.Validate()
+	case JobKindSimulate:
+		if r.Simulate == nil {
+			return InvalidArgument("simulate", "kind %q needs a simulate payload", r.Kind)
+		}
+		return r.Simulate.Validate()
+	default:
+		return InvalidArgument("kind", "unknown job kind %q (want sweep, optimize or simulate)", r.Kind)
+	}
+}
+
+// JobProgress counts a job's work units. Sweep jobs report one unit per
+// grid point, advancing as points are solved; optimize and simulate jobs
+// report a single unit completed on success.
+type JobProgress struct {
+	// Total is the number of work units the job will execute.
+	Total int `json:"total"`
+	// Completed is the number of work units finished so far.
+	Completed int `json:"completed"`
+}
+
+// JobStatus is the poll view of one job (POST /v1/jobs response and
+// GET /v1/jobs/{id}): identity, state-machine position, progress and
+// timestamps.
+type JobStatus struct {
+	// ID is the server-assigned job identifier.
+	ID string `json:"id"`
+	// Kind echoes the submitted job kind.
+	Kind string `json:"kind"`
+	// State is the job's state-machine position; see the JobState
+	// constants.
+	State string `json:"state"`
+	// Progress counts completed work units.
+	Progress JobProgress `json:"progress"`
+	// CreatedAt is the submission time.
+	CreatedAt time.Time `json:"created_at"`
+	// StartedAt is set once a scheduler worker picks the job up.
+	StartedAt *time.Time `json:"started_at,omitempty"`
+	// FinishedAt is set once the job reaches a terminal state.
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Error carries the structured failure of a failed job.
+	Error *Error `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state — done,
+// failed or canceled — and will never change again.
+func (s JobStatus) Terminal() bool {
+	switch s.State {
+	case JobStateDone, JobStateFailed, JobStateCanceled:
+		return true
+	}
+	return false
+}
+
+// JobResult is the outcome of a done job (GET /v1/jobs/{id}/result):
+// exactly one payload field is set, matching the job's kind, and it is
+// byte-for-byte the response the synchronous endpoint would have given.
+type JobResult struct {
+	// ID echoes the job identifier.
+	ID string `json:"id"`
+	// Kind echoes the job kind and names the set payload field.
+	Kind string `json:"kind"`
+	// Sweep is the result of a sweep job.
+	Sweep *SweepResponse `json:"sweep,omitempty"`
+	// Optimize is the result of an optimize job.
+	Optimize *OptimizeResponse `json:"optimize,omitempty"`
+	// Simulate is the result of a simulate job.
+	Simulate *SimulateResponse `json:"simulate,omitempty"`
+}
+
+// JobStats reports the job scheduler's population and queue counters
+// (part of GET /v1/stats).
+type JobStats struct {
+	// Queued counts jobs waiting for a worker.
+	Queued int `json:"queued"`
+	// Running counts jobs currently executing.
+	Running int `json:"running"`
+	// Done counts retained jobs that finished successfully.
+	Done int `json:"done"`
+	// Failed counts retained jobs whose evaluation failed.
+	Failed int `json:"failed"`
+	// Canceled counts retained jobs that were canceled.
+	Canceled int `json:"canceled"`
+	// QueueCapacity is the configured bound on queued jobs; submissions
+	// beyond it are rejected with code queue_full.
+	QueueCapacity int `json:"queue_capacity"`
+	// Submitted counts accepted submissions since daemon start.
+	Submitted uint64 `json:"submitted"`
+	// Rejected counts submissions refused with queue_full.
+	Rejected uint64 `json:"rejected"`
+}

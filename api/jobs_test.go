@@ -1,0 +1,130 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func jobCode(t *testing.T, err error) Code {
+	t.Helper()
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not an *Error", err)
+	}
+	return ae.Code
+}
+
+func TestJobRequestValidate(t *testing.T) {
+	sweep := SweepRequest{System: System{Servers: 4}, Param: ParamLambda, Values: []float64{1, 2}}
+	valid := []JobRequest{
+		NewSweepJob(sweep),
+		NewOptimizeJob(OptimizeRequest{System: System{Lambda: 3}, HoldingCost: 4, ServerCost: 1, MinServers: 1, MaxServers: 8}),
+		NewSimulateJob(SimulateRequest{System: System{Servers: 8, Lambda: 3}}),
+	}
+	for _, req := range valid {
+		if err := req.Validate(); err != nil {
+			t.Errorf("Validate(%s job) = %v", req.Kind, err)
+		}
+	}
+	invalid := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"unknown kind", JobRequest{Kind: "resolve", Sweep: &sweep}},
+		{"empty kind", JobRequest{}},
+		{"missing payload", JobRequest{Kind: JobKindSweep}},
+		{"mismatched payload", JobRequest{Kind: JobKindSimulate, Sweep: &sweep}},
+		{"two payloads", JobRequest{Kind: JobKindSweep, Sweep: &sweep, Simulate: &SimulateRequest{}}},
+		{"invalid payload", NewSweepJob(SweepRequest{Param: "bogus", Values: []float64{1}})},
+	}
+	for _, tc := range invalid {
+		if err := tc.req.Validate(); jobCode(t, err) != CodeInvalidArgument {
+			t.Errorf("%s: want invalid_argument, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestJobStatusTerminal(t *testing.T) {
+	terminal := map[string]bool{
+		JobStateQueued:   false,
+		JobStateRunning:  false,
+		JobStateDone:     true,
+		JobStateFailed:   true,
+		JobStateCanceled: true,
+	}
+	for state, want := range terminal {
+		if got := (JobStatus{State: state}).Terminal(); got != want {
+			t.Errorf("Terminal(%s) = %v, want %v", state, got, want)
+		}
+	}
+}
+
+func TestJobErrorCodesRoundTripHTTPStatus(t *testing.T) {
+	cases := []struct {
+		code   Code
+		status int
+	}{
+		{CodeNotFound, http.StatusNotFound},
+		{CodeQueueFull, http.StatusTooManyRequests},
+		{CodeNotReady, http.StatusConflict},
+	}
+	for _, tc := range cases {
+		e := &Error{Code: tc.code}
+		if got := e.HTTPStatus(); got != tc.status {
+			t.Errorf("HTTPStatus(%s) = %d, want %d", tc.code, got, tc.status)
+		}
+		if got := CodeForStatus(tc.status); got != tc.code {
+			t.Errorf("CodeForStatus(%d) = %s, want %s", tc.status, got, tc.code)
+		}
+	}
+}
+
+func TestJobErrorBuilders(t *testing.T) {
+	if e := JobNotFound("j1"); e.Code != CodeNotFound || e.Field != "id" {
+		t.Errorf("JobNotFound: %+v", e)
+	}
+	if e := QueueFull(64); e.Code != CodeQueueFull {
+		t.Errorf("QueueFull: %+v", e)
+	}
+	if e := NotReady("j1", JobStateRunning); e.Code != CodeNotReady {
+		t.Errorf("NotReady: %+v", e)
+	}
+}
+
+func TestJobPaths(t *testing.T) {
+	if got := JobPath("j42"); got != "/v1/jobs/j42" {
+		t.Errorf("JobPath = %q", got)
+	}
+	if got := JobResultPath("j42"); got != "/v1/jobs/j42/result" {
+		t.Errorf("JobResultPath = %q", got)
+	}
+}
+
+func TestJobStatusJSONOmitsUnsetTimestamps(t *testing.T) {
+	started := time.Date(2026, 7, 26, 12, 0, 0, 0, time.UTC)
+	st := JobStatus{ID: "j1", Kind: JobKindSweep, State: JobStateRunning, CreatedAt: started, StartedAt: &started}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["finished_at"]; ok {
+		t.Errorf("finished_at serialised on a running job: %s", b)
+	}
+	if _, ok := m["started_at"]; !ok {
+		t.Errorf("started_at missing: %s", b)
+	}
+	var back JobStatus
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != st.ID || back.State != st.State || !back.StartedAt.Equal(started) {
+		t.Errorf("round trip %+v", back)
+	}
+}

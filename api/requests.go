@@ -398,6 +398,9 @@ type StatsResponse struct {
 	Cache CacheStats `json:"cache"`
 	// SimCache reports simulation memoization effectiveness.
 	SimCache CacheStats `json:"sim_cache"`
+	// Jobs reports the asynchronous job scheduler's queue depth and
+	// state-machine population.
+	Jobs JobStats `json:"jobs"`
 }
 
 // HealthResponse answers the load-balancer probe (GET /v1/healthz): the

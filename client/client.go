@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -48,6 +49,22 @@ type Client struct {
 	httpc   *http.Client
 	retries int
 	backoff time.Duration
+	// sleep waits out one backoff delay (retries, job polling), returning
+	// early with ctx.Err() on cancelation. Tests substitute a recording
+	// fake so backoff behaviour is asserted without real time passing.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// realSleep is the production sleep: a timer raced against the context.
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Option customises a Client at construction.
@@ -74,6 +91,7 @@ func New(baseURL string, opts ...Option) *Client {
 		httpc:   &http.Client{},
 		retries: DefaultRetries,
 		backoff: DefaultBackoff,
+		sleep:   realSleep,
 	}
 	for _, o := range opts {
 		o(c)
@@ -115,25 +133,13 @@ func (c *Client) SweepStream(ctx context.Context, req api.SweepRequest, fn func(
 	if resp.StatusCode != http.StatusOK {
 		return c.errorFrom(resp, api.PathSweep)
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	received := 0
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
+	received, err := decodeSweepPoints(resp.Body, fn)
+	if err != nil {
+		var cb errCallback
+		if errors.As(err, &cb) {
+			return cb.err // the caller's own error, verbatim
 		}
-		var pt api.SweepPoint
-		if err := json.Unmarshal(line, &pt); err != nil {
-			return fmt.Errorf("client: POST %s: decode stream line: %w", api.PathSweep, err)
-		}
-		received++
-		if err := fn(pt); err != nil {
-			return err
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("client: POST %s: read stream: %w", api.PathSweep, err)
+		return fmt.Errorf("client: POST %s: %w", api.PathSweep, err)
 	}
 	// The stream carries its 200 before any point is solved, so a
 	// server-side failure (timeout, cancellation, crash) can only show up
@@ -143,6 +149,43 @@ func (c *Client) SweepStream(ctx context.Context, req api.SweepRequest, fn func(
 		return fmt.Errorf("client: POST %s: stream truncated after %d of %d points", api.PathSweep, received, len(req.Values))
 	}
 	return nil
+}
+
+// errCallback marks an error as coming from the caller's per-point
+// function, so stream decoders can return it verbatim.
+type errCallback struct{ err error }
+
+func (e errCallback) Error() string { return e.err.Error() }
+func (e errCallback) Unwrap() error { return e.err }
+
+// decodeSweepPoints parses an NDJSON stream of api.SweepPoint frames —
+// one JSON object per line, blank lines tolerated, lines over 1 MiB
+// rejected — invoking fn per frame and returning how many frames were
+// decoded. A callback error aborts the scan and is returned verbatim;
+// decode and read failures are wrapped. Both SweepStream and
+// JobSweepPartial parse through here, and the fuzz harness targets it
+// directly.
+func decodeSweepPoints(r io.Reader, fn func(api.SweepPoint) error) (received int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var pt api.SweepPoint
+		if err := json.Unmarshal(line, &pt); err != nil {
+			return received, fmt.Errorf("decode stream line: %w", err)
+		}
+		received++
+		if err := fn(pt); err != nil {
+			return received, errCallback{err}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return received, fmt.Errorf("read stream: %w", err)
+	}
+	return received, nil
 }
 
 // Optimize answers a provisioning question (POST /v1/optimize).
@@ -190,7 +233,8 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	// Any 2xx carries a decodable body — job submissions answer 202.
+	if resp.StatusCode/100 != 2 {
 		return c.errorFrom(resp, path)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -240,13 +284,11 @@ func (c *Client) send(ctx context.Context, method, path string, in any, accept s
 		if attempt >= c.retries {
 			return nil, lastErr
 		}
-		select {
-		case <-time.After(c.backoff << attempt):
-		case <-ctx.Done():
+		if err := c.sleep(ctx, c.backoff<<attempt); err != nil {
 			if lastErr != nil {
 				return nil, lastErr
 			}
-			return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 		}
 	}
 }

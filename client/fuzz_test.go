@@ -1,0 +1,76 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/api"
+)
+
+// FuzzDecodeSweepPoints throws arbitrary byte streams at the NDJSON frame
+// parser shared by SweepStream and JobSweepPartial. Invariants: no panic,
+// the callback fires exactly as many times as the returned frame count,
+// decoding stops at the first malformed frame, and pathological inputs —
+// truncated frames, blank lines, oversized lines — come back as errors,
+// never as silently swallowed data.
+func FuzzDecodeSweepPoints(f *testing.F) {
+	f.Add([]byte(`{"index":0,"value":1,"perf":{"mean_jobs":2,"mean_response":1,"tail_decay":0.5,"load":0.4}}` + "\n"))
+	f.Add([]byte("{\"index\":0,\"value\":1}\n\n{\"index\":1,\"value\":2}\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"index":0,"value":1,"error":"unstable"}`))
+	f.Add([]byte(`{"index":0,`)) // truncated frame
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte("{}\r\n{}\r\n")) // CRLF line endings
+	f.Add(bytes.Repeat([]byte("x"), 4096))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		calls := 0
+		n, err := decodeSweepPoints(bytes.NewReader(data), func(api.SweepPoint) error {
+			calls++
+			return nil
+		})
+		if n != calls {
+			t.Fatalf("returned %d frames but invoked the callback %d times", n, calls)
+		}
+		if err != nil {
+			var cb errCallback
+			if errors.As(err, &cb) {
+				t.Fatalf("callback error surfaced without the callback failing: %v", err)
+			}
+		}
+	})
+}
+
+// TestDecodeSweepPointsOversizedLine pins the parser's bound: a line past
+// the 1 MiB buffer is an explicit read error, not a hang or a panic.
+func TestDecodeSweepPointsOversizedLine(t *testing.T) {
+	huge := `{"index":0,"value":1,"error":"` + strings.Repeat("x", 2<<20) + `"}`
+	n, err := decodeSweepPoints(strings.NewReader(huge), func(api.SweepPoint) error { return nil })
+	if err == nil || n != 0 {
+		t.Fatalf("oversized line: n=%d, err=%v", n, err)
+	}
+	if !strings.Contains(err.Error(), "read stream") {
+		t.Errorf("oversized line error %v not classified as a read failure", err)
+	}
+}
+
+// TestDecodeSweepPointsCallbackErrorVerbatim pins that a caller's error
+// aborts the scan and is recoverable verbatim via errCallback.
+func TestDecodeSweepPointsCallbackErrorVerbatim(t *testing.T) {
+	sentinel := errors.New("stop here")
+	body := "{\"index\":0,\"value\":1}\n{\"index\":1,\"value\":2}\n"
+	n, err := decodeSweepPoints(strings.NewReader(body), func(pt api.SweepPoint) error {
+		if pt.Index == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if n != 2 {
+		t.Fatalf("decoded %d frames, want 2", n)
+	}
+	var cb errCallback
+	if !errors.As(err, &cb) || !errors.Is(err, sentinel) {
+		t.Fatalf("callback error not recoverable: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/api"
+)
+
+// Job-polling defaults used by WaitJob; see WaitJob for the schedule.
+const (
+	// DefaultPollInterval is the first WaitJob poll delay.
+	DefaultPollInterval = 100 * time.Millisecond
+	// MaxPollInterval caps the growing WaitJob poll delay.
+	MaxPollInterval = 2 * time.Second
+)
+
+// SubmitJob submits an asynchronous job (POST /v1/jobs) and returns its
+// queued status. A full scheduler queue surfaces as an *api.Error with
+// code api.CodeQueueFull — back off and resubmit.
+func (c *Client) SubmitJob(ctx context.Context, req api.JobRequest) (*api.JobStatus, error) {
+	var resp api.JobStatus
+	if err := c.call(ctx, http.MethodPost, api.PathJobs, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// JobStatus polls one job (GET /v1/jobs/{id}).
+func (c *Client) JobStatus(ctx context.Context, id string) (*api.JobStatus, error) {
+	var resp api.JobStatus
+	if err := c.call(ctx, http.MethodGet, api.JobPath(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// JobResult fetches the outcome of a done job (GET /v1/jobs/{id}/result).
+// A job that is not terminal yet surfaces as code api.CodeNotReady; a
+// failed job surfaces its recorded evaluation error; a canceled one
+// api.CodeCanceled.
+func (c *Client) JobResult(ctx context.Context, id string) (*api.JobResult, error) {
+	var resp api.JobResult
+	if err := c.call(ctx, http.MethodGet, api.JobResultPath(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CancelJob cancels one job (DELETE /v1/jobs/{id}) and returns its
+// status. Cancelation is idempotent and asynchronous for running jobs:
+// the returned state may still be "running" until the engine releases the
+// job's in-flight evaluations; WaitJob observes the terminal "canceled".
+func (c *Client) CancelJob(ctx context.Context, id string) (*api.JobStatus, error) {
+	var resp api.JobStatus
+	if err := c.call(ctx, http.MethodDelete, api.JobPath(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// WaitJob polls one job until it reaches a terminal state and returns the
+// final status. Poll delays back off from DefaultPollInterval, growing
+// 1.5× per poll up to MaxPollInterval; ctx bounds the whole wait. When fn
+// is non-nil it is invoked with every observed status — progress
+// reporting for CLIs — including the terminal one.
+func (c *Client) WaitJob(ctx context.Context, id string, fn func(api.JobStatus)) (*api.JobStatus, error) {
+	delay := DefaultPollInterval
+	for {
+		st, err := c.JobStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if fn != nil {
+			fn(*st)
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, fmt.Errorf("client: waiting for job %s: %w", id, err)
+		}
+		if delay = delay * 3 / 2; delay > MaxPollInterval {
+			delay = MaxPollInterval
+		}
+	}
+}
+
+// RunJob drives one job through its whole lifecycle: submit, wait for a
+// terminal state (polling with WaitJob's backoff), fetch the result. fn,
+// when non-nil, observes every status — the submission's and each
+// poll's. A job that ends failed or canceled is an error: the failed
+// job's recorded *api.Error is reachable through errors.As.
+func (c *Client) RunJob(ctx context.Context, req api.JobRequest, fn func(api.JobStatus)) (*api.JobResult, error) {
+	st, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if fn != nil {
+		fn(*st)
+	}
+	final, err := c.WaitJob(ctx, st.ID, fn)
+	if err != nil {
+		return nil, err
+	}
+	if final.State != api.JobStateDone {
+		if final.Error != nil {
+			return nil, fmt.Errorf("client: job %s ended %s: %w", final.ID, final.State, final.Error)
+		}
+		return nil, fmt.Errorf("client: job %s ended %s", final.ID, final.State)
+	}
+	return c.JobResult(ctx, final.ID)
+}
+
+// JobSweepPartial fetches the sweep points a job has solved so far
+// (GET /v1/jobs/{id}/result with Accept: application/x-ndjson): fn is
+// invoked per available point, in grid order, and the job's state at
+// snapshot time (the X-Job-State response header) is returned — "running"
+// distinguishes a mid-run snapshot from a complete "done" one. Unlike
+// SweepStream, a short stream is not truncation: it is the partial
+// result the endpoint exists to serve.
+func (c *Client) JobSweepPartial(ctx context.Context, id string, fn func(api.SweepPoint) error) (state string, err error) {
+	path := api.JobResultPath(id)
+	resp, err := c.send(ctx, http.MethodGet, path, nil, api.ContentTypeNDJSON)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", c.errorFrom(resp, path)
+	}
+	state = resp.Header.Get(api.HeaderJobState)
+	if _, err := decodeSweepPoints(resp.Body, fn); err != nil {
+		var cb errCallback
+		if errors.As(err, &cb) {
+			return state, cb.err // the caller's own error, verbatim
+		}
+		return state, fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	return state, nil
+}

@@ -1,0 +1,186 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// recordSleeper replaces the client's real backoff sleep: it records every
+// requested delay and returns instantly, so retry pacing is asserted
+// deterministically, without real time passing.
+type recordSleeper struct {
+	delays []time.Duration
+	// cancel, when set, is invoked on the first sleep — simulating a
+	// caller abandoning the context mid-backoff.
+	cancel context.CancelFunc
+}
+
+func (r *recordSleeper) sleep(ctx context.Context, d time.Duration) error {
+	r.delays = append(r.delays, d)
+	if r.cancel != nil {
+		r.cancel()
+	}
+	return ctx.Err()
+}
+
+func TestRetryBackoffGrowsExponentially(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 3 { // three 5xx failures, then success
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.Write([]byte(`{"status":"ok","workers":1}`)) //nolint:errcheck
+	}))
+	defer srv.Close()
+	rec := &recordSleeper{}
+	c := New(srv.URL, WithRetries(3), WithBackoff(10*time.Millisecond))
+	c.sleep = rec.sleep
+	resp, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" {
+		t.Fatalf("response %+v", resp)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Errorf("server saw %d attempts, want 4 (three 5xx + success)", got)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(rec.delays) != len(want) {
+		t.Fatalf("slept %v, want %v", rec.delays, want)
+	}
+	for i, d := range want {
+		if rec.delays[i] != d {
+			t.Errorf("backoff %d = %v, want %v (delays must double)", i, rec.delays[i], d)
+		}
+	}
+}
+
+func TestRetryStopsWhenContextCancelledDuringBackoff(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := &recordSleeper{cancel: cancel}
+	c := New(srv.URL, WithRetries(5), WithBackoff(time.Millisecond))
+	c.sleep = rec.sleep
+	_, err := c.Health(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Exactly one request went out: the cancelation landed during the
+	// first backoff and no further attempt was sent.
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1", got)
+	}
+	if len(rec.delays) != 1 {
+		t.Errorf("slept %v, want exactly one backoff", rec.delays)
+	}
+}
+
+func TestWaitJobPollsWithGrowingBackoff(t *testing.T) {
+	var polls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := api.JobStatus{ID: "j1", Kind: api.JobKindSweep, State: api.JobStateRunning,
+			Progress: api.JobProgress{Total: 10, Completed: int(polls.Load())}}
+		if polls.Add(1) >= 5 {
+			st.State = api.JobStateDone
+			st.Progress.Completed = 10
+		}
+		writeTestJSON(t, w, st)
+	}))
+	defer srv.Close()
+	rec := &recordSleeper{}
+	c := New(srv.URL)
+	c.sleep = rec.sleep
+	var observed []string
+	final, err := c.WaitJob(context.Background(), "j1", func(st api.JobStatus) {
+		observed = append(observed, st.State)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.JobStateDone {
+		t.Fatalf("final state %s", final.State)
+	}
+	if len(observed) != 5 || observed[0] != api.JobStateRunning || observed[4] != api.JobStateDone {
+		t.Errorf("observed states %v", observed)
+	}
+	// Four sleeps between five polls, each 1.5× the last.
+	want := []time.Duration{
+		DefaultPollInterval,
+		DefaultPollInterval * 3 / 2,
+		DefaultPollInterval * 3 / 2 * 3 / 2,
+		DefaultPollInterval * 3 / 2 * 3 / 2 * 3 / 2,
+	}
+	if len(rec.delays) != len(want) {
+		t.Fatalf("slept %v, want %v", rec.delays, want)
+	}
+	for i, d := range want {
+		if rec.delays[i] != d {
+			t.Errorf("poll delay %d = %v, want %v", i, rec.delays[i], d)
+		}
+	}
+}
+
+func TestWaitJobHonoursContextDuringPollSleep(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeTestJSON(t, w, api.JobStatus{ID: "j1", State: api.JobStateRunning})
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := &recordSleeper{cancel: cancel}
+	c := New(srv.URL)
+	c.sleep = rec.sleep
+	if _, err := c.WaitJob(ctx, "j1", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunJobSurfacesFailedJobError(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.PathJobs, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		writeTestJSON(t, w, api.JobStatus{ID: "j1", Kind: api.JobKindSimulate, State: api.JobStateQueued})
+	})
+	mux.HandleFunc("GET "+api.PathJobs+"/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeTestJSON(t, w, api.JobStatus{ID: "j1", Kind: api.JobKindSimulate, State: api.JobStateFailed,
+			Error: &api.Error{Code: api.CodeUnstableSystem, Message: "unstable"}})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := New(srv.URL)
+	c.sleep = (&recordSleeper{}).sleep
+	var observed []string
+	_, err := c.RunJob(context.Background(), api.NewSimulateJob(api.SimulateRequest{System: api.System{Servers: 1, Lambda: 1}}),
+		func(js api.JobStatus) { observed = append(observed, js.State) })
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeUnstableSystem {
+		t.Fatalf("RunJob error %v does not unwrap to the job's recorded failure", err)
+	}
+	// fn observed the submission status first, then the terminal poll.
+	if len(observed) != 2 || observed[0] != api.JobStateQueued || observed[1] != api.JobStateFailed {
+		t.Errorf("observed states %v", observed)
+	}
+}
+
+func writeTestJSON(t *testing.T, w http.ResponseWriter, v any) {
+	t.Helper()
+	w.Header().Set("Content-Type", api.ContentTypeJSON)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		t.Errorf("encode: %v", err)
+	}
+}

@@ -138,7 +138,7 @@ func TestSweepStreamDeliversFirstPointEarly(t *testing.T) {
 	// One worker, no cache: the points solve strictly in order, each
 	// N=15..18 point costing hundreds of milliseconds to seconds.
 	eng := service.NewEngine(service.Config{Workers: 1, CacheSize: -1})
-	ts := httptest.NewServer(newServer(eng).handler())
+	ts := httptest.NewServer(newTestHandler(t, eng))
 	defer ts.Close()
 
 	body, err := json.Marshal(api.SweepRequest{
@@ -206,7 +206,7 @@ func TestSweepStreamDeliversFirstPointEarly(t *testing.T) {
 // several seconds, every point must still arrive.
 func TestSweepStreamOutlivesServerWriteTimeout(t *testing.T) {
 	eng := service.NewEngine(service.Config{Workers: 1, CacheSize: -1})
-	ts := httptest.NewUnstartedServer(newServer(eng).handler())
+	ts := httptest.NewUnstartedServer(newTestHandler(t, eng))
 	ts.Config.WriteTimeout = time.Second
 	ts.Start()
 	defer ts.Close()

@@ -16,7 +16,12 @@
 //	                     streams back as soon as it is solved
 //	POST /v1/optimize  — cost-optimal N (Fig. 5) or min N for an SLA (Fig. 9)
 //	POST /v1/simulate  — replicated simulation with 95% confidence intervals
-//	GET  /v1/stats     — engine, worker-pool and cache counters
+//	POST /v1/jobs      — submit a sweep/optimize/simulate payload as an
+//	                     asynchronous job; GET /v1/jobs/{id} polls it,
+//	                     GET /v1/jobs/{id}/result fetches the outcome (or,
+//	                     for sweeps under Accept: application/x-ndjson, the
+//	                     points solved so far mid-run), DELETE cancels it
+//	GET  /v1/stats     — engine, worker-pool, cache and job-queue counters
 //	GET  /v1/healthz   — load-balancer readiness probe
 //
 // Every response echoes an X-Request-ID header (generated when the caller
@@ -40,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/service/jobs"
 )
 
 func main() {
@@ -52,17 +58,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mus-serve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8350", "listen address")
-		workers = fs.Int("workers", 0, "solver worker-pool size (0 = one per CPU)")
-		cache   = fs.Int("cache", service.DefaultCacheSize, "solver cache entries (negative disables)")
+		addr       = fs.String("addr", ":8350", "listen address")
+		workers    = fs.Int("workers", 0, "solver worker-pool size (0 = one per CPU)")
+		cache      = fs.Int("cache", service.DefaultCacheSize, "solver cache entries (negative disables)")
+		jobQueue   = fs.Int("job-queue", jobs.DefaultQueueDepth, "bound on queued async jobs (full queue rejects with queue_full)")
+		jobWorkers = fs.Int("job-workers", jobs.DefaultWorkers, "concurrently executing async jobs (solver concurrency stays bounded by -workers)")
+		jobTTL     = fs.Duration("job-ttl", jobs.DefaultTTL, "retention of finished async jobs before garbage collection")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	eng := service.NewEngine(service.Config{Workers: *workers, CacheSize: *cache})
+	sched := jobs.New(jobs.Config{Engine: eng, QueueDepth: *jobQueue, Workers: *jobWorkers, TTL: *jobTTL})
+	defer sched.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng).handler(),
+		Handler:           newServerJobs(eng, sched).handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// Buffered sweeps take a while; NDJSON streams roll their own

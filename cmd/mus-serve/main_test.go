@@ -13,11 +13,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/service"
+	"repro/internal/service/jobs"
 )
+
+// newTestHandler builds the full route table over eng with a
+// default-configured job scheduler whose goroutines stop at test cleanup.
+func newTestHandler(t *testing.T, eng *service.Engine) http.Handler {
+	t.Helper()
+	sched := jobs.New(jobs.Config{Engine: eng})
+	t.Cleanup(sched.Close)
+	return newServerJobs(eng, sched).handler()
+}
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(service.NewEngine(service.Config{})).handler())
+	ts := httptest.NewServer(newTestHandler(t, service.NewEngine(service.Config{})))
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -13,20 +13,25 @@ import (
 	"repro/api"
 	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/service/jobs"
 )
 
-// server wires the evaluation engine to the HTTP API. Every wire type
-// lives in package api — the handlers below only decode, validate,
-// dispatch to the engine and encode; all state lives in the engine, the
-// server itself only counts requests.
+// server wires the evaluation engine and the job scheduler to the HTTP
+// API. Every wire type lives in package api — the handlers below only
+// decode, validate, dispatch and encode; all state lives in the engine
+// and the scheduler, the server itself only counts requests.
 type server struct {
 	eng      *service.Engine
+	sched    *jobs.Scheduler
 	started  time.Time
 	requests atomic.Uint64
 }
 
-func newServer(eng *service.Engine) *server {
-	return &server{eng: eng, started: time.Now()}
+// newServerJobs builds a server over an engine and an explicit scheduler
+// (flag-configured in main, fake-engined or t.Cleanup-closed in tests).
+// The caller owns the scheduler's lifecycle — Close it on shutdown.
+func newServerJobs(eng *service.Engine, sched *jobs.Scheduler) *server {
+	return &server{eng: eng, sched: sched, started: time.Now()}
 }
 
 // handler builds the /v1 route table behind the middleware chain.
@@ -40,6 +45,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST "+api.PathSweep, s.count(s.handleSweep))
 	mux.HandleFunc("POST "+api.PathOptimize, s.count(s.handleOptimize))
 	mux.HandleFunc("POST "+api.PathSimulate, s.count(s.handleSimulate))
+	mux.HandleFunc("POST "+api.PathJobs, s.count(s.handleJobSubmit))
+	mux.HandleFunc("GET "+api.PathJobs+"/{id}", s.count(s.handleJobStatus))
+	mux.HandleFunc("GET "+api.PathJobs+"/{id}/result", s.count(s.handleJobResult))
+	mux.HandleFunc("DELETE "+api.PathJobs+"/{id}", s.count(s.handleJobCancel))
 	mux.HandleFunc("GET "+api.PathStats, s.count(s.handleStats))
 	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealthz)
 	return chain(mux, withRequestID)
@@ -328,6 +337,78 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleJobSubmit accepts an asynchronous job (POST /v1/jobs): the
+// validated payload is queued and a 202 with the job's queued status
+// returns immediately. A full queue answers 429 queue_full — the
+// backpressure contract of the bounded scheduler.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.JobRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	st, err := s.sched.Submit(req)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleJobStatus polls one job (GET /v1/jobs/{id}).
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sched.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobResult fetches a job's outcome (GET /v1/jobs/{id}/result). A
+// non-terminal job answers 409 not_ready — except for sweep jobs asked
+// with "Accept: application/x-ndjson", which answer 200 with the
+// SweepPoint lines solved so far (possibly none), so a long sweep's
+// partial results are readable mid-run.
+func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.Header.Get("Accept") == api.ContentTypeNDJSON {
+		pts, st, err := s.sched.PartialSweep(id)
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+		w.Header().Set(api.HeaderJobState, st.State)
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		for _, pt := range pts {
+			if err := enc.Encode(pt); err != nil {
+				return // client gone; nothing to recover
+			}
+		}
+		return
+	}
+	res, err := s.sched.Result(id)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleJobCancel cancels one job (DELETE /v1/jobs/{id}) and returns its
+// status. Cancelation is idempotent: a terminal job just echoes its final
+// state; a running job reports canceled only once the engine has released
+// its in-flight evaluations, so poll until terminal.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sched.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
 // cacheStatsOf converts engine cache counters to their wire form.
 func cacheStatsOf(c service.CacheStats) api.CacheStats {
 	return api.CacheStats{
@@ -353,6 +434,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SimErrors:      st.SimErrors,
 		Cache:          cacheStatsOf(st.Cache),
 		SimCache:       cacheStatsOf(st.SimCache),
+		Jobs:           s.sched.Stats(),
 	})
 }
 

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/api"
+)
+
+// jobStub is a miniature job API: submissions are accepted, the second
+// status poll reports done, and the result echoes a fixed simulate
+// response — enough to drive the CLI's async path end to end.
+func jobStub(t *testing.T) (*httptest.Server, *atomic.Int32, *atomic.Int32) {
+	t.Helper()
+	var submits, syncCalls atomic.Int32
+	var polls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.PathSimulate, func(w http.ResponseWriter, r *http.Request) {
+		syncCalls.Add(1)
+		json.NewEncoder(w).Encode(api.SimulateResponse{Replications: 1}) //nolint:errcheck
+	})
+	mux.HandleFunc("POST "+api.PathJobs, func(w http.ResponseWriter, r *http.Request) {
+		var req api.JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode job: %v", err)
+		}
+		if err := req.Validate(); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.Classify(err)}) //nolint:errcheck
+			return
+		}
+		if req.Kind != api.JobKindSimulate {
+			t.Errorf("job kind %q, want simulate", req.Kind)
+		}
+		submits.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.JobStatus{ID: "j1", Kind: req.Kind, State: api.JobStateQueued}) //nolint:errcheck
+	})
+	mux.HandleFunc("GET "+api.PathJobs+"/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st := api.JobStatus{ID: r.PathValue("id"), Kind: api.JobKindSimulate, State: api.JobStateRunning}
+		if polls.Add(1) >= 2 {
+			st.State = api.JobStateDone
+		}
+		json.NewEncoder(w).Encode(st) //nolint:errcheck
+	})
+	mux.HandleFunc("GET "+api.PathJobs+"/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.JobResult{ //nolint:errcheck
+			ID: r.PathValue("id"), Kind: api.JobKindSimulate,
+			Simulate: &api.SimulateResponse{
+				Fingerprint: "stub", Replications: 32, Converged: true, Confidence: 0.95,
+				MeanQueue: api.CI{Mean: 3.2, HalfWidth: 0.1}, Completed: 4242,
+			},
+		})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &submits, &syncCalls
+}
+
+func TestRunRemoteAsyncFlagUsesJobs(t *testing.T) {
+	ts, submits, syncCalls := jobStub(t)
+	err := run([]string{"-servers", "3", "-lambda", "1.5", "-reps", "4", "-server", ts.URL, "-async"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if submits.Load() != 1 || syncCalls.Load() != 0 {
+		t.Errorf("submits=%d syncCalls=%d; -async must route through /v1/jobs", submits.Load(), syncCalls.Load())
+	}
+}
+
+func TestRunRemoteLargeWorkloadsUseJobsAutomatically(t *testing.T) {
+	ts, submits, syncCalls := jobStub(t)
+	err := run([]string{"-servers", "3", "-lambda", "1.5", "-reps", "32", "-server", ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if submits.Load() != 1 || syncCalls.Load() != 0 {
+		t.Errorf("submits=%d syncCalls=%d; -reps ≥ 32 must route through /v1/jobs without -async", submits.Load(), syncCalls.Load())
+	}
+}
+
+func TestRunRemoteSmallWorkloadsStaySynchronous(t *testing.T) {
+	ts, submits, syncCalls := jobStub(t)
+	err := run([]string{"-servers", "3", "-lambda", "1.5", "-reps", "4", "-server", ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if submits.Load() != 0 || syncCalls.Load() != 1 {
+		t.Errorf("submits=%d syncCalls=%d; small runs must stay on /v1/simulate", submits.Load(), syncCalls.Load())
+	}
+}

@@ -20,6 +20,13 @@
 // shapes stay in-process:
 //
 //	mus-sim -servers 10 -lambda 8 -reps 16 -server http://localhost:8350
+//
+// Large remote workloads — -reps of 32 or more, or any run with -async —
+// go through the daemon's asynchronous job API (/v1/jobs) instead of one
+// long synchronous request: the run is submitted, polled with backoff
+// while its state advances, and survives transient connection loss:
+//
+//	mus-sim -servers 10 -lambda 8 -reps 64 -server http://localhost:8350 -async
 package main
 
 import (
@@ -62,6 +69,7 @@ func run(args []string) error {
 		conf      = fs.Float64("confidence", 0.95, "confidence level of the intervals")
 		workers   = fs.Int("workers", 0, "parallel replication workers (0 = one per CPU; never affects results)")
 		serverURL = fs.String("server", "", "simulate on a mus-serve daemon at this base URL instead of in-process")
+		async     = fs.Bool("async", false, "with -server, run via the asynchronous job API (automatic for -reps ≥ 32)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,7 +87,7 @@ func run(args []string) error {
 			servers: *servers, lambda: *lambda, mu: *mu,
 			seed: *seed, warmup: *warmup, horizon: *horizon,
 			reps: *reps, minReps: *minReps, relPrec: *relPrec, conf: *conf,
-			qmax: *qmax,
+			qmax: *qmax, async: *async,
 		})
 	}
 	cfg := sim.Config{
@@ -139,7 +147,13 @@ type remoteOptions struct {
 	reps, minReps   int
 	relPrec, conf   float64
 	qmax            int
+	async           bool
 }
+
+// asyncRepsThreshold is the replication count from which a remote run
+// routes through the asynchronous job API even without -async: runs that
+// large are exactly the workloads the job layer exists for.
+const asyncRepsThreshold = 32
 
 // runRemote simulates on a mus-serve daemon through the client SDK. The
 // wire schema is hyperexponential, so the deterministic and Erlang shapes
@@ -157,7 +171,7 @@ func runRemote(serverURL string, op, rep dist.Distribution, o remoteOptions) err
 		o.conf = 0 // the wire default; keeps the request minimal and cacheable
 	}
 	c := client.New(serverURL)
-	res, err := c.Simulate(context.Background(), api.SimulateRequest{
+	req := api.SimulateRequest{
 		System: api.System{
 			Servers:    o.servers,
 			Lambda:     o.lambda,
@@ -174,7 +188,14 @@ func runRemote(serverURL string, op, rep dist.Distribution, o remoteOptions) err
 		MinReplications: o.minReps,
 		RelPrecision:    o.relPrec,
 		Confidence:      o.conf,
-	})
+	}
+	var res *api.SimulateResponse
+	var err error
+	if o.async || o.reps >= asyncRepsThreshold {
+		res, err = simulateAsync(c, req)
+	} else {
+		res, err = c.Simulate(context.Background(), req)
+	}
 	if err != nil {
 		var ae *api.Error
 		if errors.As(err, &ae) {
@@ -193,4 +214,21 @@ func runRemote(serverURL string, op, rep dist.Distribution, o remoteOptions) err
 		fmt.Println("note: queue-length distribution is not served remotely; drop -server for -qmax")
 	}
 	return nil
+}
+
+// simulateAsync runs a replicated simulation through the daemon's job API
+// (client.RunJob: submit, poll with backoff, fetch), printing each state
+// transition — identical output to the synchronous path once done.
+func simulateAsync(c *client.Client, req api.SimulateRequest) (*api.SimulateResponse, error) {
+	last := ""
+	res, err := c.RunJob(context.Background(), api.NewSimulateJob(req), func(js api.JobStatus) {
+		if js.State != last {
+			fmt.Printf("job %s: %s\n", js.ID, js.State)
+			last = js.State
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Simulate, nil
 }

@@ -56,6 +56,7 @@ func run(args []string) error {
 		horizon    = fs.Float64("sim-horizon", 300000, "simulation horizon (sim method)")
 		seed       = fs.Int64("sim-seed", 0, "simulation seed (sim method)")
 		serverURL  = fs.String("server", "", "evaluate on a mus-serve daemon at this base URL instead of in-process")
+		async      = fs.Bool("async", false, "with -server, run the simulation leg via the asynchronous job API")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,7 +92,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *serverURL != "" {
-		return runRemote(w, *serverURL, sys, *method, *c1, *c2, *qmax, *horizon, *seed)
+		return runRemote(w, *serverURL, sys, *method, *c1, *c2, *qmax, *horizon, *seed, *async)
 	}
 
 	methods := map[string][]core.Method{
@@ -137,7 +138,7 @@ func run(args []string) error {
 // runRemote evaluates through a mus-serve daemon: the same wire schema
 // (package api) the server handlers use, spoken via the client SDK, so
 // CLI and daemon can never drift apart.
-func runRemote(w io.Writer, serverURL string, sys core.System, method string, c1, c2 float64, qmax int, horizon float64, seed int64) error {
+func runRemote(w io.Writer, serverURL string, sys core.System, method string, c1, c2 float64, qmax int, horizon float64, seed int64, async bool) error {
 	c := client.New(serverURL)
 	ctx := context.Background()
 	wire := api.FromSystem(sys)
@@ -146,7 +147,17 @@ func runRemote(w io.Writer, serverURL string, sys core.System, method string, c1
 		fmt.Fprintf(w, "note\tqueue-length distribution is not served remotely; drop -server for -qmax\n")
 	}
 	if method == "sim" || method == "all" {
-		res, err := c.Simulate(ctx, api.SimulateRequest{System: wire, Seed: seed, Horizon: horizon, Replications: 1})
+		simReq := api.SimulateRequest{System: wire, Seed: seed, Horizon: horizon, Replications: 1}
+		var res *api.SimulateResponse
+		var err error
+		if async {
+			// The simulation is the long leg of a solve run; with -async it
+			// rides the job API — submitted, polled to completion, fetched —
+			// while the cheap analytic legs stay synchronous.
+			res, err = simulateViaJob(ctx, w, c, simReq)
+		} else {
+			res, err = c.Simulate(ctx, simReq)
+		}
 		if err != nil {
 			return remoteErr(err)
 		}
@@ -178,6 +189,23 @@ func runRemote(w io.Writer, serverURL string, sys core.System, method string, c1
 		}
 	}
 	return nil
+}
+
+// simulateViaJob runs the remote simulation through the daemon's
+// asynchronous job API (client.RunJob: submit, wait with polling
+// backoff, fetch), printing the job line once on submission.
+func simulateViaJob(ctx context.Context, w io.Writer, c *client.Client, req api.SimulateRequest) (*api.SimulateResponse, error) {
+	printed := false
+	res, err := c.RunJob(ctx, api.NewSimulateJob(req), func(js api.JobStatus) {
+		if !printed {
+			fmt.Fprintf(w, "job\t%s (%s)\n", js.ID, js.State)
+			printed = true
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Simulate, nil
 }
 
 // remoteErr strips SDK wrapping down to the structured message for the

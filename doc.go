@@ -14,8 +14,9 @@
 //     machine-readable codes, request validation, and converters to
 //     internal/core — one schema shared by server, SDK, CLIs and tests;
 //   - client — the Go SDK: a typed, context-aware method per endpoint,
-//     retries on 5xx, errors.As-recoverable *api.Error failures, and
-//     NDJSON sweep streaming (SweepStream);
+//     retries on 5xx, errors.As-recoverable *api.Error failures, NDJSON
+//     sweep streaming (SweepStream), and the asynchronous-job surface
+//     (SubmitJob, WaitJob, JobSweepPartial, CancelJob);
 //   - internal/core — the public model: System, exact/approximate solvers,
 //     replicated simulation with confidence intervals (SimResult), cost
 //     optimisation, capacity planning and canonical fingerprints;
@@ -23,6 +24,11 @@
 //     an LRU solver cache keyed by System.Fingerprint and a separate
 //     simulation cache keyed by (fingerprint, seed, precision), shared by
 //     the figures package, the benchmarks and mus-serve;
+//   - internal/service/jobs — the asynchronous job scheduler over the
+//     engine: durable-in-memory records with a queued → running →
+//     done/failed/canceled state machine, progress counters, a bounded
+//     queue with queue_full backpressure, per-job cancelation and TTL
+//     garbage collection;
 //   - internal/qbd — the spectral-expansion solver (paper §3.1), the
 //     geometric heavy-traffic approximation (§3.2), a matrix-geometric
 //     baseline and a truncated-chain oracle;
@@ -39,9 +45,11 @@
 //     analytical sweep routed through the evaluation engine and a
 //     SimAgreement experiment checking CI coverage of the exact solution;
 //   - cmd/* — CLI tools (mus-solve and mus-sim accept -server to run
-//     against a remote daemon through the client SDK) and the mus-serve
-//     HTTP daemon (/v1/solve, /v1/sweep with NDJSON streaming,
-//     /v1/optimize, /v1/simulate, /v1/stats, /v1/healthz);
+//     against a remote daemon through the client SDK, and -async to route
+//     large workloads through the job API) and the mus-serve HTTP daemon
+//     (/v1/solve, /v1/sweep with NDJSON streaming, /v1/optimize,
+//     /v1/simulate, the /v1/jobs asynchronous job API, /v1/stats,
+//     /v1/healthz);
 //     examples/* — runnable walkthroughs; tools/* — the CI documentation
 //     gates.
 //

@@ -1,0 +1,120 @@
+// Asyncjobs: the asynchronous-job SDK walkthrough — run workloads too
+// large for one synchronous HTTP request through /v1/jobs. It submits a
+// dense λ-sweep as a job, polls its advancing progress, fetches partial
+// NDJSON results mid-run, waits for completion, then submits a second job
+// and cancels it, showing the canceled terminal state and the queue
+// counters in /v1/stats.
+//
+// Start a daemon first, then run:
+//
+//	mus-serve -addr :8350 &
+//	go run ./examples/asyncjobs -server http://localhost:8350
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/api"
+	"repro/client"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://localhost:8350", "base URL of a running mus-serve daemon")
+	flag.Parse()
+	ctx := context.Background()
+	c := client.New(*serverURL)
+	if _, err := c.Health(ctx); err != nil {
+		log.Fatalf("no daemon at %s (start one with: mus-serve -addr :8350): %v", *serverURL, err)
+	}
+
+	// Submit a dense λ-sweep as a job: the POST returns in milliseconds
+	// with a job ID while the daemon grinds through the grid.
+	values := make([]float64, 2000)
+	for i := range values {
+		values[i] = 2 + 7.8*float64(i)/float64(len(values)-1)
+	}
+	st, err := c.SubmitJob(ctx, api.NewSweepJob(api.SweepRequest{
+		System: api.System{Servers: 10},
+		Param:  api.ParamLambda,
+		Values: values,
+	}))
+	if err != nil {
+		// A loaded daemon rejects rather than queueing without bound.
+		var ae *api.Error
+		if errors.As(err, &ae) && ae.Code == api.CodeQueueFull {
+			log.Fatalf("daemon queue is full — back off and resubmit: %v", ae)
+		}
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted job %s (%s), %d grid points\n", st.ID, st.State, len(values))
+
+	// Fetch partial results while the job runs: the NDJSON snapshot holds
+	// whatever prefix of the grid is solved at that moment.
+	partial := 0
+	state, err := c.JobSweepPartial(ctx, st.ID, func(pt api.SweepPoint) error {
+		partial++
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mid-run snapshot: %d points available while %s\n", partial, state)
+
+	// Poll to completion with the SDK's backoff, watching progress move.
+	lastReported := -1
+	final, err := c.WaitJob(ctx, st.ID, func(js api.JobStatus) {
+		pct := 0
+		if js.Progress.Total > 0 {
+			pct = 100 * js.Progress.Completed / js.Progress.Total
+		}
+		if pct/20 != lastReported {
+			lastReported = pct / 20
+			fmt.Printf("  %s: %d/%d points (%d%%)\n", js.State, js.Progress.Completed, js.Progress.Total, pct)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.State != api.JobStateDone {
+		log.Fatalf("job ended %s: %v", final.State, final.Error)
+	}
+	res, err := c.JobResult(ctx, st.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := res.Sweep.Points[len(res.Sweep.Points)-1]
+	fmt.Printf("done: %d points; heaviest grid point λ=%.3f has L=%.2f\n\n",
+		len(res.Sweep.Points), last.Value, last.Perf.MeanJobs)
+
+	// Cancelation: submit another long job and abandon it. The daemon
+	// releases its in-flight evaluations and records the canceled state.
+	second, err := c.SubmitJob(ctx, api.NewSweepJob(api.SweepRequest{
+		System: api.System{Servers: 12},
+		Param:  api.ParamLambda,
+		Values: values,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.CancelJob(ctx, second.ID); err != nil {
+		log.Fatal(err)
+	}
+	fin, err := c.WaitJob(ctx, second.ID, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second job %s ended %s after %d/%d points\n",
+		second.ID, fin.State, fin.Progress.Completed, fin.Progress.Total)
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njob counters: %d submitted, %d done, %d canceled, queue %d/%d\n",
+		stats.Jobs.Submitted, stats.Jobs.Done, stats.Jobs.Canceled,
+		stats.Jobs.Queued, stats.Jobs.QueueCapacity)
+}

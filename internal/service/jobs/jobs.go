@@ -1,0 +1,603 @@
+// Package jobs is the asynchronous job layer of the evaluation service:
+// a scheduler that wraps the service.Engine with durable-in-memory job
+// records so workloads too large for one synchronous HTTP request —
+// 10k-point sweeps, high-precision replicated simulations, wide
+// optimisations — can be submitted, polled, partially read, canceled and
+// garbage-collected independently of any connection.
+//
+// Each job moves through the state machine
+//
+//	queued → running → done | failed | canceled
+//
+// and carries progress counters (per grid point for sweeps), timestamps
+// and, for sweep jobs, the partial results solved so far. The queue is
+// bounded: submissions beyond its capacity are rejected with the
+// api.CodeQueueFull backpressure error instead of growing without limit.
+// Terminal jobs are retained for a TTL and then garbage-collected.
+//
+// The scheduler adds no second worker pool: its workers only orchestrate,
+// while all solver and simulation concurrency stays on the engine's
+// existing gate, so synchronous requests and jobs share one global bound.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/api"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// Engine is the slice of service.Engine the scheduler drives —
+// *service.Engine satisfies it; tests substitute controllable fakes.
+type Engine interface {
+	// EvaluateStream solves jobs in submission order, emitting each result
+	// as soon as it (and every earlier one) is available.
+	EvaluateStream(ctx context.Context, jobs []service.Job, emit func(service.Result) error) error
+	// Simulate runs one replicated simulation through the engine's cache.
+	Simulate(ctx context.Context, sys core.System, opts core.SimOptions) (core.SimResult, error)
+	// OptimizeServers returns the cost-minimising fleet size in a range.
+	OptimizeServers(ctx context.Context, base core.System, cm core.CostModel, minN, maxN int, m core.Method) (core.ServerSweepPoint, error)
+	// MinServersForResponseTime returns the smallest fleet size meeting a
+	// response-time target.
+	MinServersForResponseTime(ctx context.Context, base core.System, target float64, minN, maxN int, m core.Method) (core.ServerSweepPoint, error)
+}
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultQueueDepth bounds jobs waiting for a worker.
+	DefaultQueueDepth = 64
+	// DefaultWorkers is how many jobs execute concurrently. Two keeps a
+	// long sweep from blocking a quick optimize behind it while the real
+	// parallelism still comes from the engine's own worker gate.
+	DefaultWorkers = 2
+	// DefaultTTL is how long terminal jobs stay fetchable before the
+	// garbage collector drops them.
+	DefaultTTL = 15 * time.Minute
+)
+
+// Config tunes a Scheduler. Engine is required; every other zero field
+// takes the package default.
+type Config struct {
+	// Engine executes the jobs' evaluations.
+	Engine Engine
+	// QueueDepth bounds jobs waiting for a worker (default
+	// DefaultQueueDepth); submissions beyond it fail with queue_full.
+	QueueDepth int
+	// Workers is how many jobs execute concurrently (default
+	// DefaultWorkers).
+	Workers int
+	// TTL is the retention of terminal jobs (default DefaultTTL).
+	TTL time.Duration
+	// Now substitutes the clock (default time.Now); tests use it to drive
+	// TTL expiry deterministically.
+	Now func() time.Time
+}
+
+// Scheduler runs jobs on an Engine. It is safe for concurrent use.
+type Scheduler struct {
+	eng   Engine
+	ttl   time.Duration
+	now   func() time.Time
+	depth int
+
+	mu sync.Mutex
+	// cond signals workers when pending grows or the scheduler closes.
+	cond *sync.Cond
+	// pending is the bounded FIFO of queued jobs. A slice rather than a
+	// channel so Cancel can remove a queued job and free its slot
+	// immediately — with a channel the slot would stay occupied (and new
+	// submissions rejected) until a worker happened to drain the entry.
+	pending   []*job
+	jobs      map[string]*job
+	submitted uint64
+	rejected  uint64
+	closed    bool
+
+	stop   context.CancelFunc
+	ctx    context.Context
+	wg     sync.WaitGroup
+	gcDone chan struct{}
+}
+
+// job is one scheduler record. All mutable fields are guarded by the
+// scheduler's mutex; done closes when the job reaches a terminal state.
+type job struct {
+	id  string
+	req api.JobRequest
+
+	state            string
+	total, completed int
+	created          time.Time
+	started          time.Time
+	finished         time.Time
+	cancel           context.CancelFunc
+	err              *api.Error
+	result           *api.JobResult
+	partial          []api.SweepPoint
+	done             chan struct{}
+}
+
+// New builds a scheduler and starts its workers and garbage collector.
+// Call Close to stop them.
+func New(cfg Config) *Scheduler {
+	if cfg.Engine == nil {
+		panic("jobs: Config.Engine is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Scheduler{
+		eng:    cfg.Engine,
+		ttl:    cfg.TTL,
+		now:    cfg.Now,
+		depth:  cfg.QueueDepth,
+		jobs:   make(map[string]*job),
+		stop:   stop,
+		ctx:    ctx,
+		gcDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker()
+	}
+	go s.janitor()
+	return s
+}
+
+// Close stops accepting submissions, cancels running and queued jobs,
+// and waits for the workers and garbage collector to exit. Records stay
+// readable.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast() // wakes idle workers, which drain pending as canceled
+	s.mu.Unlock()
+	s.stop() // cancels running jobs
+	s.wg.Wait()
+	<-s.gcDone
+}
+
+// Submit validates the request, assigns an ID and enqueues the job,
+// returning its queued status. A full queue fails fast with
+// api.CodeQueueFull — the caller's backpressure signal.
+func (s *Scheduler) Submit(req api.JobRequest) (api.JobStatus, error) {
+	if err := req.Validate(); err != nil {
+		return api.JobStatus{}, err
+	}
+	j := &job{
+		id:    newJobID(),
+		req:   req,
+		state: api.JobStateQueued,
+		done:  make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return api.JobStatus{}, api.Internal(errors.New("jobs: scheduler is shut down"))
+	}
+	if len(s.pending) >= s.depth {
+		s.rejected++
+		s.mu.Unlock()
+		return api.JobStatus{}, api.QueueFull(s.depth)
+	}
+	j.created = s.now()
+	s.pending = append(s.pending, j)
+	s.submitted++
+	s.jobs[j.id] = j
+	st := s.statusLocked(j)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return st, nil
+}
+
+// Status returns the poll view of one job, or api.CodeNotFound.
+func (s *Scheduler) Status(id string) (api.JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return api.JobStatus{}, api.JobNotFound(id)
+	}
+	return s.statusLocked(j), nil
+}
+
+// Result returns the outcome of a done job. Non-terminal jobs fail with
+// api.CodeNotReady, canceled jobs with api.CodeCanceled, failed jobs with
+// their recorded evaluation error, unknown IDs with api.CodeNotFound.
+func (s *Scheduler) Result(id string) (api.JobResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return api.JobResult{}, api.JobNotFound(id)
+	}
+	switch j.state {
+	case api.JobStateDone:
+		return *j.result, nil
+	case api.JobStateFailed:
+		return api.JobResult{}, j.err
+	case api.JobStateCanceled:
+		return api.JobResult{}, &api.Error{Code: api.CodeCanceled, Message: fmt.Sprintf("job %q was canceled", id)}
+	default:
+		return api.JobResult{}, api.NotReady(id, j.state)
+	}
+}
+
+// PartialSweep returns a snapshot of the sweep points solved so far, in
+// grid order, together with the job's current status — readable while the
+// job is still running (a queued job yields an empty snapshot) and after
+// it is done. Non-sweep jobs fail with api.CodeInvalidArgument.
+func (s *Scheduler) PartialSweep(id string) ([]api.SweepPoint, api.JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, api.JobStatus{}, api.JobNotFound(id)
+	}
+	if j.req.Kind != api.JobKindSweep {
+		return nil, api.JobStatus{}, api.InvalidArgument("id", "job %q is a %s job; partial results exist only for sweeps", id, j.req.Kind)
+	}
+	pts := make([]api.SweepPoint, len(j.partial))
+	copy(pts, j.partial)
+	return pts, s.statusLocked(j), nil
+}
+
+// Cancel requests cancelation and returns the job's status. A queued job
+// is canceled immediately; a running job has its context canceled and
+// reaches the canceled state once the engine releases its in-flight
+// evaluations — poll Status to observe it. Canceling a terminal job is a
+// no-op returning the final status, so Cancel is idempotent.
+func (s *Scheduler) Cancel(id string) (api.JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return api.JobStatus{}, api.JobNotFound(id)
+	}
+	switch j.state {
+	case api.JobStateQueued:
+		// Remove the entry from the pending FIFO so its queue slot frees
+		// for new submissions immediately, then finalise the record.
+		for i, p := range s.pending {
+			if p == j {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+		s.finishLocked(j, api.JobStateCanceled, nil, nil)
+	case api.JobStateRunning:
+		j.cancel()
+	}
+	return s.statusLocked(j), nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx expires) and
+// returns its final status — the in-process counterpart of polling
+// GET /v1/jobs/{id}.
+func (s *Scheduler) Wait(ctx context.Context, id string) (api.JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return api.JobStatus{}, api.JobNotFound(id)
+	}
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		return api.JobStatus{}, ctx.Err()
+	}
+}
+
+// Stats snapshots the scheduler's population and queue counters.
+func (s *Scheduler) Stats() api.JobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := api.JobStats{
+		QueueCapacity: s.depth,
+		Submitted:     s.submitted,
+		Rejected:      s.rejected,
+	}
+	for _, j := range s.jobs {
+		switch j.state {
+		case api.JobStateQueued:
+			st.Queued++
+		case api.JobStateRunning:
+			st.Running++
+		case api.JobStateDone:
+			st.Done++
+		case api.JobStateFailed:
+			st.Failed++
+		case api.JobStateCanceled:
+			st.Canceled++
+		}
+	}
+	return st
+}
+
+// worker executes queued jobs until the scheduler closes. On shutdown,
+// whatever is still pending is finalised as canceled so no record is
+// left in a non-terminal state.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			for _, j := range s.pending {
+				s.finishLocked(j, api.JobStateCanceled, nil, nil)
+			}
+			s.pending = nil
+			s.mu.Unlock()
+			return
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		ctx, cancel := context.WithCancel(s.ctx)
+		j.state = api.JobStateRunning
+		j.started = s.now()
+		j.cancel = cancel
+		s.mu.Unlock()
+		s.run(ctx, j)
+		cancel()
+	}
+}
+
+// run moves one running job to a terminal state.
+func (s *Scheduler) run(ctx context.Context, j *job) {
+	var res *api.JobResult
+	var err error
+	switch j.req.Kind {
+	case api.JobKindSweep:
+		res, err = s.runSweep(ctx, j)
+	case api.JobKindOptimize:
+		res, err = s.runOptimize(ctx, j)
+	case api.JobKindSimulate:
+		res, err = s.runSimulate(ctx, j)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		j.completed = j.total
+		s.finishLocked(j, api.JobStateDone, res, nil)
+	case isCanceled(err):
+		s.finishLocked(j, api.JobStateCanceled, nil, nil)
+	default:
+		s.finishLocked(j, api.JobStateFailed, nil, api.Classify(err))
+	}
+}
+
+// isCanceled recognises a cancelation in either form it reaches run():
+// the raw context error, or an *api.Error carrying the canceled code with
+// no error chain (the classifiers — unsatisfiable, api.Classify — flatten
+// context.Canceled into one). Either can only mean job cancelation or
+// daemon shutdown here.
+func isCanceled(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return true
+	}
+	var ae *api.Error
+	return errors.As(err, &ae) && ae.Code == api.CodeCanceled
+}
+
+// runSweep executes a sweep payload via the engine's ordered stream,
+// recording each point (and advancing the progress counter) as it lands,
+// so partial results are readable mid-run.
+func (s *Scheduler) runSweep(ctx context.Context, j *job) (*api.JobResult, error) {
+	req := *j.req.Sweep
+	systems, err := req.Systems()
+	if err != nil { // unreachable after Submit's validation
+		return nil, err
+	}
+	m, _ := api.ParseMethod(req.Method)
+	work := make([]service.Job, len(systems))
+	for i, sys := range systems {
+		work[i] = service.Job{System: sys, Method: m}
+	}
+	s.mu.Lock()
+	j.total = len(work)
+	s.mu.Unlock()
+	err = s.eng.EvaluateStream(ctx, work, func(res service.Result) error {
+		pt := api.SweepPoint{Index: res.Index, Value: req.Values[res.Index]}
+		if res.Err != nil {
+			pt.Error = res.Err.Error()
+		} else {
+			perf := api.FromPerformance(res.Perf)
+			pt.Perf = &perf
+		}
+		s.mu.Lock()
+		j.partial = append(j.partial, pt)
+		j.completed = len(j.partial)
+		s.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	points := make([]api.SweepPoint, len(j.partial))
+	copy(points, j.partial)
+	s.mu.Unlock()
+	return &api.JobResult{
+		ID:    j.id,
+		Kind:  j.req.Kind,
+		Sweep: &api.SweepResponse{Method: m.String(), Param: req.Param, Points: points},
+	}, nil
+}
+
+// runOptimize executes an optimize payload — the same two provisioning
+// questions the synchronous endpoint answers.
+func (s *Scheduler) runOptimize(ctx context.Context, j *job) (*api.JobResult, error) {
+	req := *j.req.Optimize
+	base, m, minN, maxN, err := req.Resolve()
+	if err != nil { // unreachable after Submit's validation
+		return nil, err
+	}
+	s.mu.Lock()
+	j.total = 1
+	s.mu.Unlock()
+	var resp api.OptimizeResponse
+	if req.TargetResponse > 0 {
+		pt, err := s.eng.MinServersForResponseTime(ctx, base, req.TargetResponse, minN, maxN, m)
+		if err != nil {
+			return nil, unsatisfiable(err)
+		}
+		resp = api.OptimizeResponse{
+			Objective: fmt.Sprintf("min N in [%d, %d] with W ≤ %g", minN, maxN, req.TargetResponse),
+			Servers:   pt.Servers,
+			Perf:      api.FromPerformance(pt.Perf),
+		}
+	} else {
+		cm := core.CostModel{HoldingCost: req.HoldingCost, ServerCost: req.ServerCost}
+		best, err := s.eng.OptimizeServers(ctx, base, cm, minN, maxN, m)
+		if err != nil {
+			return nil, unsatisfiable(err)
+		}
+		resp = api.OptimizeResponse{
+			Objective: fmt.Sprintf("min %g·L + %g·N over [%d, %d]", cm.HoldingCost, cm.ServerCost, minN, maxN),
+			Servers:   best.Servers,
+			Cost:      &best.Cost,
+			Perf:      api.FromPerformance(best.Perf),
+		}
+	}
+	return &api.JobResult{ID: j.id, Kind: j.req.Kind, Optimize: &resp}, nil
+}
+
+// unsatisfiable classifies an optimisation failure exactly like the
+// synchronous handler: cancellations keep their code, everything else is
+// a well-formed question with no answer.
+func unsatisfiable(err error) error {
+	if ae := api.Classify(err); ae.Code != api.CodeInternal {
+		return ae
+	}
+	return &api.Error{Code: api.CodeUnsatisfiable, Message: err.Error()}
+}
+
+// runSimulate executes a simulate payload through the engine's simulation
+// cache.
+func (s *Scheduler) runSimulate(ctx context.Context, j *job) (*api.JobResult, error) {
+	req := *j.req.Simulate
+	sys, opts, err := req.Resolve()
+	if err != nil { // unreachable after Submit's validation
+		return nil, err
+	}
+	s.mu.Lock()
+	j.total = 1
+	s.mu.Unlock()
+	if !sys.Stable() {
+		ae := api.Unstable(sys)
+		ae.Message += " — a simulation would never reach steady state"
+		return nil, ae
+	}
+	res, err := s.eng.Simulate(ctx, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &api.JobResult{ID: j.id, Kind: j.req.Kind, Simulate: &api.SimulateResponse{
+		Fingerprint:  sys.Fingerprint(),
+		Replications: res.Replications,
+		Converged:    res.Converged,
+		Confidence:   res.Confidence,
+		MeanQueue:    api.CI{Mean: res.MeanQueue, HalfWidth: res.MeanQueueHalfWidth},
+		MeanResponse: api.CI{Mean: res.MeanResponse, HalfWidth: res.MeanResponseHalfWidth},
+		Availability: api.CI{Mean: res.Availability, HalfWidth: res.AvailabilityHalfWidth},
+		Completed:    res.Completed,
+	}}, nil
+}
+
+// finishLocked moves a job to a terminal state. Callers hold s.mu.
+func (s *Scheduler) finishLocked(j *job, state string, res *api.JobResult, ae *api.Error) {
+	j.state = state
+	j.finished = s.now()
+	j.result = res
+	j.err = ae
+	close(j.done)
+}
+
+// statusLocked snapshots a job's poll view. Callers hold s.mu.
+func (s *Scheduler) statusLocked(j *job) api.JobStatus {
+	st := api.JobStatus{
+		ID:        j.id,
+		Kind:      j.req.Kind,
+		State:     j.state,
+		Progress:  api.JobProgress{Total: j.total, Completed: j.completed},
+		CreatedAt: j.created,
+		Error:     j.err,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// janitor garbage-collects expired terminal jobs until the scheduler
+// closes.
+func (s *Scheduler) janitor() {
+	defer close(s.gcDone)
+	interval := s.ttl / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.gc()
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// gc drops terminal jobs whose retention TTL has expired.
+func (s *Scheduler) gc() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := s.now().Add(-s.ttl)
+	for id, j := range s.jobs {
+		if !j.finished.IsZero() && j.finished.Before(cutoff) {
+			delete(s.jobs, id)
+		}
+	}
+}
+
+// newJobID draws a 64-bit random hex job identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: reading random id: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// randomStableSystem draws a random configuration — random 2-phase
+// operative distribution, random repair rate, random fleet size — scaled
+// to a random stable load in (0.2, 0.9), in the style of the qbd
+// cross-method property tests.
+func randomStableSystem(rng *rand.Rand) core.System {
+	w := 0.2 + 0.6*rng.Float64()
+	r1 := math.Exp(rng.NormFloat64() - 1)
+	r2 := r1 * (3 + 20*rng.Float64())
+	sys := core.System{
+		Servers:     1 + rng.Intn(4),
+		ArrivalRate: 1,
+		ServiceRate: 0.5 + rng.Float64(),
+		Operative:   dist.MustHyperExp([]float64{w, 1 - w}, []float64{r1, r2}),
+		Repair:      dist.Exp(math.Exp(rng.NormFloat64() + 1)),
+	}
+	target := 0.2 + 0.7*rng.Float64()
+	sys.ArrivalRate = target / sys.Load() // Load is linear in λ
+	return sys
+}
+
+// TestEngineMonotoneLambdaProperty checks the engine end-to-end against a
+// law of the model itself: for fixed µ and N, the mean number of jobs L
+// is monotone non-decreasing in the arrival rate λ. Violations would
+// indicate result mixing in the pool, the cache or the singleflight map.
+func TestEngineMonotoneLambdaProperty(t *testing.T) {
+	eng := NewEngine(Config{})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randomStableSystem(rng)
+		// An increasing λ grid inside the stable region.
+		lambdaMax := base.ArrivalRate / base.Load() * 0.95
+		grid := make([]float64, 8)
+		for i := range grid {
+			grid[i] = lambdaMax * (0.1 + 0.9*float64(i)/float64(len(grid)-1)) * 0.99
+		}
+		perfs, err := eng.SweepLambda(context.Background(), base, grid, core.Spectral)
+		if err != nil {
+			t.Logf("seed %d: sweep failed: %v", seed, err)
+			return false
+		}
+		for i := 1; i < len(perfs); i++ {
+			// Allow for solver round-off at nearly equal loads.
+			if perfs[i].MeanJobs < perfs[i-1].MeanJobs*(1-1e-9) {
+				t.Logf("seed %d: L(λ=%g) = %v < L(λ=%g) = %v",
+					seed, grid[i], perfs[i].MeanJobs, grid[i-1], perfs[i-1].MeanJobs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineCachedEqualsColdCacheProperty checks that memoisation is
+// invisible: a cache-hit evaluation returns bit-identical Performance to
+// a cold-cache evaluation of the same configuration on a fresh engine,
+// and to an engine with caching disabled.
+func TestEngineCachedEqualsColdCacheProperty(t *testing.T) {
+	warm := NewEngine(Config{})
+	ctx := context.Background()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomStableSystem(rng)
+		first, err := warm.Evaluate(ctx, sys, core.Spectral)
+		if err != nil {
+			t.Logf("seed %d: warm engine: %v", seed, err)
+			return false
+		}
+		hit, err := warm.Evaluate(ctx, sys, core.Spectral) // cache hit
+		if err != nil {
+			return false
+		}
+		uncached := NewEngine(Config{CacheSize: -1}) // caching disabled
+		cold, err := uncached.Evaluate(ctx, sys, core.Spectral)
+		if err != nil {
+			t.Logf("seed %d: uncached engine: %v", seed, err)
+			return false
+		}
+		for _, got := range []*core.Performance{hit, cold} {
+			if got.MeanJobs != first.MeanJobs || got.MeanResponse != first.MeanResponse ||
+				got.TailDecay != first.TailDecay || got.Load != first.Load {
+				t.Logf("seed %d: cached %+v vs cold %+v", seed, first, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvaluateBatchMatchesPointwiseProperty checks the metamorphic
+// identity EvaluateBatch ≡ map(Evaluate): same order, bit-identical
+// values, regardless of pool scheduling. The two engines are separate so
+// the batch cannot trivially reuse the pointwise engine's cache.
+func TestEvaluateBatchMatchesPointwiseProperty(t *testing.T) {
+	ctx := context.Background()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := make([]Job, 1+rng.Intn(12))
+		for i := range jobs {
+			m := []core.Method{core.Spectral, core.MatrixGeometric}[rng.Intn(2)]
+			jobs[i] = Job{System: randomStableSystem(rng), Method: m}
+		}
+		batchEng := NewEngine(Config{Workers: 1 + rng.Intn(8)})
+		pointEng := NewEngine(Config{})
+		results := batchEng.EvaluateBatch(ctx, jobs)
+		if len(results) != len(jobs) {
+			t.Logf("seed %d: %d results for %d jobs", seed, len(results), len(jobs))
+			return false
+		}
+		for i, res := range results {
+			if res.Index != i || res.Err != nil {
+				t.Logf("seed %d: result %d = %+v", seed, i, res)
+				return false
+			}
+			want, err := pointEng.Evaluate(ctx, jobs[i].System, jobs[i].Method)
+			if err != nil {
+				t.Logf("seed %d: pointwise %d: %v", seed, i, err)
+				return false
+			}
+			if res.Perf.MeanJobs != want.MeanJobs || res.Perf.MeanResponse != want.MeanResponse ||
+				res.Perf.TailDecay != want.TailDecay || res.Perf.Load != want.Load {
+				t.Logf("seed %d: job %d batch %+v vs pointwise %+v", seed, i, res.Perf, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
