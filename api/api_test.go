@@ -197,6 +197,7 @@ func TestErrorHTTPStatusMapping(t *testing.T) {
 		CodeUnsatisfiable:    http.StatusUnprocessableEntity,
 		CodeCanceled:         StatusClientClosedRequest,
 		CodeDeadlineExceeded: http.StatusGatewayTimeout,
+		CodeNodeUnavailable:  http.StatusServiceUnavailable,
 		CodeInternal:         http.StatusInternalServerError,
 	} {
 		if got := (&Error{Code: code}).HTTPStatus(); got != status {
@@ -204,7 +205,7 @@ func TestErrorHTTPStatusMapping(t *testing.T) {
 		}
 	}
 	// CodeForStatus inverts the mapping (up to the 422 ambiguity).
-	for _, status := range []int{400, 499, 500, 504} {
+	for _, status := range []int{400, 499, 500, 503, 504} {
 		if got := (&Error{Code: CodeForStatus(status)}).HTTPStatus(); got != status {
 			t.Errorf("status %d did not survive the round trip (got %d)", status, got)
 		}

@@ -1,0 +1,83 @@
+package api
+
+// PathCluster is the cluster-introspection endpoint (GET): per-node
+// health, ownership counts and forward/local routing counters of the
+// answering node's cluster view.
+const PathCluster = "/v1/cluster"
+
+// HeaderForwarded marks a request that already crossed one cluster hop.
+// A node receiving it serves locally no matter what its own ring says, so
+// disagreeing ring views (mid-deploy, mid-failover) degrade to one extra
+// hop instead of a forwarding loop.
+const HeaderForwarded = "X-Mus-Forwarded"
+
+// RetryAfterDraining is the Retry-After value (seconds) a draining node
+// attaches to its node_unavailable rejections: long enough for the
+// restart to finish, short enough that clients re-probe promptly.
+const RetryAfterDraining = 1
+
+// ClusterNodeStatus is one peer's entry in a ClusterResponse — the
+// reporting node's view of that peer's health and of the traffic it has
+// routed there.
+type ClusterNodeStatus struct {
+	// ID is the node's ring identity — the string every member and every
+	// sharding client hashes, so it must be configured identically
+	// cluster-wide.
+	ID string `json:"id"`
+	// URL is the node's base URL.
+	URL string `json:"url"`
+	// Self marks the reporting node's own entry.
+	Self bool `json:"self,omitempty"`
+	// Healthy is the reporting node's current verdict: true until probes
+	// (or a forwarding failure) say otherwise. The self entry is always
+	// healthy.
+	Healthy bool `json:"healthy"`
+	// ConsecutiveFailures counts probe/forward failures since the last
+	// success; it resets to 0 when the node answers again.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// LastError is the most recent probe or forwarding failure, cleared
+	// on recovery.
+	LastError string `json:"last_error,omitempty"`
+	// Owned counts requests (and scattered sweep points) whose ring owner
+	// was this node, as scored by the reporting node.
+	Owned uint64 `json:"owned"`
+	// Forwarded counts requests and sweep points the reporting node
+	// actually sent to this node (zero on the self entry — local serves
+	// are counted in ClusterResponse.LocalServed).
+	Forwarded uint64 `json:"forwarded"`
+}
+
+// ClusterResponse reports the answering node's cluster state
+// (GET /v1/cluster). Counters are from this node's perspective; ask every
+// node for the full picture.
+type ClusterResponse struct {
+	// Enabled is false on a node running without -peers, in which case
+	// only Self and the local cache fields are meaningful.
+	Enabled bool `json:"enabled"`
+	// Self is this node's ring ID.
+	Self string `json:"self"`
+	// Nodes lists every ring member (including self) in ring order.
+	Nodes []ClusterNodeStatus `json:"nodes,omitempty"`
+	// LocalServed counts requests and sweep points this node evaluated on
+	// its own engine — because it owned them, or as the failover of last
+	// resort when every remote choice was down.
+	LocalServed uint64 `json:"local_served"`
+	// ForwardedTotal counts requests and sweep points this node sent to
+	// peers, summed over Nodes[].Forwarded.
+	ForwardedTotal uint64 `json:"forwarded_total"`
+	// Failovers counts routing decisions that skipped at least one down
+	// node — forwarded to a lower-ranked peer or served locally because
+	// the owner was unreachable.
+	Failovers uint64 `json:"failovers"`
+	// CacheHitRate is the local engine's solver-cache hit rate — the
+	// number cache-affinity routing exists to raise: with same-fingerprint
+	// requests pinned to one owner, each node's cache serves its own shard
+	// instead of duplicating every other node's.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Evaluations counts evaluations the local engine answered by any
+	// means (cache, in-flight join, or fresh solve); with Solves it bounds
+	// the affinity multiplier Evaluations/Solves.
+	Evaluations uint64 `json:"evaluations"`
+	// Solves counts evaluations that ran the local solver.
+	Solves uint64 `json:"solves"`
+}

@@ -43,6 +43,11 @@ const (
 	// CodeNotReady marks a result fetched before the job reached a terminal
 	// state; poll GET /v1/jobs/{id} until Terminal (HTTP 409).
 	CodeNotReady Code = "not_ready"
+	// CodeNodeUnavailable marks a node that cannot take the request right
+	// now — it is draining for shutdown, or a cluster peer needed to serve
+	// the request is unreachable. Retry the same request elsewhere (or
+	// after the Retry-After delay); the request itself is fine (HTTP 503).
+	CodeNodeUnavailable Code = "node_unavailable"
 	// CodeInternal marks an unexpected engine failure (HTTP 500).
 	CodeInternal Code = "internal"
 )
@@ -89,6 +94,8 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusTooManyRequests
 	case CodeNotReady:
 		return http.StatusConflict
+	case CodeNodeUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -113,6 +120,8 @@ func CodeForStatus(status int) Code {
 		return CodeQueueFull
 	case http.StatusConflict:
 		return CodeNotReady
+	case http.StatusServiceUnavailable:
+		return CodeNodeUnavailable
 	default:
 		return CodeInternal
 	}
@@ -155,6 +164,13 @@ func NotReady(id, state string) *Error {
 	return &Error{Code: CodeNotReady, Message: fmt.Sprintf("job %q is still %s; poll %s until terminal", id, state, JobPath(id))}
 }
 
+// NodeUnavailable builds the node_unavailable error: the node cannot take
+// the request right now, but the request itself is fine — retry it on
+// another node or after a delay.
+func NodeUnavailable(format string, args ...any) *Error {
+	return &Error{Code: CodeNodeUnavailable, Message: fmt.Sprintf(format, args...)}
+}
+
 // Unstable builds the unstable_system error for a configuration violating
 // eq. 11, naming the smallest stabilising fleet size.
 func Unstable(sys core.System) *Error {
@@ -163,6 +179,23 @@ func Unstable(sys core.System) *Error {
 		Message: fmt.Sprintf("unstable: load %.4g ≥ 1, need at least %d servers",
 			sys.Load(), core.MinServersForStability(sys)),
 	}
+}
+
+// NodeFailure reports whether an error indicts the contacted node rather
+// than the request: transport failures (which never carry an *Error) and
+// node_unavailable rejections (the node is draining). Both the cluster
+// router and the sharding client use this one predicate to decide when
+// to fail over to the next-ranked node — every structured evaluation
+// outcome is authoritative and must not be retried elsewhere.
+func NodeFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ae *Error
+	if !errors.As(err, &ae) {
+		return true
+	}
+	return ae.Code == CodeNodeUnavailable
 }
 
 // Classify lifts an arbitrary error into the wire taxonomy: an *Error

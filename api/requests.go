@@ -384,6 +384,10 @@ type StatsResponse struct {
 	Requests uint64 `json:"requests"`
 	// Workers is the solver concurrency bound.
 	Workers int `json:"workers"`
+	// Evaluations counts evaluations answered by any means (cache hit,
+	// in-flight join, or fresh solve); with Solves it bounds the node's
+	// cache-affinity multiplier Evaluations/Solves.
+	Evaluations uint64 `json:"evaluations"`
 	// Solves counts solver invocations that actually ran.
 	Solves uint64 `json:"solves"`
 	// SolverErrors counts solver invocations that failed.

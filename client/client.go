@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +43,11 @@ const DefaultRetries = 2
 // WithBackoff is not used; attempt k sleeps backoff·2ᵏ.
 const DefaultBackoff = 100 * time.Millisecond
 
+// MaxRetryAfter caps how long a server-supplied Retry-After header can
+// make the client wait before one retry; larger values are clamped so a
+// misconfigured server cannot park callers for minutes.
+const MaxRetryAfter = 30 * time.Second
+
 // Client talks to one mus-serve daemon. It is safe for concurrent use;
 // create it once and share it so connections are reused.
 type Client struct {
@@ -49,6 +55,7 @@ type Client struct {
 	httpc   *http.Client
 	retries int
 	backoff time.Duration
+	header  http.Header
 	// sleep waits out one backoff delay (retries, job polling), returning
 	// early with ctx.Err() on cancelation. Tests substitute a recording
 	// fake so backoff behaviour is asserted without real time passing.
@@ -82,6 +89,18 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
 // WithBackoff sets the base delay of the exponential retry backoff.
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithHeader attaches a fixed header to every request the client sends —
+// how the cluster forwarding proxy marks one-hop requests
+// (api.HeaderForwarded) and how callers pass auth or tracing headers.
+func WithHeader(key, value string) Option {
+	return func(c *Client) {
+		if c.header == nil {
+			c.header = make(http.Header)
+		}
+		c.header.Set(key, value)
+	}
+}
 
 // New builds a client for the daemon at baseURL (e.g.
 // "http://localhost:8350"). A trailing slash is tolerated.
@@ -245,8 +264,12 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 
 // send issues the request with retries: a transport failure or a 5xx
 // status is retried up to c.retries times with exponential backoff, the
-// request body re-sent from scratch each attempt. Responses below 500
-// (including structured 4xx errors) return immediately.
+// request body re-sent from scratch each attempt. A Retry-After header
+// (whole seconds) on a 429 or 503 replaces the exponential delay for that
+// retry — and is the only way a 429 is retried at all: without the
+// server's explicit invitation, backpressure rejections keep failing
+// fast. Other responses below 500 (including structured 4xx errors)
+// return immediately.
 func (c *Client) send(ctx context.Context, method, path string, in any, accept string) (*http.Response, error) {
 	var body []byte
 	if in != nil {
@@ -261,6 +284,9 @@ func (c *Client) send(ctx context.Context, method, path string, in any, accept s
 		if err != nil {
 			return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 		}
+		for k, vs := range c.header {
+			req.Header[k] = vs
+		}
 		if in != nil {
 			req.Header.Set("Content-Type", api.ContentTypeJSON)
 		}
@@ -268,15 +294,31 @@ func (c *Client) send(ctx context.Context, method, path string, in any, accept s
 			req.Header.Set("Accept", accept)
 		}
 		resp, err := c.httpc.Do(req)
+		delay := c.backoff << attempt
 		switch {
 		case err != nil:
 			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
-		case resp.StatusCode >= http.StatusInternalServerError:
+		case resp.StatusCode >= http.StatusInternalServerError,
+			resp.StatusCode == http.StatusTooManyRequests:
+			var hinted time.Duration
+			var ok bool
+			// The hint is honored only where the contract says so — 429 and
+			// 503; a proxy-stamped Retry-After on a 502/504 must not stretch
+			// the fast exponential schedule.
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+				hinted, ok = retryAfter(resp)
+			}
+			if resp.StatusCode == http.StatusTooManyRequests && !ok {
+				return resp, nil // no server hint: keep the fast-fail backpressure contract
+			}
 			if attempt >= c.retries {
-				return resp, nil // caller renders the final 5xx as *api.Error
+				return resp, nil // caller renders the final failure as *api.Error
 			}
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10)) //nolint:errcheck
 			resp.Body.Close()
+			if ok {
+				delay = hinted
+			}
 			lastErr = nil
 		default:
 			return resp, nil
@@ -284,13 +326,47 @@ func (c *Client) send(ctx context.Context, method, path string, in any, accept s
 		if attempt >= c.retries {
 			return nil, lastErr
 		}
-		if err := c.sleep(ctx, c.backoff<<attempt); err != nil {
+		if err := c.sleep(ctx, delay); err != nil {
 			if lastErr != nil {
 				return nil, lastErr
 			}
 			return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 		}
 	}
+}
+
+// retryAfter reads a response's Retry-After header in either RFC shape —
+// delay-seconds, or an HTTP-date (which proxies are allowed to normalize
+// to) — clamped to [0, MaxRetryAfter]. Garbage is ignored (the
+// exponential backoff applies instead).
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	v := strings.TrimSpace(resp.Header.Get("Retry-After"))
+	if v == "" {
+		return 0, false
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		// Clamp before multiplying: a huge value would overflow the
+		// Duration into a negative and dodge the cap below.
+		if secs > int(MaxRetryAfter/time.Second) {
+			secs = int(MaxRetryAfter / time.Second)
+		}
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(v); err == nil {
+		d = time.Until(at)
+		if d < 0 {
+			d = 0 // the moment already passed: retry now
+		}
+	} else {
+		return 0, false
+	}
+	if d > MaxRetryAfter {
+		d = MaxRetryAfter
+	}
+	return d, true
 }
 
 // errorFrom turns a non-2xx response into an error wrapping *api.Error,

@@ -317,8 +317,8 @@ func TestClientRetriesExhausted(t *testing.T) {
 	c := New(down.URL, WithRetries(2), WithBackoff(time.Millisecond))
 	_, err := c.Stats(context.Background())
 	var ae *api.Error
-	if !errors.As(err, &ae) || ae.Code != api.CodeInternal {
-		t.Fatalf("exhausted retries: got %v, want internal", err)
+	if !errors.As(err, &ae) || ae.Code != api.CodeNodeUnavailable {
+		t.Fatalf("exhausted retries: got %v, want node_unavailable (the 503 fallback code)", err)
 	}
 	if hits.Load() != 3 {
 		t.Errorf("%d attempts, want 3 (1 + 2 retries)", hits.Load())

@@ -1,0 +1,265 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/api"
+	"repro/internal/cluster/ring"
+	"repro/internal/watchdog"
+)
+
+// DefaultAttemptTimeout bounds one node attempt of a Cluster failover
+// walk (and the tolerated silence between streamed sweep points): a
+// wedged node — accepting connections, never answering — fails over to
+// the key's next-ranked node instead of hanging the call. It matches
+// the server tier's own per-request tolerance (mus-serve's WriteTimeout
+// and the router's forward timeout), so no request a lone node would
+// have served is abandoned early.
+const DefaultAttemptTimeout = 5 * time.Minute
+
+// Cluster is the multi-endpoint SDK for a sharded mus-serve cluster: it
+// computes each request's fingerprint client-side and sends it straight
+// to the ring owner, so the hot path skips the server-side forwarding
+// hop entirely. The ring is the same rendezvous hash the servers run —
+// both sides agree on every owner as long as NewCluster is given the
+// same identities the servers hash (bare URLs in the common case) — and
+// when they ever disagree, the contacted node simply forwards: client
+// sharding is an optimisation, never a correctness requirement.
+//
+// An unreachable or draining owner fails over to the key's next-ranked
+// node, exactly as the servers do. A Cluster is safe for concurrent use.
+type Cluster struct {
+	ring    *ring.Ring
+	clients map[string]*Client
+}
+
+// NewCluster builds a sharded client over the given node endpoints. Each
+// endpoint doubles as that node's ring identity, so pass the same URLs
+// the servers were given in -peers (use "id=url" -peers entries only if
+// you also shard by those IDs yourself). Options apply to every
+// per-node client; same-node retries default to zero — the failover walk
+// is the retry layer, and a dead or draining node should cost one
+// attempt, not a backoff cycle — but an explicit WithRetries wins.
+func NewCluster(endpoints []string, opts ...Option) (*Cluster, error) {
+	opts = append([]Option{WithRetries(0)}, opts...)
+	clients := make(map[string]*Client, len(endpoints))
+	ids := make([]string, 0, len(endpoints))
+	for _, ep := range endpoints {
+		id := strings.TrimRight(strings.TrimSpace(ep), "/")
+		if id == "" {
+			continue
+		}
+		if _, dup := clients[id]; dup {
+			continue
+		}
+		clients[id] = New(id, opts...)
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, errors.New("client: NewCluster needs at least one endpoint")
+	}
+	return &Cluster{ring: ring.New(ids), clients: clients}, nil
+}
+
+// Endpoints returns the member endpoints in ring order.
+func (c *Cluster) Endpoints() []string { return c.ring.IDs() }
+
+// Node returns the single-node client for one endpoint (as returned by
+// Endpoints), or nil for an unknown one — the escape hatch for per-node
+// introspection like Stats and Health.
+func (c *Cluster) Node(endpoint string) *Client { return c.clients[endpoint] }
+
+// fingerprintOf computes the wire system's canonical fingerprint for
+// ring placement. A system that does not convert routes by its zero key
+// instead — the server will reject it with a proper 400 wherever it
+// lands, so nothing is lost by routing it arbitrarily (but
+// deterministically).
+func fingerprintOf(sys api.System) string {
+	coreSys, err := sys.ToSystem()
+	if err != nil {
+		return ""
+	}
+	return coreSys.Fingerprint()
+}
+
+// errFinal wraps an error that must end the failover walk even though it
+// looks node-level — a stream that died after emitting points cannot be
+// replayed elsewhere without duplicating them.
+type errFinal struct{ err error }
+
+func (e errFinal) Error() string { return e.err.Error() }
+func (e errFinal) Unwrap() error { return e.err }
+
+// walk tries fn against each of the key's ranked nodes until one answers
+// (with a result or an authoritative error), failing over on node-level
+// failures. The last node's failure is returned when all are down.
+func (c *Cluster) walk(ctx context.Context, key string, fn func(*Client) error) error {
+	var lastErr error
+	for _, id := range c.ring.Rank(key) {
+		err := fn(c.clients[id])
+		var fe errFinal
+		if errors.As(err, &fe) {
+			return fe.err
+		}
+		if !api.NodeFailure(err) {
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("client: all %d cluster nodes failed: %w", c.ring.Len(), lastErr)
+}
+
+// Solve evaluates one configuration on its owner node (POST /v1/solve on
+// the node the servers would forward to anyway), failing over down the
+// key's rank when the owner is unreachable or hangs past
+// DefaultAttemptTimeout.
+func (c *Cluster) Solve(ctx context.Context, req api.SolveRequest) (*api.SolveResponse, error) {
+	var resp *api.SolveResponse
+	err := c.walk(ctx, fingerprintOf(req.System), func(cl *Client) error {
+		actx, cancel := context.WithTimeout(ctx, DefaultAttemptTimeout)
+		defer cancel()
+		var err error
+		resp, err = cl.Solve(actx, req)
+		return err
+	})
+	return resp, err
+}
+
+// Simulate runs one replicated simulation on its owner node
+// (POST /v1/simulate), failing over like Solve.
+func (c *Cluster) Simulate(ctx context.Context, req api.SimulateRequest) (*api.SimulateResponse, error) {
+	var resp *api.SimulateResponse
+	err := c.walk(ctx, fingerprintOf(req.System), func(cl *Client) error {
+		actx, cancel := context.WithTimeout(ctx, DefaultAttemptTimeout)
+		defer cancel()
+		var err error
+		resp, err = cl.Simulate(actx, req)
+		return err
+	})
+	return resp, err
+}
+
+// sweepKey picks the coordinator key for a sweep: the fingerprint of the
+// first grid point, so repeated identical sweeps reuse one coordinator
+// (whose scatter bookkeeping is then warm) while distinct sweeps spread
+// across the membership. Only that one point is expanded — fingerprinting
+// must stay O(1) however long the grid is.
+func sweepKey(req api.SweepRequest) string {
+	probe := req
+	if len(probe.Values) > 1 {
+		probe.Values = probe.Values[:1]
+	}
+	systems, err := probe.Systems()
+	if err != nil || len(systems) == 0 {
+		return ""
+	}
+	return systems[0].Fingerprint()
+}
+
+// Sweep evaluates a parameter grid (POST /v1/sweep) through one
+// coordinator node, which scatters the points across the cluster by
+// ownership and gathers them back in grid order. Coordinator choice
+// fails over when the preferred node is down or hangs past
+// DefaultAttemptTimeout.
+func (c *Cluster) Sweep(ctx context.Context, req api.SweepRequest) (*api.SweepResponse, error) {
+	var resp *api.SweepResponse
+	err := c.walk(ctx, sweepKey(req), func(cl *Client) error {
+		actx, cancel := context.WithTimeout(ctx, DefaultAttemptTimeout)
+		defer cancel()
+		var err error
+		resp, err = cl.Sweep(actx, req)
+		return err
+	})
+	return resp, err
+}
+
+// SweepStream evaluates a parameter grid as an NDJSON stream through one
+// coordinator node (see Client.SweepStream for the callback contract;
+// an error returned by fn still aborts the stream and comes back
+// verbatim). Coordinator failover applies only while nothing has been
+// emitted yet: once fn has observed points, a mid-stream failure
+// surfaces as an error instead of replaying the stream from another
+// node with duplicates.
+func (c *Cluster) SweepStream(ctx context.Context, req api.SweepRequest, fn func(api.SweepPoint) error) error {
+	emitted := false
+	var cbErr error
+	return c.walk(ctx, sweepKey(req), func(cl *Client) error {
+		cbErr = nil
+		// The idle watchdog bounds the silence between points at
+		// DefaultAttemptTimeout: a coordinator that accepts the stream and
+		// then stalls (partition, wedge) is abandoned — failing over if
+		// nothing was emitted yet, surfacing a mid-flight error otherwise —
+		// while an arbitrarily long healthy stream ticks the timer per
+		// point and runs forever.
+		sctx, tick, stopWatchdog := watchdog.New(ctx, DefaultAttemptTimeout)
+		err := cl.SweepStream(sctx, req, func(pt api.SweepPoint) error {
+			tick()
+			emitted = true
+			if e := fn(pt); e != nil {
+				cbErr = e
+				return e
+			}
+			return nil
+		})
+		stopWatchdog()
+		if err != nil {
+			if cbErr != nil {
+				// The caller aborted the stream; its own error travels back
+				// verbatim and must not read as (or trigger) a node failover.
+				return errFinal{cbErr}
+			}
+			if emitted && api.NodeFailure(err) {
+				return errFinal{fmt.Errorf("client: sweep stream died mid-flight (no duplicate-free failover): %w", err)}
+			}
+		}
+		return err
+	})
+}
+
+// ClusterStats fetches every node's /v1/cluster view concurrently,
+// keyed by endpoint — one slow or dead node delays nothing but its own
+// entry. Unreachable nodes are reported in the joined error while the
+// reachable majority's snapshots are still returned.
+func (c *Cluster) ClusterStats(ctx context.Context) (map[string]*api.ClusterResponse, error) {
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		out  = make(map[string]*api.ClusterResponse, len(c.clients))
+		errs []error
+	)
+	for id, cl := range c.clients {
+		wg.Add(1)
+		go func(id string, cl *Client) {
+			defer wg.Done()
+			st, err := cl.Cluster(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", id, err))
+				return
+			}
+			out[id] = st
+		}(id, cl)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// Cluster fetches one node's cluster view (GET /v1/cluster) — per-node
+// health as that node sees it, ownership counts and routing counters.
+func (c *Client) Cluster(ctx context.Context) (*api.ClusterResponse, error) {
+	var resp api.ClusterResponse
+	if err := c.call(ctx, http.MethodGet, api.PathCluster, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

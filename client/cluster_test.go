@@ -1,0 +1,248 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/api"
+	"repro/internal/cluster/ring"
+)
+
+// fakeNode is one fake cluster endpoint recording which requests hit it.
+type fakeNode struct {
+	ts        *httptest.Server
+	solveHits atomic.Int64
+	sweepHits atomic.Int64
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	t.Helper()
+	n := &fakeNode{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.PathSolve, func(w http.ResponseWriter, r *http.Request) {
+		n.solveHits.Add(1)
+		json.NewEncoder(w).Encode(api.SolveResponse{Fingerprint: "fp", Stable: true}) //nolint:errcheck
+	})
+	mux.HandleFunc("POST "+api.PathSweep, func(w http.ResponseWriter, r *http.Request) {
+		n.sweepHits.Add(1)
+		var req api.SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+		enc := json.NewEncoder(w)
+		for i, v := range req.Values {
+			perf := api.Performance{MeanJobs: v}
+			enc.Encode(api.SweepPoint{Index: i, Value: v, Perf: &perf}) //nolint:errcheck
+		}
+	})
+	mux.HandleFunc("GET "+api.PathCluster, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.ClusterResponse{Enabled: true, Self: n.ts.URL}) //nolint:errcheck
+	})
+	n.ts = httptest.NewServer(mux)
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(nil); err == nil {
+		t.Error("empty endpoint list accepted")
+	}
+	if _, err := NewCluster([]string{"", "  "}); err == nil {
+		t.Error("blank endpoints accepted")
+	}
+	c, err := NewCluster([]string{"http://a:1/", "http://a:1", "http://b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Endpoints(); len(got) != 2 {
+		t.Errorf("Endpoints() = %v, want the two distinct normalized URLs", got)
+	}
+	if c.Node("http://a:1") == nil || c.Node("http://nope") != nil {
+		t.Error("Node() accessor broken")
+	}
+}
+
+// TestClusterSolveRoutesToRingOwner: the SDK must send each request to
+// exactly the node the server-side ring would pick — that agreement is
+// the whole point of client-side sharding.
+func TestClusterSolveRoutesToRingOwner(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	urls := []string{a.ts.URL, b.ts.URL}
+	c, err := NewCluster(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := api.SolveRequest{System: api.System{Servers: 7, Lambda: 2}}
+	if _, err := c.Solve(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	owner := ring.New(urls).Owner(fingerprintOf(req.System))
+	wantA, wantB := int64(0), int64(0)
+	if owner == a.ts.URL {
+		wantA = 1
+	} else {
+		wantB = 1
+	}
+	if a.solveHits.Load() != wantA || b.solveHits.Load() != wantB {
+		t.Errorf("owner %q; hits a=%d b=%d", owner, a.solveHits.Load(), b.solveHits.Load())
+	}
+}
+
+// TestClusterSolveFailsOverWhenOwnerDown: with the owner unreachable the
+// request lands on the next-ranked node instead of failing.
+func TestClusterSolveFailsOverWhenOwnerDown(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	urls := []string{a.ts.URL, b.ts.URL}
+	c, err := NewCluster(urls, WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := api.SolveRequest{System: api.System{Servers: 9, Lambda: 3}}
+	owner := ring.New(urls).Owner(fingerprintOf(req.System))
+	victim, survivor := a, b
+	if owner == b.ts.URL {
+		victim, survivor = b, a
+	}
+	victim.ts.Close()
+	if _, err := c.Solve(context.Background(), req); err != nil {
+		t.Fatalf("failover solve: %v", err)
+	}
+	if survivor.solveHits.Load() != 1 {
+		t.Errorf("survivor saw %d solves, want 1", survivor.solveHits.Load())
+	}
+}
+
+// TestClusterSolveAllNodesDown: every node down surfaces one error
+// naming the cluster, wrapping the last node failure.
+func TestClusterSolveAllNodesDown(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	c, err := NewCluster([]string{a.ts.URL, b.ts.URL}, WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ts.Close()
+	b.ts.Close()
+	_, err = c.Solve(context.Background(), api.SolveRequest{System: api.System{Servers: 1, Lambda: 0.1}})
+	if err == nil || !strings.Contains(err.Error(), "all 2 cluster nodes failed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestClusterSweepStreamNoDuplicateFailover: a stream that dies after
+// emitting points must error out rather than replay from another node —
+// the caller would otherwise see duplicates.
+func TestClusterSweepStreamNoDuplicateFailover(t *testing.T) {
+	var otherHits atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Two NDJSON lines of a three-point sweep, then the connection dies:
+		// the client sees truncation mid-stream.
+		w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+		fmt.Fprintln(w, `{"index":0,"value":1,"perf":{"mean_jobs":1}}`)
+		fmt.Fprintln(w, `{"index":1,"value":2,"perf":{"mean_jobs":2}}`)
+	}))
+	t.Cleanup(flaky.Close)
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		otherHits.Add(1)
+		http.Error(w, "should never be asked", http.StatusTeapot)
+	}))
+	t.Cleanup(other.Close)
+	// Pick a grid whose ring coordinator is the flaky node (the ring is a
+	// pure function of URL and fingerprint, so a few candidate grids are
+	// guaranteed to find one).
+	urls := []string{flaky.URL, other.URL}
+	var req api.SweepRequest
+	for v := 1.0; ; v++ {
+		req = api.SweepRequest{System: api.System{Servers: 4}, Param: api.ParamLambda, Values: []float64{v, v + 0.1, v + 0.2}}
+		if ring.New(urls).Owner(sweepKey(req)) == flaky.URL {
+			break
+		}
+		if v > 1000 {
+			t.Fatal("no grid coordinated by the flaky node in 1000 tries")
+		}
+	}
+	c, err := NewCluster(urls, WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []api.SweepPoint
+	err = c.SweepStream(context.Background(), req, func(pt api.SweepPoint) error {
+		got = append(got, pt)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "died mid-flight") {
+		t.Fatalf("err = %v, want the mid-flight guard", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("callback saw %d points, want the 2 delivered before the death", len(got))
+	}
+	if otherHits.Load() != 0 {
+		t.Fatalf("stream was replayed on another node (%d hits) — duplicate emissions", otherHits.Load())
+	}
+}
+
+// TestClusterSweepStreamCallbackAbortVerbatim: an error returned by the
+// caller's own callback comes back verbatim (== comparable), is not
+// dressed up as a node death, and triggers no failover to another node.
+func TestClusterSweepStreamCallbackAbortVerbatim(t *testing.T) {
+	var hits [2]atomic.Int64
+	mk := func(i int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+			fmt.Fprintln(w, `{"index":0,"value":1,"perf":{"mean_jobs":1}}`)
+			fmt.Fprintln(w, `{"index":1,"value":2,"perf":{"mean_jobs":2}}`)
+			fmt.Fprintln(w, `{"index":2,"value":3,"perf":{"mean_jobs":3}}`)
+		}))
+	}
+	a, b := mk(0), mk(1)
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	c, err := NewCluster([]string{a.URL, b.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop right there")
+	req := api.SweepRequest{System: api.System{Servers: 4}, Param: api.ParamLambda, Values: []float64{1, 2, 3}}
+	got := c.SweepStream(context.Background(), req, func(pt api.SweepPoint) error {
+		if pt.Index == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if got != sentinel {
+		t.Fatalf("callback abort came back as %v, want the sentinel verbatim", got)
+	}
+	if hits[0].Load()+hits[1].Load() != 1 {
+		t.Fatalf("abort caused a retry on another node (hits %d+%d)", hits[0].Load(), hits[1].Load())
+	}
+}
+
+// TestClusterStatsCollectsAllNodes: ClusterStats returns every reachable
+// node's snapshot and reports the unreachable ones in the joined error.
+func TestClusterStatsCollectsAllNodes(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	c, err := NewCluster([]string{a.ts.URL, b.ts.URL}, WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := c.ClusterStats(context.Background())
+	if err != nil || len(all) != 2 {
+		t.Fatalf("stats: %v, %d nodes", err, len(all))
+	}
+	b.ts.Close()
+	partial, err := c.ClusterStats(context.Background())
+	if err == nil || len(partial) != 1 {
+		t.Fatalf("partial stats: err=%v, %d nodes (want 1 + error)", err, len(partial))
+	}
+	var ae *api.Error
+	_ = errors.As(err, &ae) // joined transport errors need not be typed; presence is enough
+}

@@ -66,6 +66,167 @@ func TestRetryBackoffGrowsExponentially(t *testing.T) {
 	}
 }
 
+// TestRetryHonoursRetryAfterSeconds pins the Retry-After contract: a 503
+// carrying "Retry-After: 3" makes the client wait exactly three seconds —
+// the server's hint, not the exponential schedule — before retrying, and
+// subsequent hintless 5xx failures fall back to exponential backoff.
+func TestRetryHonoursRetryAfterSeconds(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case 2:
+			http.Error(w, "boom", http.StatusInternalServerError) // no hint
+		default:
+			w.Header().Set("Content-Type", api.ContentTypeJSON)
+			w.Write([]byte(`{"status":"ok","workers":1}`)) //nolint:errcheck
+		}
+	}))
+	defer srv.Close()
+	rec := &recordSleeper{}
+	c := New(srv.URL, WithRetries(3), WithBackoff(10*time.Millisecond))
+	c.sleep = rec.sleep
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+	// Sleep 1 is the server's 3 s hint; sleep 2 is the exponential delay
+	// for attempt index 1 (backoff·2¹), the hint never feeding the curve.
+	want := []time.Duration{3 * time.Second, 20 * time.Millisecond}
+	if len(rec.delays) != len(want) {
+		t.Fatalf("slept %v, want %v", rec.delays, want)
+	}
+	for i, d := range want {
+		if rec.delays[i] != d {
+			t.Errorf("delay %d = %v, want %v", i, rec.delays[i], d)
+		}
+	}
+}
+
+// TestRetryAfterEnables429Retry: a 429 is normally a fast-fail
+// (backpressure), but a server that names a Retry-After delay is inviting
+// exactly one more attempt after that wait.
+func TestRetryAfterEnables429Retry(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.Write([]byte(`{"status":"ok","workers":1}`)) //nolint:errcheck
+	}))
+	defer srv.Close()
+	rec := &recordSleeper{}
+	c := New(srv.URL, WithRetries(2))
+	c.sleep = rec.sleep
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2", got)
+	}
+	if len(rec.delays) != 1 || rec.delays[0] != 2*time.Second {
+		t.Errorf("slept %v, want exactly [2s]", rec.delays)
+	}
+}
+
+// TestRetryAfterAbsent429FailsFast pins the unchanged backpressure
+// contract: a hintless 429 surfaces immediately as queue_full with no
+// sleeps and no second attempt.
+func TestRetryAfterAbsent429FailsFast(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.WriteHeader(http.StatusTooManyRequests)
+		writeTestJSON(t, w, api.ErrorEnvelope{Error: api.QueueFull(8)})
+	}))
+	defer srv.Close()
+	rec := &recordSleeper{}
+	c := New(srv.URL, WithRetries(5))
+	c.sleep = rec.sleep
+	_, err := c.Health(context.Background())
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeQueueFull {
+		t.Fatalf("err = %v, want queue_full", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1 (fast fail)", got)
+	}
+	if len(rec.delays) != 0 {
+		t.Errorf("slept %v, want none", rec.delays)
+	}
+}
+
+// TestRetryAfterIgnoredOn502: the hint is honored only on 429/503 — a
+// proxy-stamped Retry-After on a 502 must not stretch the exponential
+// schedule.
+func TestRetryAfterIgnoredOn502(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, "bad gateway", http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.Write([]byte(`{"status":"ok","workers":1}`)) //nolint:errcheck
+	}))
+	defer srv.Close()
+	rec := &recordSleeper{}
+	c := New(srv.URL, WithRetries(1), WithBackoff(10*time.Millisecond))
+	c.sleep = rec.sleep
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.delays) != 1 || rec.delays[0] != 10*time.Millisecond {
+		t.Errorf("slept %v, want the exponential [10ms] (502 hint ignored)", rec.delays)
+	}
+}
+
+// TestRetryAfterClampAndGarbage: oversized hints clamp to MaxRetryAfter;
+// unparseable ones fall back to the exponential schedule.
+func TestRetryAfterClampAndGarbage(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"86400", MaxRetryAfter},                         // clamped
+		{"10000000000", MaxRetryAfter},                   // would overflow Duration → clamped, not negative
+		{"Wed, 21 Oct 2100 07:28:00 GMT", MaxRetryAfter}, // far-future date form → clamped
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},             // past date form → retry now
+		{"yesterday-ish", 10 * time.Millisecond},         // garbage ignored → exponential
+		{"-5", 10 * time.Millisecond},                    // negative ignored → exponential
+	} {
+		var hits atomic.Int32
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if hits.Add(1) == 1 {
+				w.Header().Set("Retry-After", tc.header)
+				http.Error(w, "unavailable", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", api.ContentTypeJSON)
+			w.Write([]byte(`{"status":"ok","workers":1}`)) //nolint:errcheck
+		}))
+		rec := &recordSleeper{}
+		c := New(srv.URL, WithRetries(1), WithBackoff(10*time.Millisecond))
+		c.sleep = rec.sleep
+		if _, err := c.Health(context.Background()); err != nil {
+			t.Fatalf("Retry-After %q: %v", tc.header, err)
+		}
+		if len(rec.delays) != 1 || rec.delays[0] != tc.want {
+			t.Errorf("Retry-After %q: slept %v, want [%v]", tc.header, rec.delays, tc.want)
+		}
+		srv.Close()
+	}
+}
+
 func TestRetryStopsWhenContextCancelledDuringBackoff(t *testing.T) {
 	var hits atomic.Int32
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

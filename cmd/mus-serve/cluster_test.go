@@ -1,0 +1,508 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/internal/service/jobs"
+)
+
+// swapHandler lets an httptest server start (and hand out its URL)
+// before the handler behind it exists — the bootstrap every in-process
+// cluster needs, since each node's router wants every node's URL.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "node not wired yet", http.StatusServiceUnavailable)
+}
+
+// clusterNode is one in-process mus-serve member.
+type clusterNode struct {
+	url  string
+	ts   *httptest.Server
+	eng  *service.Engine
+	clu  *cluster.Router
+	swap *swapHandler
+	// blockForwardedSweeps makes forwarded sweep sub-requests hang until
+	// release is closed (or the connection dies) — how the kill test
+	// guarantees the victim still holds unanswered points at kill time.
+	// Once released, a "blocked" sub-request returns an empty truncated
+	// stream, exactly what a crashing process leaves behind.
+	blockForwardedSweeps atomic.Bool
+	release              chan struct{}
+}
+
+// kill hard-kills the node: in-flight connections severed (callers see
+// mid-stream death), stuck handlers released so they die too, listener
+// closed so redials are refused.
+func (n *clusterNode) kill() {
+	n.ts.CloseClientConnections()
+	close(n.release)
+	n.ts.Close()
+}
+
+// startTestCluster boots n federated nodes with bare URLs as ring IDs
+// (so client.NewCluster over the same URLs agrees on every owner) and
+// background probing off — health converges through forwarding failures
+// and explicit ProbeOnce calls, keeping tests deterministic.
+func startTestCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	cfgs := make([]cluster.NodeConfig, n)
+	for i := range nodes {
+		sh := &swapHandler{}
+		ts := httptest.NewServer(sh)
+		t.Cleanup(ts.Close)
+		nodes[i] = &clusterNode{url: ts.URL, ts: ts, swap: sh, release: make(chan struct{})}
+		cfgs[i] = cluster.NodeConfig{ID: ts.URL, URL: ts.URL}
+	}
+	for i, nd := range nodes {
+		nd.eng = service.NewEngine(service.Config{})
+		sched := jobs.New(jobs.Config{Engine: nd.eng})
+		t.Cleanup(sched.Close)
+		clu, err := cluster.New(cluster.Config{SelfID: cfgs[i].ID, Nodes: cfgs, ProbeInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(clu.Close)
+		nd.clu = clu
+		inner := newServerCluster(nd.eng, sched, clu).handler()
+		me := nd
+		nd.swap.h.Store(http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if me.blockForwardedSweeps.Load() && r.URL.Path == api.PathSweep && r.Header.Get(api.HeaderForwarded) != "" {
+				// Drain the body (so the server's close-detection read runs),
+				// then hang until the kill. Returning without writing leaves
+				// the caller a truncated stream — a crash's signature.
+				io.Copy(io.Discard, r.Body) //nolint:errcheck
+				select {
+				case <-me.release:
+				case <-r.Context().Done():
+				}
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})))
+	}
+	return nodes
+}
+
+// sweepReqN builds an n-point λ sweep over an 8-server system, every
+// point inside the stability region (capacity ≈ 7.58).
+func sweepReqN(n int) api.SweepRequest {
+	req := api.SweepRequest{
+		System: api.System{Servers: 8},
+		Param:  api.ParamLambda,
+		Values: make([]float64, n),
+	}
+	for i := range req.Values {
+		req.Values[i] = 0.2 + 7.0*float64(i)/float64(n)
+	}
+	return req
+}
+
+// singleNodeSweepBaseline computes the grid on a standalone server — the
+// bit-identity reference for every clustered path.
+func singleNodeSweepBaseline(t *testing.T, req api.SweepRequest) []api.SweepPoint {
+	t.Helper()
+	ts := testServer(t)
+	resp, err := client.New(ts.URL).Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Points
+}
+
+// TestClusterSweepBitIdenticalToSingleNode is the tentpole acceptance
+// criterion: a sweep scattered across a 3-node cluster returns exactly
+// the points a single node returns — same order, same bits — on both
+// the buffered and the NDJSON streaming path, while the work really did
+// spread across the membership.
+func TestClusterSweepBitIdenticalToSingleNode(t *testing.T) {
+	req := sweepReqN(30)
+	want := singleNodeSweepBaseline(t, req)
+	nodes := startTestCluster(t, 3)
+	c := client.New(nodes[0].url)
+
+	buffered, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(buffered.Points, want) {
+		t.Fatalf("buffered cluster sweep diverged from single node\n got %+v\nwant %+v", buffered.Points, want)
+	}
+
+	var streamed []api.SweepPoint
+	if err := c.SweepStream(context.Background(), req, func(pt api.SweepPoint) error {
+		streamed = append(streamed, pt)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, want) {
+		t.Fatalf("streamed cluster sweep diverged from single node\n got %+v\nwant %+v", streamed, want)
+	}
+
+	// The grid was genuinely scattered: node0 solved only its own shard,
+	// the rest of the evaluations ran on peers.
+	var totalSolves uint64
+	for _, nd := range nodes {
+		totalSolves += nd.eng.Stats().Solves
+	}
+	node0 := nodes[0].eng.Stats().Solves
+	if totalSolves != uint64(len(req.Values)) {
+		t.Errorf("cluster solved %d distinct points, want %d (each grid point exactly once)", totalSolves, len(req.Values))
+	}
+	if node0 == totalSolves {
+		t.Errorf("node0 solved everything itself; nothing was scattered")
+	}
+	st, err := c.Cluster(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled || st.ForwardedTotal == 0 || st.LocalServed == 0 || len(st.Nodes) != 3 {
+		t.Errorf("cluster stats after scatter: %+v", st)
+	}
+}
+
+// TestClusterKillMidSweepFailover is the failover acceptance criterion:
+// with one node killed mid-sweep, the stream still delivers every grid
+// point, in order, bit-identical to the single-node result — zero lost
+// points, the survivors absorbing the dead node's shard.
+func TestClusterKillMidSweepFailover(t *testing.T) {
+	req := sweepReqN(36)
+	want := singleNodeSweepBaseline(t, req)
+	nodes := startTestCluster(t, 3)
+	// The victim's forwarded sweep sub-requests hang, guaranteeing it
+	// still owes points when it dies.
+	victim := nodes[1]
+	victim.blockForwardedSweeps.Store(true)
+
+	type result struct {
+		pts []api.SweepPoint
+		err error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		var pts []api.SweepPoint
+		err := client.New(nodes[0].url).SweepStream(context.Background(), req, func(pt api.SweepPoint) error {
+			pts = append(pts, pt)
+			return nil
+		})
+		resc <- result{pts, err}
+	}()
+	// Let the scatter reach the victim, then kill it hard: in-flight
+	// connections severed, listener closed, no clean goodbye.
+	time.Sleep(300 * time.Millisecond)
+	victim.kill()
+
+	var res result
+	select {
+	case res = <-resc:
+	case <-time.After(60 * time.Second):
+		t.Fatal("sweep never completed after node kill")
+	}
+	if res.err != nil {
+		t.Fatalf("sweep failed instead of failing over: %v", res.err)
+	}
+	if len(res.pts) != len(req.Values) {
+		t.Fatalf("lost grid points: got %d, want %d", len(res.pts), len(req.Values))
+	}
+	if !reflect.DeepEqual(res.pts, want) {
+		t.Fatalf("failover sweep diverged from single node\n got %+v\nwant %+v", res.pts, want)
+	}
+	// The coordinator noticed: failovers counted, victim marked down.
+	st, err := client.New(nodes[0].url).Cluster(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failovers == 0 {
+		t.Errorf("no failover recorded: %+v", st)
+	}
+	for _, n := range st.Nodes {
+		if n.URL == victim.url && n.Healthy {
+			t.Errorf("killed node still marked healthy: %+v", n)
+		}
+	}
+}
+
+// TestClusterSolveAffinity: the same configuration posted to every node
+// is answered identically, but solved exactly once cluster-wide — the
+// ring pins the fingerprint to one owner whose cache serves everyone.
+func TestClusterSolveAffinity(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	body := `{"servers": 12, "lambda": 8}`
+	var first api.SolveResponse
+	for i, nd := range nodes {
+		var got api.SolveResponse
+		status, raw := postJSON(t, nd.url+api.PathSolve, body, &got)
+		if status != http.StatusOK {
+			t.Fatalf("node %d: status %d: %s", i, status, raw)
+		}
+		if i == 0 {
+			first = got
+			continue
+		}
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("node %d answered differently: %+v vs %+v", i, got, first)
+		}
+	}
+	var totalSolves, totalEvals uint64
+	for _, nd := range nodes {
+		st := nd.eng.Stats()
+		totalSolves += st.Solves
+		totalEvals += st.Evaluations
+	}
+	if totalSolves != 1 {
+		t.Errorf("cluster ran %d solver invocations for one fingerprint, want 1 (cache affinity)", totalSolves)
+	}
+	if totalEvals != 3 {
+		t.Errorf("cluster recorded %d evaluations, want 3 (one per posted request)", totalEvals)
+	}
+}
+
+// TestClientClusterShardingSkipsTheHop: a client.NewCluster over the
+// same bare URLs the servers federate under sends every request straight
+// to its ring owner — no server-side forward happens at all.
+func TestClientClusterShardingSkipsTheHop(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	urls := make([]string, len(nodes))
+	for i, nd := range nodes {
+		urls[i] = nd.url
+	}
+	cc, err := client.NewCluster(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 12
+	for i := 0; i < k; i++ {
+		// Distinct fingerprints via λ, at one small fixed N — varying the
+		// server count instead would grow the eigenproblem and make this
+		// test dominate the -race job's wall clock.
+		req := api.SolveRequest{System: api.System{Servers: 8, Lambda: 3 + 0.1*float64(i)}}
+		if _, err := cc.Solve(context.Background(), req); err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+	}
+	var forwarded, local uint64
+	for _, nd := range nodes {
+		st := nd.clu.Stats()
+		forwarded += st.ForwardedTotal
+		local += st.LocalServed
+	}
+	if forwarded != 0 {
+		t.Errorf("client-side sharding still caused %d server-side forwards (ring views disagree)", forwarded)
+	}
+	if local != k {
+		t.Errorf("local serves = %d, want %d (every request landed on its owner)", local, k)
+	}
+}
+
+// TestClusterEndpointStandalone: without -peers the endpoint still
+// answers, flagged disabled, with the local affinity numbers.
+func TestClusterEndpointStandalone(t *testing.T) {
+	ts := testServer(t)
+	var got api.ClusterResponse
+	resp, err := http.Get(ts.URL + api.PathCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	decodeTestJSON(t, resp, &got)
+	if got.Enabled || len(got.Nodes) != 0 {
+		t.Fatalf("standalone cluster view: %+v", got)
+	}
+}
+
+// TestDrainingRejectsWithRetryAfter: once graceful shutdown begins,
+// every request — health probes included — gets 503 node_unavailable
+// with a Retry-After hint, so LBs and peers route around the node.
+func TestDrainingRejectsWithRetryAfter(t *testing.T) {
+	eng := service.NewEngine(service.Config{})
+	sched := jobs.New(jobs.Config{Engine: eng})
+	t.Cleanup(sched.Close)
+	srv := newServerJobs(eng, sched)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	if resp, err := http.Get(ts.URL + api.PathHealthz); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	srv.startDrain()
+	status, env := getForError(t, ts.URL+api.PathHealthz)
+	if status != http.StatusServiceUnavailable || env.Error == nil || env.Error.Code != api.CodeNodeUnavailable {
+		t.Fatalf("draining healthz: %d %+v", status, env)
+	}
+	resp, err := http.Get(ts.URL + api.PathStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining stats: %d Retry-After=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	// Job reads stay open during the drain — the drain waits for running
+	// jobs precisely so their results remain fetchable; an unknown ID
+	// answers its normal 404, not the drain 503.
+	jr, err := http.Get(ts.URL + api.PathJobs + "/nonexistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	if jr.StatusCode != http.StatusNotFound {
+		t.Fatalf("draining job read: %d, want 404 (reads exempt from the drain gate)", jr.StatusCode)
+	}
+}
+
+// TestRunGracefulShutdownOnSIGTERM drives the real daemon loop: start
+// run() on a free port, wait until it serves, send ourselves SIGTERM and
+// require a clean (exit-0) return within the drain budget.
+func TestRunGracefulShutdownOnSIGTERM(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-workers", "2", "-drain-timeout", "5s"})
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + api.PathHealthz)
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never came up")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil (exit 0)", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+}
+
+// TestRunRejectsClusterMisconfiguration: -peers without -node-id (and a
+// -node-id missing from the list) must fail fast, not serve misrouted.
+func TestRunRejectsClusterMisconfiguration(t *testing.T) {
+	if err := run([]string{"-peers", "http://a:1,http://b:2"}); err == nil {
+		t.Error("-peers without -node-id accepted")
+	}
+	if err := run([]string{"-peers", "http://a:1,http://b:2", "-node-id", "http://c:3"}); err == nil {
+		t.Error("-node-id outside the peer list accepted")
+	}
+}
+
+// decodeTestJSON decodes a response body, failing the test on garbage.
+func decodeTestJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}
+
+// getForError fetches a URL expected to fail and decodes its envelope.
+func getForError(t *testing.T, url string) (int, api.ErrorEnvelope) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env api.ErrorEnvelope
+	decodeTestJSON(t, resp, &env)
+	return resp.StatusCode, env
+}
+
+// BenchmarkClusterSweep compares in-process sweep throughput: the same
+// repeated 48-point grid against one standalone node versus a 3-node
+// cluster entered at one coordinator. The cluster pays scatter/gather
+// HTTP hops per shard but shares three caches; hit_rate reports the
+// coordinator's solver-cache hit rate at the end of the run.
+func BenchmarkClusterSweep(b *testing.B) {
+	req := sweepReqN(48)
+	bench := func(b *testing.B, url string, eng *service.Engine) {
+		c := client.New(url)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Sweep(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := eng.Stats()
+		b.ReportMetric(st.Cache.HitRate(), "hit_rate")
+		b.ReportMetric(float64(len(req.Values))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	}
+	b.Run("1node", func(b *testing.B) {
+		eng := service.NewEngine(service.Config{})
+		sched := jobs.New(jobs.Config{Engine: eng})
+		b.Cleanup(sched.Close)
+		ts := httptest.NewServer(newServerJobs(eng, sched).handler())
+		b.Cleanup(ts.Close)
+		bench(b, ts.URL, eng)
+	})
+	b.Run("3node", func(b *testing.B) {
+		nodes := startBenchCluster(b, 3)
+		bench(b, nodes[0].url, nodes[0].eng)
+	})
+}
+
+// startBenchCluster mirrors startTestCluster for benchmarks.
+func startBenchCluster(b *testing.B, n int) []*clusterNode {
+	b.Helper()
+	nodes := make([]*clusterNode, n)
+	cfgs := make([]cluster.NodeConfig, n)
+	for i := range nodes {
+		sh := &swapHandler{}
+		ts := httptest.NewServer(sh)
+		b.Cleanup(ts.Close)
+		nodes[i] = &clusterNode{url: ts.URL, ts: ts, swap: sh, release: make(chan struct{})}
+		cfgs[i] = cluster.NodeConfig{ID: ts.URL, URL: ts.URL}
+	}
+	for i, nd := range nodes {
+		nd.eng = service.NewEngine(service.Config{})
+		sched := jobs.New(jobs.Config{Engine: nd.eng})
+		b.Cleanup(sched.Close)
+		clu, err := cluster.New(cluster.Config{SelfID: cfgs[i].ID, Nodes: cfgs, ProbeInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(clu.Close)
+		nd.clu = clu
+		nd.swap.h.Store(http.Handler(newServerCluster(nd.eng, sched, clu).handler()))
+	}
+	return nodes
+}

@@ -22,7 +22,19 @@
 //	                     for sweeps under Accept: application/x-ndjson, the
 //	                     points solved so far mid-run), DELETE cancels it
 //	GET  /v1/stats     — engine, worker-pool, cache and job-queue counters
+//	GET  /v1/cluster   — this node's cluster view: per-node health,
+//	                     ownership counts, forward/local counters
 //	GET  /v1/healthz   — load-balancer readiness probe
+//
+// Several daemons federate into one sharded cluster with -peers (the
+// shared membership list) and -node-id (this node's entry): a rendezvous
+// hash ring over the system fingerprint routes each configuration to one
+// owner node — forwarding single-point requests, scattering sweep grids
+// point-wise and gathering them back in grid order — with health-checked
+// deterministic failover and the local engine as last resort. SIGTERM
+// drains gracefully: new requests are rejected with 503 node_unavailable
+// + Retry-After while in-flight requests and running jobs get
+// -drain-timeout to finish, then the process exits 0.
 //
 // Every response echoes an X-Request-ID header (generated when the caller
 // sends none) that also appears in error envelopes, so client and server
@@ -44,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/service/jobs"
 )
@@ -58,12 +71,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mus-serve", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8350", "listen address")
-		workers    = fs.Int("workers", 0, "solver worker-pool size (0 = one per CPU)")
-		cache      = fs.Int("cache", service.DefaultCacheSize, "solver cache entries (negative disables)")
-		jobQueue   = fs.Int("job-queue", jobs.DefaultQueueDepth, "bound on queued async jobs (full queue rejects with queue_full)")
-		jobWorkers = fs.Int("job-workers", jobs.DefaultWorkers, "concurrently executing async jobs (solver concurrency stays bounded by -workers)")
-		jobTTL     = fs.Duration("job-ttl", jobs.DefaultTTL, "retention of finished async jobs before garbage collection")
+		addr         = fs.String("addr", ":8350", "listen address")
+		workers      = fs.Int("workers", 0, "solver worker-pool size (0 = one per CPU)")
+		cache        = fs.Int("cache", service.DefaultCacheSize, "solver cache entries (negative disables)")
+		jobQueue     = fs.Int("job-queue", jobs.DefaultQueueDepth, "bound on queued async jobs (full queue rejects with queue_full)")
+		jobWorkers   = fs.Int("job-workers", jobs.DefaultWorkers, "concurrently executing async jobs (solver concurrency stays bounded by -workers)")
+		jobTTL       = fs.Duration("job-ttl", jobs.DefaultTTL, "retention of finished async jobs before garbage collection")
+		peers        = fs.String("peers", "", "cluster membership: comma-separated [id=]url entries incl. this node (empty = standalone)")
+		nodeID       = fs.String("node-id", "", "this node's ID in -peers (required with -peers; defaults to the bare URL for id-less entries)")
+		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests and running jobs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,9 +87,26 @@ func run(args []string) error {
 	eng := service.NewEngine(service.Config{Workers: *workers, CacheSize: *cache})
 	sched := jobs.New(jobs.Config{Engine: eng, QueueDepth: *jobQueue, Workers: *jobWorkers, TTL: *jobTTL})
 	defer sched.Close()
+	hs := newServerJobs(eng, sched)
+	if *peers != "" {
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		if *nodeID == "" {
+			return errors.New("-peers needs -node-id naming this node's entry")
+		}
+		clu, err := cluster.New(cluster.Config{SelfID: *nodeID, Nodes: nodes})
+		if err != nil {
+			return err
+		}
+		clu.Start()
+		defer clu.Close()
+		hs = newServerCluster(eng, sched, clu)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServerJobs(eng, sched).handler(),
+		Handler:           hs.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// Buffered sweeps take a while; NDJSON streams roll their own
@@ -84,22 +117,36 @@ func run(args []string) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("mus-serve: listening on %s (workers=%d, cache=%d)", *addr, eng.Workers(), *cache)
+		log.Printf("mus-serve: listening on %s (workers=%d, cache=%d, peers=%q)", *addr, eng.Workers(), *cache, *peers)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		log.Print("mus-serve: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful shutdown: flip into draining (new requests — health
+		// probes included — get 503 node_unavailable + Retry-After, so
+		// LBs and peers route around us), then give running async jobs
+		// and in-flight HTTP requests the -drain-timeout budget before
+		// the deferred Close cancels whatever is left. Jobs drain FIRST,
+		// while the listener still accepts connections: the drain gate
+		// exempts job reads precisely so pollers can observe terminal
+		// states and fetch results, which requires a port that still
+		// answers while the jobs finish.
+		log.Printf("mus-serve: draining (timeout %s)", *drainTimeout)
+		hs.startDrain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		if err := sched.Drain(shutdownCtx); err != nil {
+			log.Printf("mus-serve: job drain incomplete: %v (remaining jobs will be canceled)", err)
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			return err
+			log.Printf("mus-serve: http drain incomplete: %v", err)
 		}
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		log.Print("mus-serve: drained, exiting")
 		return nil
 	}
 }

@@ -7,10 +7,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/api"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/service/jobs"
@@ -20,11 +23,23 @@ import (
 // API. Every wire type lives in package api — the handlers below only
 // decode, validate, dispatch and encode; all state lives in the engine
 // and the scheduler, the server itself only counts requests.
+//
+// With a cluster router attached (-peers), the single-point handlers
+// forward each request to its ring owner and the sweep handler scatters
+// grids point-wise across the live membership; requests carrying
+// api.HeaderForwarded already crossed their one allowed hop and are
+// always served locally.
 type server struct {
 	eng      *service.Engine
 	sched    *jobs.Scheduler
+	clu      *cluster.Router // nil on a standalone node
 	started  time.Time
 	requests atomic.Uint64
+	// draining flips at the start of graceful shutdown: every request from
+	// then on is rejected with 503 node_unavailable + Retry-After, so load
+	// balancers and cluster peers route around this node while in-flight
+	// work finishes.
+	draining atomic.Bool
 }
 
 // newServerJobs builds a server over an engine and an explicit scheduler
@@ -32,6 +47,15 @@ type server struct {
 // The caller owns the scheduler's lifecycle — Close it on shutdown.
 func newServerJobs(eng *service.Engine, sched *jobs.Scheduler) *server {
 	return &server{eng: eng, sched: sched, started: time.Now()}
+}
+
+// newServerCluster builds a clustered server: newServerJobs plus a
+// routing tier. The caller owns the router's lifecycle too — Start it
+// before serving, Close it on shutdown.
+func newServerCluster(eng *service.Engine, sched *jobs.Scheduler, clu *cluster.Router) *server {
+	s := newServerJobs(eng, sched)
+	s.clu = clu
+	return s
 }
 
 // handler builds the /v1 route table behind the middleware chain.
@@ -50,9 +74,43 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET "+api.PathJobs+"/{id}/result", s.count(s.handleJobResult))
 	mux.HandleFunc("DELETE "+api.PathJobs+"/{id}", s.count(s.handleJobCancel))
 	mux.HandleFunc("GET "+api.PathStats, s.count(s.handleStats))
+	mux.HandleFunc("GET "+api.PathCluster, s.handleCluster)
 	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealthz)
-	return chain(mux, withRequestID)
+	return chain(mux, withRequestID, s.withDraining)
 }
+
+// withDraining rejects new work — health probes included, so load
+// balancers and peer routers stop sending traffic — once graceful
+// shutdown has begun. The 503 carries the node_unavailable code and a
+// Retry-After hint; in-flight requests accepted before the flag flipped
+// are unaffected and drain normally. Job reads (GET under /v1/jobs) stay
+// open: the drain deliberately waits for running jobs to finish, and
+// that wait is only worth its budget if a polling client can still
+// observe the terminal state and fetch the result before exit.
+func (s *server) withDraining(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && !(r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, api.PathJobs+"/")) {
+			w.Header().Set("Retry-After", strconv.Itoa(api.RetryAfterDraining))
+			writeJSON(w, http.StatusServiceUnavailable, api.ErrorEnvelope{
+				Error:     api.NodeUnavailable("node is draining for shutdown; retry elsewhere or after a delay"),
+				RequestID: requestID(r.Context()),
+			})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// startDrain flips the server into draining mode.
+func (s *server) startDrain() { s.draining.Store(true) }
+
+// forwarded reports whether the request already crossed its one allowed
+// cluster hop and must be served locally.
+func forwarded(r *http.Request) bool { return r.Header.Get(api.HeaderForwarded) != "" }
+
+// shouldRoute reports whether a request enters the cluster routing tier:
+// a router exists and the request has not been forwarded yet.
+func (s *server) shouldRoute(r *http.Request) bool { return s.clu != nil && !forwarded(r) }
 
 // middleware wraps a handler with one cross-cutting concern.
 type middleware func(http.Handler) http.Handler
@@ -146,6 +204,17 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, api.Unstable(sys))
 		return
 	}
+	if s.shouldRoute(r) {
+		resp, served, err := s.clu.ForwardSolve(r.Context(), sys.Fingerprint(), req)
+		if served {
+			if err != nil {
+				writeError(w, r, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
 	perf, err := s.eng.Evaluate(r.Context(), sys, m)
 	if err != nil {
 		writeError(w, r, err)
@@ -186,6 +255,10 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, err)
 		return
 	}
+	if s.shouldRoute(r) {
+		s.clusterSweep(w, r, req, systems, m)
+		return
+	}
 	jobs := make([]service.Job, len(systems))
 	for i, sys := range systems {
 		jobs[i] = service.Job{System: sys, Method: m}
@@ -202,6 +275,68 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// clusterSweep scatters a sweep grid across the cluster by per-point
+// fingerprint and gathers the points back in grid order — buffered into
+// one api.SweepResponse, or streamed as NDJSON under Accept:
+// application/x-ndjson exactly like the single-node path. The local
+// engine evaluates this node's own shard (and is the failover of last
+// resort for everyone else's).
+func (s *server) clusterSweep(w http.ResponseWriter, r *http.Request, req api.SweepRequest, systems []core.System, m core.Method) {
+	fps := make([]string, len(systems))
+	for i, sys := range systems {
+		fps[i] = sys.Fingerprint()
+	}
+	local := func(ctx context.Context, indices []int, out func(api.SweepPoint)) error {
+		sub := make([]service.Job, len(indices))
+		for k, i := range indices {
+			sub[k] = service.Job{System: systems[i], Method: m}
+		}
+		return s.eng.EvaluateStream(ctx, sub, func(res service.Result) error {
+			pt := api.SweepPoint{Index: indices[res.Index], Value: req.Values[indices[res.Index]]}
+			if res.Err != nil {
+				pt.Error = res.Err.Error()
+			} else {
+				perf := api.FromPerformance(res.Perf)
+				pt.Perf = &perf
+			}
+			out(pt)
+			return nil
+		})
+	}
+	if r.Header.Get("Accept") == api.ContentTypeNDJSON {
+		// The 200 is already on the wire; mid-stream failures can only
+		// truncate, exactly as in the single-node streaming path.
+		_ = s.clu.Sweep(r.Context(), req, fps, ndjsonEmitter(w), local)
+		return
+	}
+	points := make([]api.SweepPoint, 0, len(systems))
+	err := s.clu.Sweep(r.Context(), req, fps, func(pt api.SweepPoint) error {
+		points = append(points, pt)
+		return nil
+	}, local)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.SweepResponse{Method: m.String(), Param: req.Param, Points: points})
+}
+
+// handleCluster reports this node's cluster view (GET /v1/cluster):
+// per-node health and routing counters from the router, plus the local
+// engine's cache-affinity numbers. A standalone node answers with
+// enabled=false and its local counters only.
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	resp := api.ClusterResponse{}
+	if s.clu != nil {
+		resp = s.clu.Stats()
+	}
+	resp.CacheHitRate = st.Cache.HitRate()
+	resp.Evaluations = st.Evaluations
+	resp.Solves = st.Solves
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // streamPointTimeout bounds the wait for any single streamed grid point.
 // The server's WriteTimeout is one absolute deadline for the whole
 // response — flushing does not extend it — so streamSweep rolls the
@@ -210,25 +345,36 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // point) still tears the connection down.
 const streamPointTimeout = 5 * time.Minute
 
-// streamSweep renders a sweep as NDJSON: each grid point is written and
-// flushed as soon as the engine solves it, in grid order. A disconnecting
-// client cancels the remaining evaluations through the request context.
-func (s *server) streamSweep(w http.ResponseWriter, r *http.Request, req api.SweepRequest, jobs []service.Job) {
+// ndjsonEmitter switches the response into NDJSON streaming mode and
+// returns the per-point emit function both sweep paths (single-node and
+// cluster scatter) share: each point is encoded, flushed, and rolls the
+// write deadline forward so a sweep may stream past the server-wide
+// WriteTimeout as long as points keep landing. Deadline errors are
+// ignored so transports without deadline support still stream.
+func ndjsonEmitter(w http.ResponseWriter) func(api.SweepPoint) error {
 	rc := http.NewResponseController(w)
-	// Per-point deadlines supersede the server-wide WriteTimeout; errors
-	// are ignored so transports without deadline support still stream.
 	_ = rc.SetWriteDeadline(time.Now().Add(streamPointTimeout))
 	w.Header().Set("Content-Type", api.ContentTypeNDJSON)
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
-	// The stream already carries a 200; mid-stream failures (client gone,
-	// context cancelled) can only terminate it early.
-	_ = s.eng.EvaluateStream(r.Context(), jobs, func(res service.Result) error {
+	return func(pt api.SweepPoint) error {
 		_ = rc.SetWriteDeadline(time.Now().Add(streamPointTimeout))
-		if err := enc.Encode(sweepPointOf(req, res)); err != nil {
+		if err := enc.Encode(pt); err != nil {
 			return err
 		}
 		return rc.Flush()
+	}
+}
+
+// streamSweep renders a sweep as NDJSON: each grid point is written and
+// flushed as soon as the engine solves it, in grid order. A disconnecting
+// client cancels the remaining evaluations through the request context.
+func (s *server) streamSweep(w http.ResponseWriter, r *http.Request, req api.SweepRequest, jobs []service.Job) {
+	emit := ndjsonEmitter(w)
+	// The stream already carries a 200; mid-stream failures (client gone,
+	// context cancelled) can only terminate it early.
+	_ = s.eng.EvaluateStream(r.Context(), jobs, func(res service.Result) error {
+		return emit(sweepPointOf(req, res))
 	})
 }
 
@@ -320,6 +466,17 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, ae)
 		return
 	}
+	if s.shouldRoute(r) {
+		resp, served, err := s.clu.ForwardSimulate(r.Context(), sys.Fingerprint(), req)
+		if served {
+			if err != nil {
+				writeError(w, r, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
 	res, err := s.eng.Simulate(r.Context(), sys, opts)
 	if err != nil {
 		writeError(w, r, err)
@@ -340,7 +497,9 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // handleJobSubmit accepts an asynchronous job (POST /v1/jobs): the
 // validated payload is queued and a 202 with the job's queued status
 // returns immediately. A full queue answers 429 queue_full — the
-// backpressure contract of the bounded scheduler.
+// backpressure contract of the bounded scheduler. Jobs run wholly on
+// this node's engine — they do not enter the cluster routing tier (see
+// ARCHITECTURE.md, "Known limitation").
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.JobRequest
 	if !decodeBody(w, r, &req) {
@@ -427,6 +586,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Requests:       s.requests.Load(),
 		Workers:        st.Workers,
+		Evaluations:    st.Evaluations,
 		Solves:         st.Solves,
 		SolverErrors:   st.Errors,
 		SharedInFlight: st.SharedInFlight,

@@ -14,9 +14,11 @@
 //     machine-readable codes, request validation, and converters to
 //     internal/core — one schema shared by server, SDK, CLIs and tests;
 //   - client — the Go SDK: a typed, context-aware method per endpoint,
-//     retries on 5xx, errors.As-recoverable *api.Error failures, NDJSON
-//     sweep streaming (SweepStream), and the asynchronous-job surface
-//     (SubmitJob, WaitJob, JobSweepPartial, CancelJob);
+//     retries on 5xx honouring Retry-After, errors.As-recoverable
+//     *api.Error failures, NDJSON sweep streaming (SweepStream), the
+//     asynchronous-job surface (SubmitJob, WaitJob, JobSweepPartial,
+//     CancelJob), and client-side cluster sharding (NewCluster) that
+//     sends each request straight to its ring owner;
 //   - internal/core — the public model: System, exact/approximate solvers,
 //     replicated simulation with confidence intervals (SimResult), cost
 //     optimisation, capacity planning and canonical fingerprints;
@@ -27,8 +29,16 @@
 //   - internal/service/jobs — the asynchronous job scheduler over the
 //     engine: durable-in-memory records with a queued → running →
 //     done/failed/canceled state machine, progress counters, a bounded
-//     queue with queue_full backpressure, per-job cancelation and TTL
-//     garbage collection;
+//     queue with queue_full backpressure, per-job cancelation, graceful
+//     Drain and TTL garbage collection;
+//   - internal/cluster — the multi-node tier federating N mus-serve
+//     daemons into one sharded service: a rendezvous hash ring over
+//     System.Fingerprint (internal/cluster/ring), a health-probed node
+//     registry with up/down state, a forwarding proxy for single-point
+//     requests and point-wise sweep scatter/gather with deterministic
+//     failover — same fingerprint, same node, so each node's solver
+//     cache holds its shard of the keyspace instead of a copy of all of
+//     it;
 //   - internal/qbd — the spectral-expansion solver (paper §3.1), the
 //     geometric heavy-traffic approximation (§3.2), a matrix-geometric
 //     baseline and a truncated-chain oracle;
@@ -49,7 +59,9 @@
 //     large workloads through the job API) and the mus-serve HTTP daemon
 //     (/v1/solve, /v1/sweep with NDJSON streaming, /v1/optimize,
 //     /v1/simulate, the /v1/jobs asynchronous job API, /v1/stats,
-//     /v1/healthz);
+//     /v1/cluster, /v1/healthz; -peers/-node-id federate daemons into a
+//     sharded cluster, and SIGTERM drains gracefully within
+//     -drain-timeout);
 //     examples/* — runnable walkthroughs; tools/* — the CI documentation
 //     gates.
 //

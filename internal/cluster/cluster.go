@@ -1,0 +1,460 @@
+// Package cluster federates N mus-serve nodes into one logical
+// evaluation service — the serving tier's own instance of the paper's
+// model: a farm of parallel servers that individually fail and recover
+// while the work keeps flowing.
+//
+// Three mechanisms, layered:
+//
+//   - Membership and health. Every node runs with the same -peers list; a
+//     Router probes each peer's /v1/healthz on a fixed interval and keeps
+//     an up/down verdict per peer (forwarding failures count against a
+//     peer too, so a crash is noticed at the first lost request, not the
+//     next probe).
+//
+//   - Ownership. A rendezvous hash ring (internal/cluster/ring) over
+//     core.System.Fingerprint assigns every configuration exactly one
+//     owner node, identically computed by every member and by sharding
+//     clients. Same fingerprint → same node → that node's solver cache
+//     fills with its shard of the keyspace instead of every node
+//     duplicating every key. Failover is deterministic: a down owner's
+//     keys go to the next-highest-scoring live node and nowhere else.
+//
+//   - Routing. Single-point requests (solve, simulate) are forwarded to
+//     their owner over the client SDK and answered from its cache; sweep
+//     grids are scattered point-wise across the live membership, solved
+//     concurrently, and gathered back in submission order — including the
+//     NDJSON streaming path, where each point is emitted as soon as it
+//     and every earlier point are done. Any node can take any request;
+//     ownership decides who computes it. The local engine is always the
+//     fallback of last resort, so a request never fails because routing
+//     is sick — the cluster degrades to single-node service.
+//
+// Forwarded requests carry api.HeaderForwarded and are always served
+// locally by the receiving node, bounding every request to at most one
+// hop even when ring views disagree mid-deploy.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/cluster/ring"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultProbeInterval is how often each peer's /v1/healthz is probed.
+	DefaultProbeInterval = 2 * time.Second
+	// DefaultProbeTimeout bounds one health probe.
+	DefaultProbeTimeout = 2 * time.Second
+	// DefaultFailThreshold is how many consecutive probe failures mark a
+	// peer down. Two, not one: when every node of a cluster boots at
+	// once, each node's first probe round races its siblings' listeners,
+	// and a single refused connection must not cost the first requests
+	// their cache affinity. A forwarding failure — evidence from real
+	// traffic — still marks the peer down immediately.
+	DefaultFailThreshold = 2
+	// DefaultForwardTimeout bounds one forwarded unary call (solve,
+	// simulate) end to end. A peer whose request path is wedged can
+	// still answer health probes, so without this bound a forward to it
+	// would hang until the caller's own deadline with no failover; on
+	// expiry the request fails over down the rank like any other node
+	// failure. Five minutes — the same tolerance mus-serve itself grants
+	// one buffered request (its WriteTimeout) — so a request a lone node
+	// would have served never marks its healthy owner down. (Sweep
+	// sub-streams are bounded separately, by StreamIdleTimeout between
+	// points.)
+	DefaultForwardTimeout = 5 * time.Minute
+	// DefaultHeaderTimeout bounds how long a sweep sub-stream may wait
+	// for its response headers. The NDJSON 200 is sent before solving
+	// starts, so a peer that accepts connections but never answers trips
+	// this quickly instead of stalling a scatter. It applies only to the
+	// streaming client — unary forwards buffer their whole response
+	// behind the headers and are bounded by ForwardTimeout instead.
+	DefaultHeaderTimeout = 15 * time.Second
+	// DefaultStreamIdleTimeout is the longest silence tolerated between
+	// two points of a sweep sub-stream before the watchdog cancels it and
+	// re-scatters the unanswered points. It matches the single-node
+	// per-point streaming allowance (streamPointTimeout in mus-serve), so
+	// a peer merely saturated — slow, but no slower than a lone node
+	// would be — is never punished as dead.
+	DefaultStreamIdleTimeout = 5 * time.Minute
+)
+
+// NodeConfig names one cluster member: its ring identity and base URL.
+type NodeConfig struct {
+	// ID is the node's ring identity. Every member and every sharding
+	// client must use the same ID for the same node, or affinity degrades
+	// to an extra forwarding hop.
+	ID string
+	// URL is the node's base URL (e.g. "http://host:8350").
+	URL string
+}
+
+// ParsePeers parses a -peers flag value: comma-separated entries of the
+// form "id=url" or bare "url" (in which case the normalized URL is the
+// ID). Whitespace around entries is tolerated.
+func ParsePeers(spec string) ([]NodeConfig, error) {
+	var out []NodeConfig
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		nc := NodeConfig{}
+		if id, rawURL, ok := strings.Cut(entry, "="); ok {
+			nc.ID, nc.URL = strings.TrimSpace(id), strings.TrimSpace(rawURL)
+		} else {
+			nc.URL = entry
+		}
+		nc.URL = strings.TrimRight(nc.URL, "/")
+		u, err := url.Parse(nc.URL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want http(s)://host[:port]", entry)
+		}
+		if nc.ID == "" {
+			nc.ID = nc.URL
+		}
+		out = append(out, nc)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("cluster: -peers named no nodes")
+	}
+	return out, nil
+}
+
+// Config assembles a Router.
+type Config struct {
+	// SelfID is this node's ring identity; it must appear in Nodes.
+	SelfID string
+	// Nodes is the full membership, including self. All members must run
+	// with the same list for routing to agree.
+	Nodes []NodeConfig
+	// ProbeInterval is the background health-probe period (default
+	// DefaultProbeInterval); negative disables the background loop so
+	// tests can drive ProbeOnce deterministically.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive failures mark a peer down
+	// (default DefaultFailThreshold).
+	FailThreshold int
+	// ForwardTimeout bounds one forwarded unary call (default
+	// DefaultForwardTimeout); expiry fails the request over to the next
+	// ranked node.
+	ForwardTimeout time.Duration
+	// HeaderTimeout bounds the wait for a sweep sub-stream's response
+	// headers (default DefaultHeaderTimeout); it is what detects a peer
+	// that accepts connections but never answers. Unary forwards are
+	// bounded by ForwardTimeout instead — their headers legitimately
+	// arrive only when the evaluation is done.
+	HeaderTimeout time.Duration
+	// StreamIdleTimeout bounds the silence between two points of a sweep
+	// sub-stream (default DefaultStreamIdleTimeout); expiry re-scatters
+	// the sub-stream's unanswered points.
+	StreamIdleTimeout time.Duration
+	// ClientOptions is appended to every peer client's construction —
+	// tests inject fake transports and short backoffs here.
+	ClientOptions []client.Option
+}
+
+// node is one member's registry entry: its SDK clients (nil for self)
+// and the reporting node's health verdict and routing counters for it.
+// c carries unary forwards and probes; sc carries sweep sub-streams on a
+// transport with a response-header timeout (an NDJSON 200 arrives before
+// any solving, so waiting longer than seconds for it means the peer is
+// wedged — a bound that would wrongly kill long buffered unary calls).
+type node struct {
+	id, url string
+	c       *client.Client // nil for the self entry
+	sc      *client.Client // streaming twin of c; nil for the self entry
+
+	mu        sync.Mutex
+	fails     int
+	lastErr   string
+	lastProbe time.Time
+
+	owned     atomic.Uint64 // requests/points whose ring owner is this node
+	forwarded atomic.Uint64 // requests/points actually sent to this node
+}
+
+// Router is one node's view of the cluster: membership, per-peer health,
+// the ownership ring, and the forwarding/scatter machinery the server
+// handlers call into. It is safe for concurrent use.
+type Router struct {
+	self      string
+	ring      *ring.Ring
+	nodes     map[string]*node
+	order     []string // member IDs, ring (lexicographic) order
+	threshold int
+
+	probeInterval  time.Duration
+	probeTimeout   time.Duration
+	forwardTimeout time.Duration
+	streamIdle     time.Duration
+
+	localServed    atomic.Uint64
+	forwardedTotal atomic.Uint64
+	failovers      atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New validates cfg and builds a Router. Call Start to launch background
+// health probing and Close to stop it.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes configured")
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = DefaultFailThreshold
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = DefaultForwardTimeout
+	}
+	if cfg.HeaderTimeout <= 0 {
+		cfg.HeaderTimeout = DefaultHeaderTimeout
+	}
+	if cfg.StreamIdleTimeout <= 0 {
+		cfg.StreamIdleTimeout = DefaultStreamIdleTimeout
+	}
+	r := &Router{
+		self:           cfg.SelfID,
+		threshold:      cfg.FailThreshold,
+		probeInterval:  cfg.ProbeInterval,
+		probeTimeout:   cfg.ProbeTimeout,
+		forwardTimeout: cfg.ForwardTimeout,
+		streamIdle:     cfg.StreamIdleTimeout,
+		nodes:          make(map[string]*node, len(cfg.Nodes)),
+		stop:           make(chan struct{}),
+	}
+	// Sweep sub-streams ride a transport that gives up on a peer that
+	// accepts connections but never sends its (pre-solve) NDJSON headers;
+	// unary forwards keep the default transport, bounded end-to-end by
+	// ForwardTimeout instead.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.ResponseHeaderTimeout = cfg.HeaderTimeout
+	streamc := &http.Client{Transport: tr}
+	ids := make([]string, 0, len(cfg.Nodes))
+	urls := make(map[string]string, len(cfg.Nodes))
+	for _, nc := range cfg.Nodes {
+		if nc.ID == "" || nc.URL == "" {
+			return nil, fmt.Errorf("cluster: node %+v needs both an ID and a URL", nc)
+		}
+		if _, dup := r.nodes[nc.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", nc.ID)
+		}
+		u := strings.TrimRight(nc.URL, "/")
+		if prev, dup := urls[u]; dup {
+			// Two ring identities on one URL would silently self-forward
+			// half the keyspace over HTTP forever; fail the copy-paste at
+			// startup instead.
+			return nil, fmt.Errorf("cluster: nodes %q and %q share the URL %s", prev, nc.ID, u)
+		}
+		urls[u] = nc.ID
+		n := &node{id: nc.ID, url: u}
+		if nc.ID != cfg.SelfID {
+			// Peer clients do not retry: the Router is the retry layer, and
+			// a dead peer should fail over immediately, not after backoff.
+			opts := []client.Option{
+				client.WithRetries(0),
+				client.WithHeader(api.HeaderForwarded, "1"),
+			}
+			n.c = client.New(n.url, append(opts, cfg.ClientOptions...)...)
+			n.sc = client.New(n.url, append(append(opts, client.WithHTTPClient(streamc)), cfg.ClientOptions...)...)
+		}
+		r.nodes[nc.ID] = n
+		ids = append(ids, nc.ID)
+	}
+	if _, ok := r.nodes[cfg.SelfID]; !ok {
+		return nil, fmt.Errorf("cluster: -node-id %q is not in the peer list", cfg.SelfID)
+	}
+	r.ring = ring.New(ids)
+	r.order = r.ring.IDs() // already lexicographic — ring.New sorts
+	return r, nil
+}
+
+// Self returns this node's ring ID.
+func (r *Router) Self() string { return r.self }
+
+// Members returns the member IDs in ring order.
+func (r *Router) Members() []string { return append([]string(nil), r.order...) }
+
+// Owner returns the ring owner of one fingerprint, alive or not.
+func (r *Router) Owner(fp string) string { return r.ring.Owner(fp) }
+
+// Start launches the background health-probe loop (unless the configured
+// interval is negative). An immediate first round runs before the ticker
+// so the router never begins with stale optimism about a dead peer.
+func (r *Router) Start() {
+	if r.probeInterval < 0 {
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.ProbeOnce(context.Background())
+		t := time.NewTicker(r.probeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.ProbeOnce(context.Background())
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops background probing. It does not touch in-flight forwards.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// ProbeOnce probes every peer's /v1/healthz concurrently and records the
+// verdicts. Exported so tests (and Start's first round) converge health
+// state synchronously instead of waiting out a ticker.
+func (r *Router) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, n := range r.nodes {
+		if n.c == nil {
+			continue // self: trivially up
+		}
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, r.probeTimeout)
+			defer cancel()
+			_, err := n.c.Health(pctx)
+			if err != nil {
+				r.noteFailure(n, err)
+				return
+			}
+			r.noteSuccess(n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// noteFailure records one failed probe against a peer; the peer is down
+// once FailThreshold consecutive probes have failed.
+func (r *Router) noteFailure(n *node, err error) {
+	n.mu.Lock()
+	n.fails++
+	n.lastErr = err.Error()
+	n.lastProbe = time.Now()
+	n.mu.Unlock()
+}
+
+// noteForwardFailure records a failed forwarded call. Unlike a probe
+// miss, a lost request is decisive: the peer is marked down on the spot
+// (probes bring it back), so the crash is routed around from the first
+// lost request instead of the next probe round.
+func (r *Router) noteForwardFailure(n *node, err error) {
+	n.mu.Lock()
+	if n.fails < r.threshold {
+		n.fails = r.threshold
+	}
+	n.lastErr = err.Error()
+	n.lastProbe = time.Now()
+	n.mu.Unlock()
+}
+
+// noteSuccess records one successful probe (or forwarded call) — the
+// peer is back, whatever the history said.
+func (r *Router) noteSuccess(n *node) {
+	n.mu.Lock()
+	n.fails = 0
+	n.lastErr = ""
+	n.lastProbe = time.Now()
+	n.mu.Unlock()
+}
+
+// alive reports the router's current verdict on one member. Self is
+// always alive: the local engine cannot be unreachable from here.
+func (r *Router) alive(n *node) bool {
+	if n.c == nil {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fails < r.threshold
+}
+
+// route picks the serving node for one fingerprint: the highest-ranked
+// member that is alive and not excluded. failover reports whether a
+// preferred node was skipped. A nil node means "serve locally" — every
+// remote choice was excluded or down.
+func (r *Router) route(fp string, excluded map[string]bool) (n *node, failover bool) {
+	for _, id := range r.ring.Rank(fp) {
+		if excluded[id] {
+			failover = true
+			continue
+		}
+		cand := r.nodes[id]
+		if !r.alive(cand) {
+			failover = true
+			continue
+		}
+		return cand, failover
+	}
+	return nil, true // nothing alive but self-as-fallback; serve locally
+}
+
+// countOwned attributes one request or grid point to its ring owner —
+// the "ownership counts" of /v1/cluster. Called once per point, at first
+// dispatch, so failover re-dispatches never double-count.
+func (r *Router) countOwned(fp string) {
+	if n, ok := r.nodes[r.ring.Owner(fp)]; ok {
+		n.owned.Add(1)
+	}
+}
+
+// Stats snapshots the router's routing state: per-node health and
+// counters in ring order. The caller (the /v1/cluster handler) fills in
+// the local engine's cache-affinity fields.
+func (r *Router) Stats() api.ClusterResponse {
+	resp := api.ClusterResponse{
+		Enabled:        true,
+		Self:           r.self,
+		LocalServed:    r.localServed.Load(),
+		ForwardedTotal: r.forwardedTotal.Load(),
+		Failovers:      r.failovers.Load(),
+	}
+	for _, id := range r.order {
+		n := r.nodes[id]
+		st := api.ClusterNodeStatus{
+			ID:        n.id,
+			URL:       n.url,
+			Self:      n.c == nil,
+			Healthy:   r.alive(n),
+			Owned:     n.owned.Load(),
+			Forwarded: n.forwarded.Load(),
+		}
+		n.mu.Lock()
+		st.ConsecutiveFailures = n.fails
+		st.LastError = n.lastErr
+		n.mu.Unlock()
+		resp.Nodes = append(resp.Nodes, st)
+	}
+	return resp
+}

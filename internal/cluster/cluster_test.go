@@ -1,0 +1,646 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// fakePeer is a minimal mus-serve stand-in: a healthz that can be forced
+// to fail, a solve that records hits and returns a canned (or structured
+// error) response, and an NDJSON sweep that echoes per-value points.
+type fakePeer struct {
+	ts        *httptest.Server
+	unhealthy atomic.Bool
+	solveHits atomic.Int64
+	sweepHits atomic.Int64
+	// rejectSweeps makes the sweep handler answer a structured 422 — an
+	// authoritative rejection from a reachable node.
+	rejectSweeps atomic.Bool
+	// duplicateIndices makes the sweep handler emit the right number of
+	// lines but all carrying index 0 — a cleanly-terminated stream that
+	// nonetheless answers only one point.
+	duplicateIndices atomic.Bool
+	// solveStatus, when not 200, is returned with solveBody as the raw
+	// response (tests set structured envelopes or garbage).
+	solveStatus atomic.Int64
+	solveBody   atomic.Value // string
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	p := &fakePeer{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+api.PathHealthz, func(w http.ResponseWriter, r *http.Request) {
+		if p.unhealthy.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok", Workers: 1}) //nolint:errcheck
+	})
+	mux.HandleFunc("POST "+api.PathSolve, func(w http.ResponseWriter, r *http.Request) {
+		p.solveHits.Add(1)
+		if st := p.solveStatus.Load(); st != 0 {
+			w.Header().Set("Content-Type", api.ContentTypeJSON)
+			w.WriteHeader(int(st))
+			fmt.Fprint(w, p.solveBody.Load()) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(api.SolveResponse{Fingerprint: "fp", Method: "spectral", Stable: true}) //nolint:errcheck
+	})
+	mux.HandleFunc("POST "+api.PathSweep, func(w http.ResponseWriter, r *http.Request) {
+		p.sweepHits.Add(1)
+		if p.rejectSweeps.Load() {
+			w.Header().Set("Content-Type", api.ContentTypeJSON)
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: &api.Error{Code: api.CodeUnstableSystem, Message: "skewed"}}) //nolint:errcheck
+			return
+		}
+		var req api.SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+		enc := json.NewEncoder(w)
+		for i, v := range req.Values {
+			if p.duplicateIndices.Load() {
+				i, v = 0, req.Values[0]
+			}
+			perf := api.Performance{MeanJobs: v * 10}                   // value-derived marker
+			enc.Encode(api.SweepPoint{Index: i, Value: v, Perf: &perf}) //nolint:errcheck
+		}
+	})
+	p.ts = httptest.NewServer(mux)
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+// testRouter builds a Router over self (a URL that serves nothing — the
+// local path is exercised through the LocalEval callback, not HTTP) and
+// the given peers, with background probing off and a threshold of one so
+// a single failed probe is decisive in tests.
+func testRouter(t *testing.T, peers ...*fakePeer) (*Router, []NodeConfig) {
+	t.Helper()
+	nodes := []NodeConfig{{ID: "self", URL: "http://self.invalid"}}
+	for i, p := range peers {
+		nodes = append(nodes, NodeConfig{ID: fmt.Sprintf("peer%d", i), URL: p.ts.URL})
+	}
+	r, err := New(Config{SelfID: "self", Nodes: nodes, ProbeInterval: -1, FailThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r, nodes
+}
+
+// TestColdStartProbeRaceKeepsAffinity pins the default threshold's
+// purpose: one refused startup probe (every node boots at once and races
+// its siblings' listeners) must NOT mark a peer down — but a lost
+// forwarded request must, immediately.
+func TestColdStartProbeRaceKeepsAffinity(t *testing.T) {
+	peer := newFakePeer(t)
+	nodes := []NodeConfig{
+		{ID: "self", URL: "http://self.invalid"},
+		{ID: "peer0", URL: peer.ts.URL},
+	}
+	r, err := New(Config{SelfID: "self", Nodes: nodes, ProbeInterval: -1}) // default threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	peer.unhealthy.Store(true) // the boot race: first probe fails
+	r.ProbeOnce(context.Background())
+	if n := nodeStatus(t, r.Stats(), "peer0"); !n.Healthy {
+		t.Fatalf("one failed startup probe marked the peer down: %+v", n)
+	}
+	peer.unhealthy.Store(false)
+	// Traffic still forwards to it (affinity survived the race).
+	if _, served, err := r.ForwardSolve(context.Background(), fpOwnedBy(t, r, "peer0"), api.SolveRequest{}); !served || err != nil {
+		t.Fatalf("forward after probe race: served=%v err=%v", served, err)
+	}
+	// A second consecutive probe failure is decisive.
+	peer.unhealthy.Store(true)
+	r.ProbeOnce(context.Background())
+	r.ProbeOnce(context.Background())
+	if n := nodeStatus(t, r.Stats(), "peer0"); n.Healthy {
+		t.Fatalf("two failed probes left the peer up: %+v", n)
+	}
+	// And so is a single lost forwarded request on a fresh router.
+	r2, err := New(Config{SelfID: "self", Nodes: []NodeConfig{
+		{ID: "self", URL: "http://self.invalid"},
+		{ID: "gone", URL: "http://127.0.0.1:1"}, // nothing listens here
+	}, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, served, err := r2.ForwardSolve(context.Background(), fpOwnedBy(t, r2, "gone"), api.SolveRequest{}); served || err != nil {
+		t.Fatalf("dead peer should fall back locally: served=%v err=%v", served, err)
+	}
+	if n := nodeStatus(t, r2.Stats(), "gone"); n.Healthy {
+		t.Fatalf("one lost request left the dead peer up: %+v", n)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got, err := ParsePeers(" a=http://h1:1 , http://h2:2/ ,b=https://h3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeConfig{
+		{ID: "a", URL: "http://h1:1"},
+		{ID: "http://h2:2", URL: "http://h2:2"}, // bare URL: ID defaults, slash trimmed
+		{ID: "b", URL: "https://h3"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "   ", "ftp://x", "h1:8350", "a=b=c://"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	if _, err := New(Config{SelfID: "x", Nodes: []NodeConfig{{ID: "a", URL: "http://h"}}}); err == nil {
+		t.Error("self missing from membership accepted")
+	}
+	if _, err := New(Config{SelfID: "a", Nodes: []NodeConfig{{ID: "a", URL: "http://h"}, {ID: "a", URL: "http://h2"}}}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := New(Config{SelfID: "a", Nodes: []NodeConfig{{ID: "a", URL: "http://h"}, {ID: "b", URL: "http://h/"}}}); err == nil {
+		t.Error("two IDs sharing one URL accepted — permanent self-forwarding")
+	}
+	if _, err := New(Config{SelfID: "a"}); err == nil {
+		t.Error("empty membership accepted")
+	}
+}
+
+// TestForwardTimeoutFailsOverWedgedPeer: a peer whose request path hangs
+// — while its healthz stays perfectly responsive — must not hang the
+// forward; the per-forward deadline converts the hang into failover.
+func TestForwardTimeoutFailsOverWedgedPeer(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+api.PathHealthz, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok"}) //nolint:errcheck
+	})
+	mux.HandleFunc("POST "+api.PathSolve, func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		<-r.Context().Done()        // wedged: accepts, never answers
+	})
+	wedged := httptest.NewServer(mux)
+	t.Cleanup(wedged.Close)
+	r, err := New(Config{
+		SelfID: "self",
+		Nodes: []NodeConfig{
+			{ID: "self", URL: "http://self.invalid"},
+			{ID: "wedged", URL: wedged.URL},
+		},
+		ProbeInterval:  -1,
+		ForwardTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.ProbeOnce(context.Background())
+	if n := nodeStatus(t, r.Stats(), "wedged"); !n.Healthy {
+		t.Fatalf("wedged peer should pass health probes: %+v", n)
+	}
+	start := time.Now()
+	_, served, err := r.ForwardSolve(context.Background(), fpOwnedBy(t, r, "wedged"), api.SolveRequest{})
+	if served || err != nil {
+		t.Fatalf("wedged peer should fall back locally: served=%v err=%v", served, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("failover took %v; the forward deadline did not fire", elapsed)
+	}
+	if n := nodeStatus(t, r.Stats(), "wedged"); n.Healthy {
+		t.Fatalf("timed-out forward left the wedged peer up: %+v", n)
+	}
+}
+
+// nodeStatus plucks one member's entry out of a snapshot by ID.
+func nodeStatus(t *testing.T, st api.ClusterResponse, id string) api.ClusterNodeStatus {
+	t.Helper()
+	for _, n := range st.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	t.Fatalf("no node %q in %+v", id, st.Nodes)
+	return api.ClusterNodeStatus{}
+}
+
+func TestProbeMarksDownAndRecovers(t *testing.T) {
+	peer := newFakePeer(t)
+	r, _ := testRouter(t, peer)
+	ctx := context.Background()
+	r.ProbeOnce(ctx)
+	if n := nodeStatus(t, r.Stats(), "peer0"); !n.Healthy {
+		t.Fatalf("healthy peer probed down: %+v", n)
+	}
+	peer.unhealthy.Store(true)
+	r.ProbeOnce(ctx)
+	if n := nodeStatus(t, r.Stats(), "peer0"); n.Healthy || n.ConsecutiveFailures == 0 || n.LastError == "" {
+		t.Fatalf("sick peer still healthy: %+v", n)
+	}
+	peer.unhealthy.Store(false)
+	r.ProbeOnce(ctx)
+	if n := nodeStatus(t, r.Stats(), "peer0"); !n.Healthy || n.LastError != "" {
+		t.Fatalf("recovered peer still down: %+v", n)
+	}
+	// The self entry never flips.
+	if n := nodeStatus(t, r.Stats(), "self"); !n.Healthy || !n.Self {
+		t.Fatalf("self entry: %+v", n)
+	}
+}
+
+// fpOwnedBy finds a fingerprint whose ring owner is the wanted node —
+// rendezvous hashing guarantees one exists within a few tries.
+func fpOwnedBy(t *testing.T, r *Router, want string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		fp := fmt.Sprintf("fp-%d", i)
+		if r.Owner(fp) == want {
+			return fp
+		}
+	}
+	t.Fatalf("no key owned by %q in 10000 tries", want)
+	return ""
+}
+
+func TestForwardSolveToOwner(t *testing.T) {
+	peer := newFakePeer(t)
+	r, _ := testRouter(t, peer)
+	resp, served, err := r.ForwardSolve(context.Background(), fpOwnedBy(t, r, "peer0"), api.SolveRequest{})
+	if err != nil || !served {
+		t.Fatalf("served=%v err=%v", served, err)
+	}
+	if resp.Fingerprint != "fp" {
+		t.Fatalf("response %+v", resp)
+	}
+	if peer.solveHits.Load() != 1 {
+		t.Fatalf("peer saw %d solves", peer.solveHits.Load())
+	}
+	st := r.Stats()
+	if st.ForwardedTotal != 1 || st.Failovers != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestForwardSolveLocalWhenSelfOwns(t *testing.T) {
+	peer := newFakePeer(t)
+	r, _ := testRouter(t, peer)
+	_, served, err := r.ForwardSolve(context.Background(), fpOwnedBy(t, r, "self"), api.SolveRequest{})
+	if served || err != nil {
+		t.Fatalf("self-owned key was not served locally: served=%v err=%v", served, err)
+	}
+	if peer.solveHits.Load() != 0 {
+		t.Fatalf("peer was contacted for a self-owned key")
+	}
+	if st := r.Stats(); st.LocalServed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestForwardSolveFailsOverToNextRankAndFinallyLocal(t *testing.T) {
+	dead := newFakePeer(t)
+	dead.ts.Close() // unreachable from the start
+	live := newFakePeer(t)
+	nodes := []NodeConfig{
+		{ID: "self", URL: "http://self.invalid"},
+		{ID: "peer-dead", URL: dead.ts.URL},
+		{ID: "peer-live", URL: live.ts.URL},
+	}
+	r, err := New(Config{SelfID: "self", Nodes: nodes, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// A key owned by the dead peer must land on its next-ranked node.
+	fp := fpOwnedBy(t, r, "peer-dead")
+	_, served, err := r.ForwardSolve(context.Background(), fp, api.SolveRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch r.ring.Rank(fp)[1] {
+	case "peer-live":
+		if !served || live.solveHits.Load() != 1 {
+			t.Fatalf("expected failover to peer-live (served=%v hits=%d)", served, live.solveHits.Load())
+		}
+	case "self":
+		if served {
+			t.Fatalf("expected local fallback, got served=%v", served)
+		}
+	}
+	st := r.Stats()
+	if st.Failovers == 0 {
+		t.Fatalf("failover not counted: %+v", st)
+	}
+	// The dead peer's verdict flipped without waiting for a probe.
+	for _, n := range st.Nodes {
+		if n.ID == "peer-dead" && n.Healthy {
+			t.Fatalf("dead peer still marked healthy after forward failure")
+		}
+	}
+	// All remotes dead → local no matter whose key it is.
+	live.ts.Close()
+	_, served, err = r.ForwardSolve(context.Background(), fpOwnedBy(t, r, "peer-live"), api.SolveRequest{})
+	if served || err != nil {
+		t.Fatalf("want local last resort, got served=%v err=%v", served, err)
+	}
+}
+
+func TestForwardSolveStructuredErrorIsAuthoritative(t *testing.T) {
+	peer := newFakePeer(t)
+	env, _ := json.Marshal(api.ErrorEnvelope{Error: &api.Error{Code: api.CodeUnstableSystem, Message: "no steady state"}})
+	peer.solveStatus.Store(int64(http.StatusUnprocessableEntity))
+	peer.solveBody.Store(string(env))
+	r, _ := testRouter(t, peer)
+	_, served, err := r.ForwardSolve(context.Background(), fpOwnedBy(t, r, "peer0"), api.SolveRequest{})
+	if !served {
+		t.Fatal("a structured rejection is an answer, not a routing failure")
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeUnstableSystem {
+		t.Fatalf("err = %v, want the owner's unstable_system", err)
+	}
+	if peer.solveHits.Load() != 1 {
+		t.Fatalf("peer saw %d solves, want exactly 1 (no retry of a 422)", peer.solveHits.Load())
+	}
+	// The peer stays healthy: it answered.
+	if n := nodeStatus(t, r.Stats(), "peer0"); !n.Healthy {
+		t.Fatalf("peer marked down by an authoritative answer: %+v", n)
+	}
+}
+
+// TestForwardDrainingPeerFailsOver: a node_unavailable rejection (the
+// draining signal) is routable — the request moves on instead of failing.
+func TestForwardDrainingPeerFailsOver(t *testing.T) {
+	draining := newFakePeer(t)
+	env, _ := json.Marshal(api.ErrorEnvelope{Error: api.NodeUnavailable("draining")})
+	draining.solveStatus.Store(int64(http.StatusServiceUnavailable))
+	draining.solveBody.Store(string(env))
+	r, _ := testRouter(t, draining)
+	_, served, err := r.ForwardSolve(context.Background(), fpOwnedBy(t, r, "peer0"), api.SolveRequest{})
+	if served || err != nil {
+		t.Fatalf("draining owner should fall back locally: served=%v err=%v", served, err)
+	}
+}
+
+// TestSweepScatterGatherOrder: points spread across two peers and self
+// come back in exact grid order with the Value/Index mapping intact.
+func TestSweepScatterGatherOrder(t *testing.T) {
+	p0, p1 := newFakePeer(t), newFakePeer(t)
+	r, _ := testRouter(t, p0, p1)
+	const n = 60
+	req := api.SweepRequest{Param: api.ParamLambda, Values: make([]float64, n)}
+	fps := make([]string, n)
+	for i := range req.Values {
+		req.Values[i] = float64(i + 1)
+		fps[i] = fmt.Sprintf("point-%d", i)
+	}
+	var mu sync.Mutex
+	var got []api.SweepPoint
+	localCalls := 0
+	local := func(ctx context.Context, indices []int, out func(api.SweepPoint)) error {
+		mu.Lock()
+		localCalls += len(indices)
+		mu.Unlock()
+		for _, i := range indices {
+			perf := api.Performance{MeanJobs: req.Values[i] * 10}
+			out(api.SweepPoint{Index: i, Value: req.Values[i], Perf: &perf})
+		}
+		return nil
+	}
+	err := r.Sweep(context.Background(), req, fps, func(pt api.SweepPoint) error {
+		got = append(got, pt)
+		return nil
+	}, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("gathered %d points, want %d", len(got), n)
+	}
+	for i, pt := range got {
+		if pt.Index != i || pt.Value != float64(i+1) {
+			t.Fatalf("point %d came back as index=%d value=%v", i, pt.Index, pt.Value)
+		}
+		if pt.Perf == nil || pt.Perf.MeanJobs != pt.Value*10 {
+			t.Fatalf("point %d payload wrong: %+v", i, pt)
+		}
+	}
+	// Work actually scattered: both peers and self saw a share.
+	if p0.sweepHits.Load() == 0 || p1.sweepHits.Load() == 0 || localCalls == 0 {
+		t.Fatalf("scatter skipped someone: p0=%d p1=%d local=%d",
+			p0.sweepHits.Load(), p1.sweepHits.Load(), localCalls)
+	}
+	st := r.Stats()
+	if st.LocalServed+st.ForwardedTotal != n {
+		t.Fatalf("counters: local=%d forwarded=%d, want sum %d", st.LocalServed, st.ForwardedTotal, n)
+	}
+}
+
+// TestSweepFailoverReassignsDeadNodesPoints: a peer that dies mid-sweep
+// loses none of its points — they fail over to other members (ultimately
+// the local engine) and still come back in order.
+func TestSweepFailoverReassignsDeadNodesPoints(t *testing.T) {
+	dead, live := newFakePeer(t), newFakePeer(t)
+	dead.ts.Close()
+	r := func() *Router {
+		nodes := []NodeConfig{
+			{ID: "self", URL: "http://self.invalid"},
+			{ID: "peer-dead", URL: dead.ts.URL},
+			{ID: "peer-live", URL: live.ts.URL},
+		}
+		rt, err := New(Config{SelfID: "self", Nodes: nodes, ProbeInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}()
+	defer r.Close()
+	const n = 40
+	req := api.SweepRequest{Param: api.ParamLambda, Values: make([]float64, n)}
+	fps := make([]string, n)
+	for i := range req.Values {
+		req.Values[i] = float64(i + 1)
+		fps[i] = fmt.Sprintf("point-%d", i)
+	}
+	local := func(ctx context.Context, indices []int, out func(api.SweepPoint)) error {
+		for _, i := range indices {
+			perf := api.Performance{MeanJobs: req.Values[i] * 10}
+			out(api.SweepPoint{Index: i, Value: req.Values[i], Perf: &perf})
+		}
+		return nil
+	}
+	var got []api.SweepPoint
+	err := r.Sweep(context.Background(), req, fps, func(pt api.SweepPoint) error {
+		got = append(got, pt)
+		return nil
+	}, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("gathered %d points, want %d (zero lost)", len(got), n)
+	}
+	for i, pt := range got {
+		if pt.Index != i || pt.Error != "" || pt.Perf == nil || pt.Perf.MeanJobs != pt.Value*10 {
+			t.Fatalf("point %d corrupted by failover: %+v", i, pt)
+		}
+	}
+	if st := r.Stats(); st.Failovers == 0 {
+		t.Fatalf("failover not recorded: %+v", st)
+	}
+}
+
+// TestSweepMisbehavingPeerCannotHangGather: a peer that ends its stream
+// cleanly but answers the wrong points (every line index 0) must not
+// hang the gather — its unanswered points fail over and every grid
+// point still comes back, in order.
+func TestSweepMisbehavingPeerCannotHangGather(t *testing.T) {
+	bad, good := newFakePeer(t), newFakePeer(t)
+	bad.duplicateIndices.Store(true)
+	nodes := []NodeConfig{
+		{ID: "self", URL: "http://self.invalid"},
+		{ID: "peer-bad", URL: bad.ts.URL},
+		{ID: "peer-good", URL: good.ts.URL},
+	}
+	r, err := New(Config{SelfID: "self", Nodes: nodes, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	const n = 30
+	req := api.SweepRequest{Param: api.ParamLambda, Values: make([]float64, n)}
+	fps := make([]string, n)
+	for i := range req.Values {
+		req.Values[i] = float64(i + 1)
+		fps[i] = fmt.Sprintf("point-%d", i)
+	}
+	local := func(ctx context.Context, indices []int, out func(api.SweepPoint)) error {
+		for _, i := range indices {
+			perf := api.Performance{MeanJobs: req.Values[i] * 10}
+			out(api.SweepPoint{Index: i, Value: req.Values[i], Perf: &perf})
+		}
+		return nil
+	}
+	done := make(chan error, 1)
+	var got []api.SweepPoint
+	go func() {
+		done <- r.Sweep(context.Background(), req, fps, func(pt api.SweepPoint) error {
+			got = append(got, pt)
+			return nil
+		}, local)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("gather hung on the misbehaving peer's skipped points")
+	}
+	if len(got) != n {
+		t.Fatalf("gathered %d points, want %d", len(got), n)
+	}
+	for i, pt := range got {
+		if pt.Index != i || pt.Perf == nil || pt.Perf.MeanJobs != pt.Value*10 {
+			t.Fatalf("point %d wrong after failover: %+v", i, pt)
+		}
+	}
+}
+
+// TestSweepStructuredRejectionKeepsNodeHealthy: a peer that answers a
+// scattered sub-sweep with a structured 422 (version skew) has its
+// points failed over — but stays healthy: an authoritative rejection is
+// an answer, not a node failure.
+func TestSweepStructuredRejectionKeepsNodeHealthy(t *testing.T) {
+	peer := newFakePeer(t)
+	peer.rejectSweeps.Store(true)
+	r, _ := testRouter(t, peer)
+	const n = 20
+	req := api.SweepRequest{Param: api.ParamLambda, Values: make([]float64, n)}
+	fps := make([]string, n)
+	for i := range req.Values {
+		req.Values[i] = float64(i + 1)
+		fps[i] = fmt.Sprintf("point-%d", i)
+	}
+	local := func(ctx context.Context, indices []int, out func(api.SweepPoint)) error {
+		for _, i := range indices {
+			perf := api.Performance{MeanJobs: req.Values[i] * 10}
+			out(api.SweepPoint{Index: i, Value: req.Values[i], Perf: &perf})
+		}
+		return nil
+	}
+	var got []api.SweepPoint
+	if err := r.Sweep(context.Background(), req, fps, func(pt api.SweepPoint) error {
+		got = append(got, pt)
+		return nil
+	}, local); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("gathered %d points, want %d", len(got), n)
+	}
+	if nd := nodeStatus(t, r.Stats(), "peer0"); !nd.Healthy {
+		t.Fatalf("authoritative 422 marked the peer down: %+v", nd)
+	}
+}
+
+// TestSweepEmitErrorAbandonsWork: an emit failure (client disconnect)
+// stops the sweep with that error.
+func TestSweepEmitErrorAbandonsWork(t *testing.T) {
+	p := newFakePeer(t)
+	r, _ := testRouter(t, p)
+	req := api.SweepRequest{Param: api.ParamLambda, Values: []float64{1, 2, 3, 4}}
+	fps := []string{"a", "b", "c", "d"}
+	local := func(ctx context.Context, indices []int, out func(api.SweepPoint)) error {
+		for _, i := range indices {
+			out(api.SweepPoint{Index: i, Value: req.Values[i]})
+		}
+		return nil
+	}
+	wantErr := fmt.Errorf("client gone")
+	err := r.Sweep(context.Background(), req, fps, func(pt api.SweepPoint) error { return wantErr }, local)
+	if err != wantErr {
+		t.Fatalf("err = %v, want the emit error verbatim", err)
+	}
+}
+
+// TestMembersAndOwnerAccessors pins the introspection surface.
+func TestMembersAndOwnerAccessors(t *testing.T) {
+	p := newFakePeer(t)
+	r, _ := testRouter(t, p)
+	if r.Self() != "self" {
+		t.Fatalf("Self() = %q", r.Self())
+	}
+	m := r.Members()
+	if len(m) != 2 || !strings.Contains(strings.Join(m, ","), "peer0") {
+		t.Fatalf("Members() = %v", m)
+	}
+	if o := r.Owner("some-key"); o != "self" && o != "peer0" {
+		t.Fatalf("Owner() = %q", o)
+	}
+}

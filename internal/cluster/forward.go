@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"context"
+
+	"repro/api"
+)
+
+// ForwardSolve routes one solve request by its fingerprint: served is
+// false when this node should evaluate locally (it owns the key, or every
+// remote choice is down — the local engine is always the last resort).
+// When served is true, exactly one of resp and err is set: the owner's
+// answer, or its authoritative structured error.
+func (r *Router) ForwardSolve(ctx context.Context, fp string, req api.SolveRequest) (resp *api.SolveResponse, served bool, err error) {
+	return forwardUnary(r, ctx, fp, func(ctx context.Context, n *node) (*api.SolveResponse, error) {
+		return n.c.Solve(ctx, req)
+	})
+}
+
+// ForwardSimulate routes one simulate request by its fingerprint, with
+// the same contract as ForwardSolve.
+func (r *Router) ForwardSimulate(ctx context.Context, fp string, req api.SimulateRequest) (resp *api.SimulateResponse, served bool, err error) {
+	return forwardUnary(r, ctx, fp, func(ctx context.Context, n *node) (*api.SimulateResponse, error) {
+		return n.c.Simulate(ctx, req)
+	})
+}
+
+// forwardUnary walks the fingerprint's failover rank: forward to the
+// first live remote choice, mark unreachable nodes down and move on, and
+// fall back to local service when self is reached (or nothing is left).
+// Structured errors from a reachable owner are final — re-asking another
+// node would just recompute the same rejection.
+func forwardUnary[R any](r *Router, ctx context.Context, fp string, call func(context.Context, *node) (*R, error)) (*R, bool, error) {
+	r.countOwned(fp)
+	excluded := make(map[string]bool)
+	sawFailover := false
+	for {
+		n, failover := r.route(fp, excluded)
+		sawFailover = sawFailover || failover
+		if n == nil || n.c == nil {
+			// Local serve: the handler runs its own engine path.
+			r.localServed.Add(1)
+			if sawFailover {
+				r.failovers.Add(1)
+			}
+			return nil, false, nil
+		}
+		// A wedged peer can pass health probes forever; the per-forward
+		// deadline is what converts "hangs" into "fails over".
+		fctx, cancel := context.WithTimeout(ctx, r.forwardTimeout)
+		resp, err := call(fctx, n)
+		cancel()
+		if err == nil {
+			n.forwarded.Add(1)
+			r.forwardedTotal.Add(1)
+			r.noteSuccess(n)
+			if sawFailover {
+				r.failovers.Add(1)
+			}
+			return resp, true, nil
+		}
+		if ctx.Err() != nil {
+			// The caller is gone; report that, not a fake node failure.
+			return nil, true, ctx.Err()
+		}
+		if !api.NodeFailure(err) {
+			// The owner answered with a structured rejection (400, 422, …):
+			// an authoritative evaluation outcome, not a routing failure —
+			// and proof the node is reachable, clearing any stale probe miss.
+			r.noteSuccess(n)
+			n.forwarded.Add(1)
+			r.forwardedTotal.Add(1)
+			return nil, true, err
+		}
+		r.noteForwardFailure(n, err)
+		excluded[n.id] = true
+		sawFailover = true
+	}
+}

@@ -1,0 +1,120 @@
+// Package ring implements rendezvous (highest-random-weight) hashing:
+// the routing algebra of the mus-serve cluster tier. Every node scores
+// every key independently — score(node, key) = h(node ‖ key) — and the
+// key's owner is the highest-scoring node. The properties the cluster
+// layer builds on:
+//
+//   - determinism: any two parties holding the same member set compute
+//     the same owner for every key, with no coordination and no shared
+//     state (the server's forwarding proxy and the client SDK's
+//     client-side sharding agree by construction);
+//   - minimal disruption: removing a node reassigns only the keys that
+//     node owned — every other key keeps its owner, so one crash never
+//     reshuffles the whole cache population;
+//   - deterministic failover: Rank orders all members by descending
+//     score, so "the next-highest live node" is a pure function of the
+//     key and the member set.
+//
+// Both package client (client-side sharding) and internal/cluster (the
+// server-side forwarding proxy) import this package; it must therefore
+// stay dependency-free.
+package ring
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is an immutable rendezvous-hash member set. The zero value is an
+// empty ring; construct with New. A Ring is safe for concurrent use.
+type Ring struct {
+	ids []string
+}
+
+// New builds a ring over the given member IDs. Duplicates are dropped,
+// the input slice is not retained, and order does not matter — two rings
+// over the same set behave identically regardless of construction order.
+func New(ids []string) *Ring {
+	seen := make(map[string]struct{}, len(ids))
+	uniq := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup || id == "" {
+			continue
+		}
+		seen[id] = struct{}{}
+		uniq = append(uniq, id)
+	}
+	sort.Strings(uniq)
+	return &Ring{ids: uniq}
+}
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// IDs returns the member IDs in lexicographic order. The slice is a copy.
+func (r *Ring) IDs() []string { return append([]string(nil), r.ids...) }
+
+// score is the rendezvous weight of one (member, key) pair: a 64-bit
+// FNV-1a hash of the member ID and the key — separated by a byte that can
+// appear in neither so distinct pairs never collide structurally — pushed
+// through a SplitMix64 finalizer. Raw FNV output is too regular for
+// short, structured keys (low bits barely avalanche), which skews the
+// argmax; the finalizer restores a uniform spread.
+func score(id, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))  //nolint:errcheck // hash.Hash never errors
+	h.Write([]byte{0})   //nolint:errcheck
+	h.Write([]byte(key)) //nolint:errcheck
+	return mix(h.Sum64())
+}
+
+// mix is the SplitMix64 finalizer: a bijective avalanche over uint64.
+func mix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Owner returns the member with the highest score for key, or "" when the
+// ring is empty. Ties (astronomically unlikely) break toward the
+// lexicographically smaller ID so every party resolves them identically.
+func (r *Ring) Owner(key string) string {
+	var best string
+	var bestScore uint64
+	for _, id := range r.ids {
+		s := score(id, key)
+		if best == "" || s > bestScore || (s == bestScore && id < best) {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}
+
+// Rank returns all members ordered by descending score for key — the
+// key's deterministic failover sequence: Rank(key)[0] is the owner,
+// Rank(key)[1] takes over if the owner is down, and so on. The slice is
+// freshly allocated.
+func (r *Ring) Rank(key string) []string {
+	type scored struct {
+		id string
+		s  uint64
+	}
+	all := make([]scored, len(r.ids))
+	for i, id := range r.ids {
+		all[i] = scored{id: id, s: score(id, key)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].id < all[j].id
+	})
+	out := make([]string, len(all))
+	for i, sc := range all {
+		out[i] = sc.id
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("fingerprint-%04d", i)
+	}
+	return out
+}
+
+// TestOwnerDeterministicAcrossInstances is the clustering contract: two
+// parties that hold the same member set — in any order, with duplicates —
+// must compute the same owner for every key without coordinating.
+func TestOwnerDeterministicAcrossInstances(t *testing.T) {
+	a := New([]string{"node-a", "node-b", "node-c"})
+	b := New([]string{"node-c", "node-a", "node-b", "node-a"}) // shuffled + dup
+	for _, k := range keys(500) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner(%q): instance a says %q, instance b says %q", k, ao, bo)
+		}
+	}
+}
+
+// TestRankIsPermutationAndStartsAtOwner checks Rank's shape: a
+// permutation of the member set whose head is the owner.
+func TestRankIsPermutationAndStartsAtOwner(t *testing.T) {
+	r := New([]string{"n1", "n2", "n3", "n4", "n5"})
+	for _, k := range keys(200) {
+		rank := r.Rank(k)
+		if len(rank) != r.Len() {
+			t.Fatalf("rank(%q) has %d entries, want %d", k, len(rank), r.Len())
+		}
+		if rank[0] != r.Owner(k) {
+			t.Fatalf("rank(%q)[0] = %q, owner = %q", k, rank[0], r.Owner(k))
+		}
+		seen := make(map[string]bool)
+		for _, id := range rank {
+			if seen[id] {
+				t.Fatalf("rank(%q) repeats %q", k, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestMinimalDisruption is rendezvous hashing's defining property: when
+// one node leaves, only the keys that node owned change hands — every
+// other key keeps its owner (so the surviving nodes' caches stay warm).
+func TestMinimalDisruption(t *testing.T) {
+	members := []string{"node-a", "node-b", "node-c", "node-d", "node-e"}
+	full := New(members)
+	ks := keys(2000)
+	for _, removed := range members {
+		var rest []string
+		for _, m := range members {
+			if m != removed {
+				rest = append(rest, m)
+			}
+		}
+		shrunk := New(rest)
+		moved := 0
+		for _, k := range ks {
+			before, after := full.Owner(k), shrunk.Owner(k)
+			if before != removed {
+				if after != before {
+					t.Fatalf("removing %q moved key %q from %q to %q", removed, k, before, after)
+				}
+				continue
+			}
+			moved++
+			// A displaced key must land on its next-ranked survivor.
+			if want := full.Rank(k)[1]; after != want {
+				t.Fatalf("key %q owned by removed %q: reassigned to %q, want next-ranked %q", k, removed, after, want)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("node %q owned no keys out of %d — implausible balance", removed, len(ks))
+		}
+	}
+}
+
+// TestBalance sanity-checks the load spread: with many random keys every
+// node should own a non-trivial share (no hot or starved member).
+func TestBalance(t *testing.T) {
+	r := New([]string{"a", "b", "c", "d"})
+	rng := rand.New(rand.NewSource(1))
+	counts := make(map[string]int)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d-%d", i, rng.Int63()))]++
+	}
+	for id, c := range counts {
+		share := float64(c) / n
+		if share < 0.15 || share > 0.35 {
+			t.Fatalf("node %q owns %.1f%% of keys; want a roughly even 25%%", id, 100*share)
+		}
+	}
+}
+
+// TestEmptyAndSingle covers the degenerate rings.
+func TestEmptyAndSingle(t *testing.T) {
+	if got := New(nil).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	solo := New([]string{"only"})
+	if got := solo.Owner("k"); got != "only" {
+		t.Fatalf("single ring owner = %q, want %q", got, "only")
+	}
+	if rank := solo.Rank("k"); len(rank) != 1 || rank[0] != "only" {
+		t.Fatalf("single ring rank = %v", rank)
+	}
+}

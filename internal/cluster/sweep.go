@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+
+	"repro/api"
+	"repro/internal/watchdog"
+)
+
+// LocalEval evaluates a subset of a sweep's grid points on the local
+// engine: indices names the points (positions in the original request's
+// values grid), and out must be called once per index — concurrently
+// safe, any order — with the point's Index and Value already set to the
+// original grid position. A non-context error is a whole-subset failure;
+// the router then records it on every still-missing point rather than
+// losing them.
+type LocalEval func(ctx context.Context, indices []int, out func(api.SweepPoint)) error
+
+// Sweep scatters one sweep grid across the live membership by per-point
+// fingerprint and gathers the results back in submission order: emit is
+// called exactly once per grid point, in grid order, as soon as that
+// point and every earlier one are solved — the cluster-wide counterpart
+// of service.Engine.EvaluateStream, and the engine behind both the
+// buffered and the NDJSON /v1/sweep paths on a clustered node.
+//
+// fps[i] must be the fingerprint of grid point i; local evaluates the
+// subset this node owns. A sub-request that dies mid-flight (node crash,
+// drain, truncated stream) has its unanswered points re-scattered to
+// each point's next-ranked live node — ultimately the local engine — so
+// a mid-sweep node kill delays points but never loses them. Points
+// already received from the dead node are kept; per-point evaluation
+// failures travel inside api.SweepPoint.Error and are not routing
+// failures.
+//
+// The returned error is non-nil only when ctx is cancelled or emit
+// itself fails; in both cases all remaining work is abandoned.
+func (r *Router) Sweep(ctx context.Context, req api.SweepRequest, fps []string, emit func(api.SweepPoint) error, local LocalEval) error {
+	n := len(req.Values)
+	if n == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	for i := 0; i < n; i++ {
+		r.countOwned(fps[i])
+	}
+
+	var mu sync.Mutex
+	results := make([]*api.SweepPoint, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	// fill records point i exactly once; late duplicates (a re-dispatched
+	// point whose first answer limped in after all) are dropped.
+	fill := func(i int, pt api.SweepPoint) {
+		pt.Index = i
+		pt.Value = req.Values[i]
+		mu.Lock()
+		defer mu.Unlock()
+		if results[i] == nil {
+			results[i] = &pt
+			close(done[i])
+		}
+	}
+	missingOf := func(indices []int) []int {
+		mu.Lock()
+		defer mu.Unlock()
+		var out []int
+		for _, i := range indices {
+			if results[i] == nil {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	// dispatch assigns each index to its highest-ranked live node outside
+	// the excluded set and launches one fetch per remote group plus one
+	// local evaluation. Failed remote groups re-enter dispatch with the
+	// dead node excluded; recursion depth is bounded by the member count.
+	var dispatch func(indices []int, excluded map[string]bool)
+	dispatch = func(indices []int, excluded map[string]bool) {
+		groups := make(map[string][]int)
+		sawFailover := false
+		for _, i := range indices {
+			nd, failover := r.route(fps[i], excluded)
+			sawFailover = sawFailover || failover
+			id := r.self
+			if nd != nil {
+				id = nd.id
+			}
+			groups[id] = append(groups[id], i)
+		}
+		if sawFailover {
+			r.failovers.Add(1)
+		}
+		for id, idxs := range groups {
+			if id == r.self {
+				r.localServed.Add(uint64(len(idxs)))
+				wg.Add(1)
+				go func(idxs []int) {
+					defer wg.Done()
+					err := local(ctx, idxs, func(pt api.SweepPoint) { fill(pt.Index, pt) })
+					if err != nil && ctx.Err() == nil {
+						// A whole-subset local failure still yields one point
+						// per index: the terminal guarantee of zero lost points.
+						for _, i := range missingOf(idxs) {
+							fill(i, api.SweepPoint{Error: err.Error()})
+						}
+					}
+				}(idxs)
+				continue
+			}
+			nd := r.nodes[id]
+			nd.forwarded.Add(uint64(len(idxs)))
+			r.forwardedTotal.Add(uint64(len(idxs)))
+			wg.Add(1)
+			go func(nd *node, idxs []int, excluded map[string]bool) {
+				defer wg.Done()
+				sub := api.SweepRequest{System: req.System, Method: req.Method, Param: req.Param, Values: make([]float64, len(idxs))}
+				for k, i := range idxs {
+					sub.Values[k] = req.Values[i]
+				}
+				// A partitioned peer can stall without closing the
+				// connection — no RST, no read error, nothing for the
+				// transport to time out on once the 200 arrived. The
+				// watchdog cancels the sub-stream when no point lands for a
+				// whole streamIdle (aligned with the single-node per-point
+				// allowance, so a merely saturated peer is never punished
+				// as dead), turning the stall into an ordinary failover
+				// instead of hanging the gather.
+				subCtx, tick, stopWatchdog := watchdog.New(ctx, r.streamIdle)
+				err := nd.sc.SweepStream(subCtx, sub, func(pt api.SweepPoint) error {
+					tick()
+					if pt.Index < 0 || pt.Index >= len(idxs) {
+						return nil // malformed line from the peer; ignore
+					}
+					fill(idxs[pt.Index], pt)
+					return nil
+				})
+				stopWatchdog()
+				if ctx.Err() != nil {
+					return // sweep abandoned; the sequencer reports it
+				}
+				switch {
+				case err == nil:
+					r.noteSuccess(nd)
+				case api.NodeFailure(err):
+					// The node died or drained mid-stream: everything it
+					// already answered stays, the rest fails over.
+					r.noteForwardFailure(nd, err)
+				default:
+					// A structured rejection (version skew, 400/422): the
+					// node is reachable and healthy — its points still fail
+					// over below (it declined them), but its health verdict
+					// must not change.
+					r.noteSuccess(nd)
+				}
+				// Fail over whatever is still unanswered — after an error,
+				// but also after a "clean" stream that skipped points
+				// (duplicate or out-of-range indices from a misbehaving
+				// peer): an unfilled point must never hang the gather.
+				missing := missingOf(idxs)
+				if len(missing) == 0 {
+					return
+				}
+				next := make(map[string]bool, len(excluded)+1)
+				for k := range excluded {
+					next[k] = true
+				}
+				next[nd.id] = true
+				dispatch(missing, next)
+			}(nd, idxs, excluded)
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	dispatch(all, nil)
+
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+	for i := 0; i < n; i++ {
+		select {
+		case <-done[i]:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if err := emit(*results[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

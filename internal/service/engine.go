@@ -63,6 +63,7 @@ type Engine struct {
 	inflight    map[string]*flight
 	simInflight map[string]*simFlight
 
+	evals   atomic.Uint64 // evaluations answered by any means
 	solves  atomic.Uint64 // solver invocations that actually ran
 	errs    atomic.Uint64 // solver invocations that returned an error
 	shared  atomic.Uint64 // evaluations that joined an in-flight solve
@@ -140,6 +141,7 @@ func (e *Engine) Evaluate(ctx context.Context, sys core.System, m core.Method) (
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
+	e.evals.Add(1)
 	key := jobKey(Job{System: sys, Method: m})
 	if e.cache != nil {
 		if perf, ok := e.cache.get(key); ok {
@@ -438,6 +440,12 @@ func (e *Engine) MinServersForResponseTime(ctx context.Context, base core.System
 type Stats struct {
 	// Workers is the solver concurrency bound.
 	Workers int
+	// Evaluations counts evaluations answered by any means — cache hit,
+	// in-flight join, or fresh solve. Evaluations/Solves is the local
+	// cache-affinity multiplier the cluster's fingerprint routing exists
+	// to raise: the higher it is, the more of the node's shard is served
+	// from memory.
+	Evaluations uint64
 	// Solves counts solver invocations that actually ran (cache misses).
 	Solves uint64
 	// Errors counts solver invocations that failed.
@@ -462,6 +470,7 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		Workers:        e.workers,
+		Evaluations:    e.evals.Load(),
 		Solves:         e.solves.Load(),
 		Errors:         e.errs.Load(),
 		SharedInFlight: e.shared.Load(),

@@ -99,6 +99,7 @@ type Scheduler struct {
 	submitted uint64
 	rejected  uint64
 	closed    bool
+	draining  bool
 
 	stop   context.CancelFunc
 	ctx    context.Context
@@ -162,6 +163,40 @@ func New(cfg Config) *Scheduler {
 	return s
 }
 
+// Drain prepares for a graceful shutdown: new submissions are rejected
+// with api.CodeNodeUnavailable from this point on, while every queued
+// and running job is given until ctx expires to reach a terminal state.
+// A nil return means all work finished; ctx.Err() means the deadline hit
+// first and the stragglers are still running — either way the follow-up
+// Close cancels whatever remains. Drain after Close is a no-op.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	// No new submissions can arrive past the flag, so the non-terminal
+	// population only shrinks from here: a snapshot of done channels is a
+	// complete wait list.
+	var waits []chan struct{}
+	for _, j := range s.jobs {
+		switch j.state {
+		case api.JobStateQueued, api.JobStateRunning:
+			waits = append(waits, j.done)
+		}
+	}
+	s.mu.Unlock()
+	for _, d := range waits {
+		select {
+		case <-d:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
 // Close stops accepting submissions, cancels running and queued jobs,
 // and waits for the workers and garbage collector to exit. Records stay
 // readable.
@@ -196,6 +231,10 @@ func (s *Scheduler) Submit(req api.JobRequest) (api.JobStatus, error) {
 	if s.closed {
 		s.mu.Unlock()
 		return api.JobStatus{}, api.Internal(errors.New("jobs: scheduler is shut down"))
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return api.JobStatus{}, api.NodeUnavailable("node is draining for shutdown; resubmit elsewhere or after a delay")
 	}
 	if len(s.pending) >= s.depth {
 		s.rejected++

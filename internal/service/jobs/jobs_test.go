@@ -526,3 +526,53 @@ func TestCloseCancelsRunningJobs(t *testing.T) {
 func TestEngineInterfaceIsSatisfiedByServiceEngine(t *testing.T) {
 	var _ Engine = service.NewEngine(service.Config{Workers: 1})
 }
+
+// TestDrainWaitsForRunningJobsAndRejectsNew pins the graceful-shutdown
+// contract: Drain flips submissions to node_unavailable immediately,
+// reports ctx expiry while work is still running, and returns nil once
+// every job reached a terminal state — with the records still readable.
+func TestDrainWaitsForRunningJobsAndRejectsNew(t *testing.T) {
+	eng := &fakeEngine{gate: make(chan struct{})}
+	s := New(Config{Engine: eng, Workers: 1})
+	defer s.Close()
+	st, err := s.Submit(sweepJob(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, "job running", func() bool {
+		got, err := s.Status(st.ID)
+		return err == nil && got.State == api.JobStateRunning
+	})
+	// Deadline already expired, job still gated: Drain must report it.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Drain(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain with expired ctx = %v, want context.Canceled", err)
+	}
+	// The draining flag is in force: new work is turned away with the
+	// retryable node_unavailable code, not queue_full and not an accept.
+	if _, err := s.Submit(sweepJob(3)); codeOf(t, err) != api.CodeNodeUnavailable {
+		t.Fatalf("Submit while draining: %v, want node_unavailable", err)
+	}
+	// Let the job's two points finish; a fresh Drain now completes clean.
+	eng.gate <- struct{}{}
+	eng.gate <- struct{}{}
+	drainCtx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("Drain after work finished: %v", err)
+	}
+	got, err := s.Status(st.ID)
+	if err != nil || got.State != api.JobStateDone {
+		t.Fatalf("drained job: %+v, %v (want done — drain never cancels)", got, err)
+	}
+}
+
+// TestDrainAfterCloseIsNoOp: the shutdown paths compose in either order.
+func TestDrainAfterCloseIsNoOp(t *testing.T) {
+	s := New(Config{Engine: &fakeEngine{}})
+	s.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after Close: %v", err)
+	}
+}

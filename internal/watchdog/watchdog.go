@@ -1,0 +1,54 @@
+// Package watchdog guards streaming calls against silent stalls: a
+// derived context is cancelled after a fixed period of inactivity unless
+// the caller keeps ticking it. Both the cluster router's sweep scatter
+// and the SDK's cluster stream use it to turn "the peer accepted the
+// stream and then went quiet" — a partition or wedge that produces no
+// read error — into an ordinary cancellation they can fail over from.
+package watchdog
+
+import (
+	"context"
+	"time"
+)
+
+// New returns a child of parent that is cancelled once idle elapses with
+// no Tick call, plus the two controls: tick resets the idle clock
+// (cheap, safe from any goroutine, never blocks), and stop releases the
+// watchdog and must be called when the guarded call returns (it joins
+// the internal goroutine, so no timer or goroutine leaks outlive the
+// call). After stop, the returned context is cancelled.
+func New(parent context.Context, idle time.Duration) (ctx context.Context, tick func(), stop func()) {
+	wctx, cancel := context.WithCancel(parent)
+	progress := make(chan struct{}, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTimer(idle)
+		defer t.Stop()
+		for {
+			select {
+			case <-progress:
+				if !t.Stop() {
+					<-t.C
+				}
+				t.Reset(idle)
+			case <-t.C:
+				cancel()
+				return
+			case <-wctx.Done():
+				return
+			}
+		}
+	}()
+	tick = func() {
+		select {
+		case progress <- struct{}{}:
+		default:
+		}
+	}
+	stop = func() {
+		cancel()
+		<-done
+	}
+	return wctx, tick, stop
+}

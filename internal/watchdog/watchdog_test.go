@@ -1,0 +1,55 @@
+package watchdog
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestIdleCancels(t *testing.T) {
+	ctx, _, stop := New(context.Background(), 20*time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle watchdog never fired")
+	}
+}
+
+func TestTickHoldsOpen(t *testing.T) {
+	ctx, tick, stop := New(context.Background(), 80*time.Millisecond)
+	defer stop()
+	// Tick well inside the idle window several times: the context must
+	// survive far past the bare idle duration.
+	for i := 0; i < 10; i++ {
+		time.Sleep(20 * time.Millisecond)
+		tick()
+		if ctx.Err() != nil {
+			t.Fatalf("watchdog fired despite tick %d", i)
+		}
+	}
+	stop()
+	if ctx.Err() == nil {
+		t.Fatal("stop did not cancel the context")
+	}
+}
+
+func TestStopJoinsAndParentCancelPropagates(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, tick, stop := New(parent, time.Hour)
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+	tick() // must not panic or block after cancellation
+	stop() // must return promptly
+	stop2Done := make(chan struct{})
+	go func() { stop(); close(stop2Done) }() // idempotent-ish: second stop must not hang
+	select {
+	case <-stop2Done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second stop hung")
+	}
+}
