@@ -45,6 +45,11 @@ const (
 	PathStats = "/v1/stats"
 	// PathHealthz is the load-balancer readiness probe (GET).
 	PathHealthz = "/v1/healthz"
+	// PathMetrics is the Prometheus scrape target (GET): the node's full
+	// metric registry in the text exposition format. Unlike the /v1 JSON
+	// endpoints it is unversioned — the exposition format carries its own
+	// version in the Content-Type.
+	PathMetrics = "/metrics"
 )
 
 // Wire media types and headers.

@@ -69,6 +69,10 @@ type ClusterResponse struct {
 	// node — forwarded to a lower-ranked peer or served locally because
 	// the owner was unreachable.
 	Failovers uint64 `json:"failovers"`
+	// Rescatters counts sweep sub-streams whose unanswered points were
+	// re-dispatched after the carrying node died (or skipped points)
+	// mid-flight.
+	Rescatters uint64 `json:"rescatters"`
 	// CacheHitRate is the local engine's solver-cache hit rate — the
 	// number cache-affinity routing exists to raise: with same-fingerprint
 	// requests pinned to one owner, each node's cache serves its own shard
@@ -80,4 +84,8 @@ type ClusterResponse struct {
 	Evaluations uint64 `json:"evaluations"`
 	// Solves counts evaluations that ran the local solver.
 	Solves uint64 `json:"solves"`
+	// Obs is the answering node's flattened metric snapshot (see
+	// StatsResponse.Obs) — how client.Cluster.ClusterStats gathers every
+	// node's metrics in one concurrent pass without scraping /metrics.
+	Obs map[string]float64 `json:"obs,omitempty"`
 }

@@ -405,6 +405,12 @@ type StatsResponse struct {
 	// Jobs reports the asynchronous job scheduler's queue depth and
 	// state-machine population.
 	Jobs JobStats `json:"jobs"`
+	// Obs is the node's flattened metric snapshot — every registered
+	// series as "name{labels}" → value, histograms contributing their
+	// _count and _sum. The same registry renders the full exposition
+	// (buckets included) at GET /metrics; this block is the JSON view for
+	// dashboards and the cluster SDK's per-node gather.
+	Obs map[string]float64 `json:"obs,omitempty"`
 }
 
 // HealthResponse answers the load-balancer probe (GET /v1/healthz): the

@@ -1,0 +1,28 @@
+package api
+
+import "context"
+
+// requestIDKey carries the request correlation ID through a context.
+type requestIDKey struct{}
+
+// ContextWithRequestID returns a context carrying the given correlation
+// ID. The server's request-ID middleware stores the (incoming or
+// generated) X-Request-ID here; everything downstream — error envelopes,
+// trace lines, cluster forwards, async job execution — reads it back with
+// RequestIDFrom, so one ID stitches a request's whole path through the
+// cluster.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom recovers the correlation ID stored by
+// ContextWithRequestID, or "" when the context carries none. The client
+// SDK stamps this value as the outgoing X-Request-ID header, which is how
+// a forwarded request and its origin share one trace ID.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -287,6 +287,12 @@ func (c *Client) send(ctx context.Context, method, path string, in any, accept s
 		for k, vs := range c.header {
 			req.Header[k] = vs
 		}
+		// A correlation ID on the context (api.ContextWithRequestID) rides
+		// out as X-Request-ID — how a cluster forward or scatter leg shares
+		// its origin's trace ID — unless a fixed header already set one.
+		if id := api.RequestIDFrom(ctx); id != "" && req.Header.Get(api.HeaderRequestID) == "" {
+			req.Header.Set(api.HeaderRequestID, id)
+		}
 		if in != nil {
 			req.Header.Set("Content-Type", api.ContentTypeJSON)
 		}

@@ -57,8 +57,13 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs/olog"
 	"repro/internal/service"
 	"repro/internal/service/jobs"
+
+	// Registered on a dedicated mux behind -pprof-addr only — never on
+	// the API listener.
+	"net/http/pprof"
 )
 
 func main() {
@@ -80,12 +85,23 @@ func run(args []string) error {
 		peers        = fs.String("peers", "", "cluster membership: comma-separated [id=]url entries incl. this node (empty = standalone)")
 		nodeID       = fs.String("node-id", "", "this node's ID in -peers (required with -peers; defaults to the bare URL for id-less entries)")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests and running jobs")
+		logLevel     = fs.String("log-level", "info", "structured request/job log threshold: debug, info, warn, error or off")
+		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty = disabled; never exposed on -addr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	lvl, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	node := *nodeID
+	if node == "" {
+		node = "local"
+	}
+	logger := olog.New(os.Stderr, lvl, olog.F{K: "node", V: node})
 	eng := service.NewEngine(service.Config{Workers: *workers, CacheSize: *cache})
-	sched := jobs.New(jobs.Config{Engine: eng, QueueDepth: *jobQueue, Workers: *jobWorkers, TTL: *jobTTL})
+	sched := jobs.New(jobs.Config{Engine: eng, QueueDepth: *jobQueue, Workers: *jobWorkers, TTL: *jobTTL, Logger: logger})
 	defer sched.Close()
 	hs := newServerJobs(eng, sched)
 	if *peers != "" {
@@ -103,6 +119,24 @@ func run(args []string) error {
 		clu.Start()
 		defer clu.Close()
 		hs = newServerCluster(eng, sched, clu)
+	}
+	hs.log = logger
+	if *pprofAddr != "" {
+		// Opt-in profiling on its own listener: bind -pprof-addr to
+		// localhost (or a firewalled interface) — the API port never
+		// serves /debug/pprof.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("mus-serve: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("mus-serve: pprof listener failed: %v", err)
+			}
+		}()
 	}
 	srv := &http.Server{
 		Addr:              *addr,

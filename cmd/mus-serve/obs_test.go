@@ -1,0 +1,385 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/api"
+	"repro/client"
+)
+
+// metricNameRE is the repo's naming contract (tools/metriclint enforces
+// it at registration sites; this end applies it to the scrape output,
+// where histogram series gain _bucket/_sum/_count suffixes).
+var metricNameRE = regexp.MustCompile(`^mus_[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// scrape is a parsed Prometheus text exposition — a deliberately small
+// parser private to these tests (the obs package's full parser lives in
+// its own _test file and is not importable here).
+type scrape struct {
+	types  map[string]string  // family -> counter | gauge | histogram
+	helped map[string]bool    // family -> saw a # HELP line
+	vals   map[string]float64 // full series as printed -> value
+	order  []string           // series in exposition order
+}
+
+// parseMetrics parses an exposition body, failing the test on any line
+// that is neither a comment nor a well-formed sample.
+func parseMetrics(t *testing.T, body string) *scrape {
+	t.Helper()
+	s := &scrape{types: map[string]string{}, helped: map[string]bool{}, vals: map[string]float64{}}
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			s.helped[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			s.types[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample: name[{labels}] value — labels may contain spaces inside
+		// quotes, so split on the last space.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series, raw := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			t.Fatalf("sample %q has non-numeric value %q", series, raw)
+		}
+		if _, dup := s.vals[series]; dup {
+			t.Fatalf("series %q exposed twice", series)
+		}
+		s.vals[series] = v
+		s.order = append(s.order, series)
+	}
+	return s
+}
+
+// family strips labels and the histogram series suffixes off one series
+// name, returning the name its TYPE/HELP lines use.
+func family(series string) string {
+	name, _, _ := strings.Cut(series, "{")
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		name = strings.TrimSuffix(name, suf)
+	}
+	return name
+}
+
+// sum adds every series of the named family whose label block contains
+// all given substrings, returning the total and how many series matched.
+func (s *scrape) sum(name string, contains ...string) (float64, int) {
+	var total float64
+	var n int
+series:
+	for _, ser := range s.order {
+		if ser != name && !strings.HasPrefix(ser, name+"{") {
+			continue
+		}
+		for _, c := range contains {
+			if !strings.Contains(ser, c) {
+				continue series
+			}
+		}
+		total += s.vals[ser]
+		n++
+	}
+	return total, n
+}
+
+// scrapeMetrics fetches and parses one node's /metrics.
+func scrapeMetrics(t *testing.T, baseURL string) *scrape {
+	t.Helper()
+	resp, err := http.Get(baseURL + api.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("GET /metrics: Content-Type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseMetrics(t, string(body))
+}
+
+// checkExpositionWellFormed applies the format contract to a whole
+// scrape: every series belongs to an announced family, every family has
+// HELP and a known TYPE, names follow the mus_ convention, counters (and
+// only counters) end in _total, and every histogram's buckets are
+// cumulative with le="+Inf" equal to its _count and a _sum present.
+func checkExpositionWellFormed(t *testing.T, s *scrape) {
+	t.Helper()
+	for _, ser := range s.order {
+		fam := family(ser)
+		if !metricNameRE.MatchString(fam) {
+			t.Errorf("series %q: family %q violates mus_<subsystem>_<name> naming", ser, fam)
+		}
+		kind, ok := s.types[fam]
+		if !ok {
+			t.Errorf("series %q has no TYPE line for family %q", ser, fam)
+			continue
+		}
+		if !s.helped[fam] {
+			t.Errorf("family %q has no HELP line", fam)
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(fam, "_total") {
+				t.Errorf("counter family %q does not end in _total", fam)
+			}
+		case "gauge", "histogram":
+			if strings.HasSuffix(fam, "_total") {
+				t.Errorf("%s family %q must not end in _total", kind, fam)
+			}
+		default:
+			t.Errorf("family %q has unknown type %q", fam, kind)
+		}
+	}
+	// Histogram consistency, grouped by family + labels-without-le.
+	type group struct {
+		buckets []float64 // in exposition order, which obs emits by ascending le
+		inf     float64
+		hasInf  bool
+	}
+	groups := map[string]*group{}
+	for _, ser := range s.order {
+		fam := family(ser)
+		if s.types[fam] != "histogram" || !strings.Contains(ser, "_bucket") {
+			continue
+		}
+		le := ""
+		rest := ser
+		for _, part := range strings.Split(strings.Trim(ser[strings.Index(ser, "{")+1:len(ser)-1], "}"), ",") {
+			if v, ok := strings.CutPrefix(part, `le="`); ok {
+				le = strings.TrimSuffix(v, `"`)
+				rest = strings.Replace(rest, part, "", 1)
+			}
+		}
+		if le == "" {
+			t.Errorf("bucket series %q has no le label", ser)
+			continue
+		}
+		key := fam + "|" + rest
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+		}
+		if le == "+Inf" {
+			g.inf, g.hasInf = s.vals[ser], true
+		}
+		g.buckets = append(g.buckets, s.vals[ser])
+	}
+	if len(groups) == 0 {
+		t.Error("no histogram buckets in scrape; expected at least mus_http_request_duration_seconds")
+	}
+	for key, g := range groups {
+		fam, labels, _ := strings.Cut(key, "|")
+		for i := 1; i < len(g.buckets); i++ {
+			if g.buckets[i] < g.buckets[i-1] {
+				t.Errorf("histogram %s: buckets not cumulative at position %d: %v", key, i, g.buckets)
+				break
+			}
+		}
+		if !g.hasInf {
+			t.Errorf("histogram %s: no le=\"+Inf\" bucket", key)
+			continue
+		}
+		// The +Inf bucket must equal the _count series with the same labels.
+		sub := strings.Trim(strings.ReplaceAll(strings.TrimPrefix(labels, fam+"_bucket"), ",,", ","), "{,}")
+		count, n := s.sum(fam+"_count", strings.Split(sub, ",")...)
+		if n != 1 || count != g.inf {
+			t.Errorf("histogram %s: le=+Inf %v != _count %v (matched %d series)", key, g.inf, count, n)
+		}
+		if _, n := s.sum(fam+"_sum", strings.Split(sub, ",")...); n != 1 {
+			t.Errorf("histogram %s: expected exactly one _sum series, found %d", key, n)
+		}
+	}
+}
+
+// TestMetricsEndpointExposition drives real traffic through a standalone
+// server — solves (miss then hit), a malformed request, and an async job
+// to completion — then requires the /metrics scrape to be well-formed and
+// to account for every one of those events.
+func TestMetricsEndpointExposition(t *testing.T) {
+	ts := testServer(t)
+	body := `{"servers": 12, "lambda": 8}`
+	var solve api.SolveResponse
+	if status, raw := postJSON(t, ts.URL+api.PathSolve, body, &solve); status != http.StatusOK {
+		t.Fatalf("solve: %d %s", status, raw)
+	}
+	if status, _ := postJSON(t, ts.URL+api.PathSolve, body, &solve); status != http.StatusOK {
+		t.Fatal("repeat solve failed")
+	}
+	var env api.ErrorEnvelope
+	if status, _ := postJSON(t, ts.URL+api.PathSolve, `{"servers": -3}`, &env); status != http.StatusBadRequest {
+		t.Fatalf("invalid solve: status %d, want 400", status)
+	}
+	c := client.New(ts.URL)
+	if _, err := c.RunJob(context.Background(), api.NewSweepJob(api.SweepRequest{
+		System: api.System{Servers: 8},
+		Param:  api.ParamLambda,
+		Values: []float64{1, 2, 3},
+	}), nil); err != nil {
+		t.Fatalf("job: %v", err)
+	}
+
+	s := scrapeMetrics(t, ts.URL)
+	checkExpositionWellFormed(t, s)
+
+	for _, want := range []struct {
+		name     string
+		contains []string
+		min      float64
+	}{
+		{"mus_http_requests_total", []string{`route="/v1/solve"`, `code="200"`}, 2},
+		{"mus_http_requests_total", []string{`route="/v1/solve"`, `code="400"`}, 1},
+		{"mus_http_requests_total", []string{`route="/v1/jobs"`, `method="POST"`, `code="202"`}, 1},
+		{"mus_http_request_duration_seconds_count", []string{`route="/v1/solve"`}, 3},
+		{"mus_engine_evaluations_total", nil, 3}, // 2 solves + job counted per evaluation
+		{"mus_cache_hits_total", []string{`cache="solver"`}, 1},
+		{"mus_jobs_submitted_total", nil, 1},
+		{"mus_jobs_transitions_total", []string{`state="done"`}, 1},
+		{"mus_jobs_sweep_points_total", nil, 3},
+		{"mus_engine_workers", nil, 1},
+		{"mus_process_goroutines", nil, 1},
+	} {
+		got, n := s.sum(want.name, want.contains...)
+		if n == 0 {
+			t.Errorf("no series for %s %v", want.name, want.contains)
+		} else if got < want.min {
+			t.Errorf("%s %v = %v, want >= %v", want.name, want.contains, got, want.min)
+		}
+	}
+	if up, n := s.sum("mus_process_uptime_seconds"); n != 1 || up < 0 {
+		t.Errorf("mus_process_uptime_seconds = %v (%d series)", up, n)
+	}
+	if depth, n := s.sum("mus_jobs_queue_depth"); n != 1 || depth != 0 {
+		t.Errorf("mus_jobs_queue_depth = %v (%d series), want 0 after job drained", depth, n)
+	}
+}
+
+// TestClusterMetricsCountRoutingDecisions scatters a sweep across three
+// nodes and reads the coordinator's /metrics: forwards and local serves
+// counted, full membership visible and up; then kills one node and
+// requires the next sweep to surface failovers and mark the peer down.
+func TestClusterMetricsCountRoutingDecisions(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	c := client.New(nodes[0].url)
+	if _, err := c.Sweep(context.Background(), sweepReqN(24)); err != nil {
+		t.Fatal(err)
+	}
+	s := scrapeMetrics(t, nodes[0].url)
+	checkExpositionWellFormed(t, s)
+	if v, _ := s.sum("mus_cluster_forwards_total"); v == 0 {
+		t.Error("no forwards counted after a scattered sweep")
+	}
+	if v, _ := s.sum("mus_cluster_local_served_total"); v == 0 {
+		t.Error("no local serves counted after a scattered sweep")
+	}
+	if v, n := s.sum("mus_cluster_members"); n != 1 || v != 3 {
+		t.Errorf("mus_cluster_members = %v (%d series), want 3", v, n)
+	}
+	if v, n := s.sum("mus_cluster_peer_up"); n != 3 || v != 3 {
+		t.Errorf("peer_up sum = %v over %d series, want 3 over 3", v, n)
+	}
+
+	victim := nodes[1]
+	victim.kill()
+	if _, err := c.Sweep(context.Background(), sweepReqN(24)); err != nil {
+		t.Fatalf("sweep after kill did not fail over: %v", err)
+	}
+	s = scrapeMetrics(t, nodes[0].url)
+	if v, _ := s.sum("mus_cluster_failovers_total"); v == 0 {
+		t.Error("no failovers counted after a node kill")
+	}
+	if v, n := s.sum("mus_cluster_peer_up", fmt.Sprintf("peer=%q", victim.url)); n != 1 || v != 0 {
+		t.Errorf("killed peer up = %v (%d series), want 0", v, n)
+	}
+}
+
+// TestForwardedRequestCarriesEdgeRequestID posts one configuration to
+// every node with a distinct X-Request-ID: the two non-owner nodes must
+// forward it one hop with the edge's ID intact (alongside the forwarded
+// marker), and every edge response must echo the caller's ID.
+func TestForwardedRequestCarriesEdgeRequestID(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	var mu sync.Mutex
+	var forwarded []string
+	for _, nd := range nodes {
+		old := nd.swap.h.Load().(http.Handler)
+		nd.swap.h.Store(http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Header.Get(api.HeaderForwarded) != "" {
+				mu.Lock()
+				forwarded = append(forwarded, r.Header.Get(api.HeaderRequestID))
+				mu.Unlock()
+			}
+			old.ServeHTTP(w, r)
+		})))
+	}
+	body := `{"servers": 12, "lambda": 8}`
+	sent := map[string]bool{}
+	for i, nd := range nodes {
+		id := fmt.Sprintf("edge-req-%d", i)
+		sent[id] = true
+		req, err := http.NewRequest(http.MethodPost, nd.url+api.PathSolve, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(api.HeaderRequestID, id)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d: status %d", i, resp.StatusCode)
+		}
+		if echo := resp.Header.Get(api.HeaderRequestID); echo != id {
+			t.Errorf("node %d echoed request id %q, want %q", i, echo, id)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(forwarded) != 2 {
+		t.Fatalf("saw %d forwarded requests (%v), want 2 (one per non-owner)", len(forwarded), forwarded)
+	}
+	seen := map[string]bool{}
+	for _, id := range forwarded {
+		if !sent[id] {
+			t.Errorf("forwarded hop carried id %q, not one of the edge ids", id)
+		}
+		if seen[id] {
+			t.Errorf("id %q forwarded twice", id)
+		}
+		seen[id] = true
+	}
+}

@@ -7,14 +7,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/api"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/olog"
 	"repro/internal/service"
 	"repro/internal/service/jobs"
 )
@@ -35,6 +39,14 @@ type server struct {
 	clu      *cluster.Router // nil on a standalone node
 	started  time.Time
 	requests atomic.Uint64
+	// reg is the node's metric registry: every layer registers its
+	// collectors here at construction, handlers resolve their per-route
+	// instruments at route-table build, and GET /metrics renders it all.
+	reg *obs.Registry
+	// log emits one structured line per request (and is handed to the job
+	// scheduler for transition lines). Defaults to discard; main swaps in
+	// the -log-level logger before building the handler.
+	log *olog.Logger
 	// draining flips at the start of graceful shutdown: every request from
 	// then on is rejected with 503 node_unavailable + Retry-After, so load
 	// balancers and cluster peers route around this node while in-flight
@@ -44,38 +56,61 @@ type server struct {
 
 // newServerJobs builds a server over an engine and an explicit scheduler
 // (flag-configured in main, fake-engined or t.Cleanup-closed in tests).
-// The caller owns the scheduler's lifecycle — Close it on shutdown.
+// The caller owns the scheduler's lifecycle — Close it on shutdown. The
+// metric registry is built (and the engine and scheduler registered on
+// it) here, so every server — production or test — scrapes identically.
 func newServerJobs(eng *service.Engine, sched *jobs.Scheduler) *server {
-	return &server{eng: eng, sched: sched, started: time.Now()}
+	s := &server{
+		eng:     eng,
+		sched:   sched,
+		started: time.Now(),
+		reg:     obs.NewRegistry(),
+		log:     olog.Nop(),
+	}
+	eng.RegisterMetrics(s.reg)
+	sched.RegisterMetrics(s.reg)
+	s.reg.GaugeFunc("mus_process_uptime_seconds",
+		"Seconds since the daemon started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.reg.GaugeFunc("mus_process_goroutines",
+		"Current goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	return s
 }
 
 // newServerCluster builds a clustered server: newServerJobs plus a
-// routing tier. The caller owns the router's lifecycle too — Start it
-// before serving, Close it on shutdown.
+// routing tier (whose counters join the registry). The caller owns the
+// router's lifecycle too — Start it before serving, Close it on shutdown.
 func newServerCluster(eng *service.Engine, sched *jobs.Scheduler, clu *cluster.Router) *server {
 	s := newServerJobs(eng, sched)
 	s.clu = clu
+	clu.RegisterMetrics(s.reg)
 	return s
 }
 
 // handler builds the /v1 route table behind the middleware chain.
-// Request-ID propagation wraps everything; the stats request counter
-// wraps only the real API routes, so health probes, 404s and wrong-verb
-// rejections never drown the traffic signal. /v1/healthz stays uncounted
-// by design — load balancers poll it continuously.
+// Request-ID propagation wraps everything; per-route instrumentation
+// (latency histogram, in-flight gauge, status-code counters, one trace
+// line per request) wraps only the real API routes, so health probes,
+// 404s and wrong-verb rejections never drown the traffic signal.
+// /v1/healthz and the GET /metrics scrape target stay uninstrumented by
+// design — load balancers and scrapers poll them continuously. Call
+// handler once per server: the per-route instruments register on build,
+// and re-registration panics.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST "+api.PathSolve, s.count(s.handleSolve))
-	mux.HandleFunc("POST "+api.PathSweep, s.count(s.handleSweep))
-	mux.HandleFunc("POST "+api.PathOptimize, s.count(s.handleOptimize))
-	mux.HandleFunc("POST "+api.PathSimulate, s.count(s.handleSimulate))
-	mux.HandleFunc("POST "+api.PathJobs, s.count(s.handleJobSubmit))
-	mux.HandleFunc("GET "+api.PathJobs+"/{id}", s.count(s.handleJobStatus))
-	mux.HandleFunc("GET "+api.PathJobs+"/{id}/result", s.count(s.handleJobResult))
-	mux.HandleFunc("DELETE "+api.PathJobs+"/{id}", s.count(s.handleJobCancel))
-	mux.HandleFunc("GET "+api.PathStats, s.count(s.handleStats))
+	mux.HandleFunc("POST "+api.PathSolve, s.instrument(http.MethodPost, api.PathSolve, s.handleSolve))
+	mux.HandleFunc("POST "+api.PathSweep, s.instrument(http.MethodPost, api.PathSweep, s.handleSweep))
+	mux.HandleFunc("POST "+api.PathOptimize, s.instrument(http.MethodPost, api.PathOptimize, s.handleOptimize))
+	mux.HandleFunc("POST "+api.PathSimulate, s.instrument(http.MethodPost, api.PathSimulate, s.handleSimulate))
+	mux.HandleFunc("POST "+api.PathJobs, s.instrument(http.MethodPost, api.PathJobs, s.handleJobSubmit))
+	mux.HandleFunc("GET "+api.PathJobs+"/{id}", s.instrument(http.MethodGet, api.PathJobs+"/{id}", s.handleJobStatus))
+	mux.HandleFunc("GET "+api.PathJobs+"/{id}/result", s.instrument(http.MethodGet, api.PathJobs+"/{id}/result", s.handleJobResult))
+	mux.HandleFunc("DELETE "+api.PathJobs+"/{id}", s.instrument(http.MethodDelete, api.PathJobs+"/{id}", s.handleJobCancel))
+	mux.HandleFunc("GET "+api.PathStats, s.instrument(http.MethodGet, api.PathStats, s.handleStats))
 	mux.HandleFunc("GET "+api.PathCluster, s.handleCluster)
 	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealthz)
+	mux.Handle("GET "+api.PathMetrics, s.reg.Handler())
 	return chain(mux, withRequestID, s.withDraining)
 }
 
@@ -86,10 +121,14 @@ func (s *server) handler() http.Handler {
 // are unaffected and drain normally. Job reads (GET under /v1/jobs) stay
 // open: the drain deliberately waits for running jobs to finish, and
 // that wait is only worth its budget if a polling client can still
-// observe the terminal state and fetch the result before exit.
+// observe the terminal state and fetch the result before exit. GET
+// /metrics stays open too: the drain window is exactly when operators
+// watch the in-flight and queue-depth gauges fall.
 func (s *server) withDraining(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() && !(r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, api.PathJobs+"/")) {
+		exempt := r.Method == http.MethodGet &&
+			(strings.HasPrefix(r.URL.Path, api.PathJobs+"/") || r.URL.Path == api.PathMetrics)
+		if s.draining.Load() && !exempt {
 			w.Header().Set("Retry-After", strconv.Itoa(api.RetryAfterDraining))
 			writeJSON(w, http.StatusServiceUnavailable, api.ErrorEnvelope{
 				Error:     api.NodeUnavailable("node is draining for shutdown; retry elsewhere or after a delay"),
@@ -123,13 +162,12 @@ func chain(h http.Handler, mws ...middleware) http.Handler {
 	return h
 }
 
-// requestIDKey carries the request correlation ID through the context.
-type requestIDKey struct{}
-
 // withRequestID propagates X-Request-ID: an incoming ID is reused (so
 // callers can stitch their own traces), an absent one is generated, and
 // either way the ID is echoed on the response and stored in the request
-// context for error envelopes.
+// context — where error envelopes, trace lines, cluster forwards (the
+// SDK stamps the context ID on outgoing requests) and async job records
+// all read it back, so one ID follows the request across nodes.
 func withRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(api.HeaderRequestID)
@@ -137,7 +175,7 @@ func withRequestID(next http.Handler) http.Handler {
 			id = newRequestID()
 		}
 		w.Header().Set(api.HeaderRequestID, id)
-		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+		next.ServeHTTP(w, r.WithContext(api.ContextWithRequestID(r.Context(), id)))
 	})
 }
 
@@ -152,15 +190,155 @@ func newRequestID() string {
 
 // requestID recovers the correlation ID stored by withRequestID.
 func requestID(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey{}).(string)
-	return id
+	return api.RequestIDFrom(ctx)
 }
 
-// count feeds the /v1/stats request counter for one matched route.
-func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
+// trace is the per-request mutable slot handlers annotate (ring owner,
+// job ID) so the middleware's one summary line carries routing facts only
+// the handler knows. Stored by pointer in the request context.
+type trace struct {
+	owner string // ring owner of the request's fingerprint ("" until known)
+	job   string // async job ID touched by this request
+}
+
+// traceKey carries the *trace slot through the request context.
+type traceKey struct{}
+
+// traceFrom recovers the trace slot, or nil outside instrumented routes.
+func traceFrom(ctx context.Context) *trace {
+	t, _ := ctx.Value(traceKey{}).(*trace)
+	return t
+}
+
+// setTraceOwner records the ring owner on the request's trace slot.
+func setTraceOwner(ctx context.Context, owner string) {
+	if t := traceFrom(ctx); t != nil {
+		t.owner = owner
+	}
+}
+
+// setTraceJob records the async job ID on the request's trace slot.
+func setTraceJob(ctx context.Context, id string) {
+	if t := traceFrom(ctx); t != nil {
+		t.job = id
+	}
+}
+
+// routeMetrics is one route's pre-resolved instrument set: the latency
+// histogram and in-flight gauge are fixed at registration, while the
+// per-status-code counters materialise lazily (first 404, first 499, …)
+// behind a sync.Map so the steady-state path is one lock-free load.
+type routeMetrics struct {
+	reg           *obs.Registry
+	method, route string
+	duration      *obs.Histogram
+	inflight      *obs.Gauge
+
+	mu    sync.Mutex // serialises first-time counter registration only
+	codes sync.Map   // int status code → *obs.Counter
+}
+
+// counterFor returns the route's request counter for one status code,
+// registering the series on first sight.
+func (m *routeMetrics) counterFor(code int) *obs.Counter {
+	if c, ok := m.codes.Load(code); ok {
+		return c.(*obs.Counter)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.codes.Load(code); ok {
+		return c.(*obs.Counter)
+	}
+	c := m.reg.Counter("mus_http_requests_total",
+		"HTTP requests served, by route, method and status code.",
+		obs.L("route", m.route), obs.L("method", m.method), obs.L("code", strconv.Itoa(code)))
+	m.codes.Store(code, c)
+	return c
+}
+
+// statusWriter captures the response status for metrics and trace lines.
+// Unwrap keeps http.NewResponseController working, so the NDJSON
+// streaming paths still reach the real connection's Flush and
+// SetWriteDeadline through it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap exposes the underlying writer to http.NewResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps one route's handler with the node's request
+// observability: the /v1/stats request counter, the per-route latency
+// histogram, in-flight gauge and status-code counters, and one
+// structured trace line per request (id, route, node, owner, forwarded,
+// status, duration). The instruments are resolved here, at route-table
+// build — the per-request path records through held pointers and never
+// touches the registry lock.
+func (s *server) instrument(method, route string, h http.HandlerFunc) http.HandlerFunc {
+	m := &routeMetrics{
+		reg:    s.reg,
+		method: method,
+		route:  route,
+		duration: s.reg.Histogram("mus_http_request_duration_seconds",
+			"HTTP request latency by route, buckets in seconds.",
+			nil, obs.L("route", route), obs.L("method", method)),
+		inflight: s.reg.Gauge("mus_http_in_flight_requests",
+			"Requests currently being served, by route.",
+			obs.L("route", route), obs.L("method", method)),
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		h(w, r)
+		m.inflight.Inc()
+		start := time.Now()
+		tr := &trace{}
+		r = r.WithContext(context.WithValue(r.Context(), traceKey{}, tr))
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		elapsed := time.Since(start)
+		m.inflight.Dec()
+		m.duration.Observe(elapsed.Seconds())
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		m.counterFor(code).Inc()
+		if !s.log.Enabled(olog.Info) {
+			return
+		}
+		// The logger's base fields already carry the node id (main.go);
+		// adding it again here would duplicate the key in every line.
+		fields := []olog.F{
+			{K: "id", V: requestID(r.Context())},
+			{K: "route", V: route},
+			{K: "method", V: method},
+			{K: "status", V: code},
+			{K: "duration_ms", V: float64(elapsed) / float64(time.Millisecond)},
+		}
+		if tr.owner != "" {
+			fields = append(fields, olog.F{K: "owner", V: tr.owner})
+		}
+		if tr.job != "" {
+			fields = append(fields, olog.F{K: "job", V: tr.job})
+		}
+		if forwarded(r) {
+			fields = append(fields, olog.F{K: "forwarded", V: true})
+		}
+		s.log.Info("request", fields...)
 	}
 }
 
@@ -205,6 +383,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.shouldRoute(r) {
+		setTraceOwner(r.Context(), s.clu.Owner(sys.Fingerprint()))
 		resp, served, err := s.clu.ForwardSolve(r.Context(), sys.Fingerprint(), req)
 		if served {
 			if err != nil {
@@ -334,6 +513,7 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	resp.CacheHitRate = st.Cache.HitRate()
 	resp.Evaluations = st.Evaluations
 	resp.Solves = st.Solves
+	resp.Obs = s.reg.Snapshot()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -467,6 +647,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.shouldRoute(r) {
+		setTraceOwner(r.Context(), s.clu.Owner(sys.Fingerprint()))
 		resp, served, err := s.clu.ForwardSimulate(r.Context(), sys.Fingerprint(), req)
 		if served {
 			if err != nil {
@@ -505,16 +686,18 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	st, err := s.sched.Submit(req)
+	st, err := s.sched.Submit(r.Context(), req)
 	if err != nil {
 		writeError(w, r, err)
 		return
 	}
+	setTraceJob(r.Context(), st.ID)
 	writeJSON(w, http.StatusAccepted, st)
 }
 
 // handleJobStatus polls one job (GET /v1/jobs/{id}).
 func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	setTraceJob(r.Context(), r.PathValue("id"))
 	st, err := s.sched.Status(r.PathValue("id"))
 	if err != nil {
 		writeError(w, r, err)
@@ -530,6 +713,7 @@ func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 // partial results are readable mid-run.
 func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	setTraceJob(r.Context(), id)
 	if r.Header.Get("Accept") == api.ContentTypeNDJSON {
 		pts, st, err := s.sched.PartialSweep(id)
 		if err != nil {
@@ -560,6 +744,7 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 // state; a running job reports canceled only once the engine has released
 // its in-flight evaluations, so poll until terminal.
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	setTraceJob(r.Context(), r.PathValue("id"))
 	st, err := s.sched.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeError(w, r, err)
@@ -595,6 +780,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:          cacheStatsOf(st.Cache),
 		SimCache:       cacheStatsOf(st.SimCache),
 		Jobs:           s.sched.Stats(),
+		Obs:            s.reg.Snapshot(),
 	})
 }
 

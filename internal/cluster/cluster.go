@@ -205,6 +205,11 @@ type Router struct {
 	localServed    atomic.Uint64
 	forwardedTotal atomic.Uint64
 	failovers      atomic.Uint64
+	// rescatters counts sweep sub-streams that died (or skipped points)
+	// mid-flight and had their unanswered points re-dispatched — the
+	// scatter/gather tier's recovery signal, distinct from failovers
+	// (which also count pre-dispatch routing around a known-down node).
+	rescatters atomic.Uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -439,6 +444,7 @@ func (r *Router) Stats() api.ClusterResponse {
 		LocalServed:    r.localServed.Load(),
 		ForwardedTotal: r.forwardedTotal.Load(),
 		Failovers:      r.failovers.Load(),
+		Rescatters:     r.rescatters.Load(),
 	}
 	for _, id := range r.order {
 		n := r.nodes[id]

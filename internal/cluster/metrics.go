@@ -1,0 +1,51 @@
+package cluster
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes the router's routing counters and per-peer
+// health verdicts on a metrics registry. Totals read the same atomics
+// /v1/cluster reports; per-peer up/failure gauges take the node's small
+// health mutex at scrape time only — the forward and scatter hot paths
+// gain no new writes. Call once per router per registry.
+func (r *Router) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("mus_cluster_local_served_total",
+		"Requests and sweep points evaluated on the local engine (owned or failover of last resort).",
+		r.localServed.Load)
+	reg.CounterFunc("mus_cluster_forwards_total",
+		"Requests and sweep points sent to peers, summed over all peers.",
+		r.forwardedTotal.Load)
+	reg.CounterFunc("mus_cluster_failovers_total",
+		"Routing decisions that skipped at least one down or excluded node.",
+		r.failovers.Load)
+	reg.CounterFunc("mus_cluster_rescatters_total",
+		"Sweep sub-streams whose unanswered points were re-dispatched after a mid-flight death.",
+		r.rescatters.Load)
+	reg.GaugeFunc("mus_cluster_members",
+		"Configured ring membership size, self included.",
+		func() float64 { return float64(len(r.order)) })
+	for _, id := range r.order {
+		n := r.nodes[id]
+		lbl := obs.L("peer", id)
+		reg.GaugeFunc("mus_cluster_peer_up",
+			"This node's current health verdict per peer: 1 up, 0 down (self is always 1).",
+			func() float64 {
+				if r.alive(n) {
+					return 1
+				}
+				return 0
+			}, lbl)
+		reg.GaugeFunc("mus_cluster_peer_consecutive_failures",
+			"Probe/forward failures since the peer last answered; resets on success.",
+			func() float64 {
+				n.mu.Lock()
+				defer n.mu.Unlock()
+				return float64(n.fails)
+			}, lbl)
+		reg.CounterFunc("mus_cluster_peer_owned_total",
+			"Requests and sweep points whose ring owner is this peer, as scored locally.",
+			n.owned.Load, lbl)
+		reg.CounterFunc("mus_cluster_peer_forwarded_total",
+			"Requests and sweep points actually sent to this peer (zero for self).",
+			n.forwarded.Load, lbl)
+	}
+}

@@ -166,6 +166,7 @@ func (r *Router) Sweep(ctx context.Context, req api.SweepRequest, fps []string, 
 				if len(missing) == 0 {
 					return
 				}
+				r.rescatters.Add(1)
 				next := make(map[string]bool, len(excluded)+1)
 				for k := range excluded {
 					next[k] = true

@@ -1,0 +1,368 @@
+// Package obs is the serving tier's observability substrate: a
+// dependency-free metrics registry — counters, gauges and fixed-bucket
+// histograms with atomic, lock-free, allocation-free record paths —
+// rendered in the Prometheus text exposition format by WritePrometheus
+// and served by Handler as GET /metrics.
+//
+// Design constraints, in order:
+//
+//   - The record path is the sweep hot loop. Counter.Add, Gauge.Set and
+//     Histogram.Observe touch only atomics: no locks, no maps, no
+//     allocations. Registration (which does lock) happens once at wiring
+//     time; handlers resolve their instruments up front and keep the
+//     pointers.
+//   - Existing subsystems already count. The engine, the job scheduler
+//     and the cluster router all keep their own atomic counters for
+//     /v1/stats; CounterFunc and GaugeFunc expose those exact values at
+//     scrape time instead of double-counting on the hot path.
+//   - Names are contracts. Every metric must match the Prometheus
+//     convention mus_<subsystem>_<name>[_unit] (counters ending _total);
+//     Register panics on malformed or duplicate series at startup, and
+//     tools/metriclint enforces the same rule statically in CI.
+//
+// One Registry serves one process; mus-serve builds it in main and hands
+// it to every layer's RegisterMetrics.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// nameRE is the accepted metric shape: mus_<subsystem>_<name>[_unit],
+// lowercase, at least three underscore-separated words.
+var nameRE = regexp.MustCompile(`^mus_[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// labelRE is the accepted label-name shape.
+var labelRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// Label is one name="value" pair attached to a series. Series of one
+// family must all carry the same label names.
+type Label struct {
+	// Name is the label key (lowercase snake case).
+	Name string
+	// Value is the label value; it is escaped on export.
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metricKind discriminates the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing value. The zero value is unusable;
+// obtain counters from Registry.Counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (queue depths, in-flight
+// requests). The zero value is unusable; obtain gauges from
+// Registry.Gauge.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Observe is lock-free and
+// allocation-free: one atomic add on the matching bucket and a CAS loop
+// folding the value into the running sum. Bucket bounds are set at
+// registration and never change.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending, +Inf implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (≤ ~20) and the slice is in
+	// cache; a binary search would cost more in branch misses than it
+	// saves in comparisons.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// cumulative returns the per-bound cumulative counts and the total, read
+// once. Reads race benignly with concurrent Observes (counts may lag the
+// total by in-flight observations); export clamps so buckets stay
+// monotone.
+func (h *Histogram) cumulative() ([]uint64, uint64) {
+	out := make([]uint64, len(h.bounds))
+	var acc uint64
+	for i := range h.bounds {
+		acc += h.counts[i].Load()
+		out[i] = acc
+	}
+	total := h.count.Load()
+	if total < acc {
+		total = acc
+	}
+	return out, total
+}
+
+// DefLatencyBuckets is the default request-latency bucket layout
+// (seconds): half-millisecond floor, one-minute ceiling, roughly
+// logarithmic — wide enough for both a cache hit and a cold 24-server
+// spectral solve.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// series is one labelled instance of a family.
+type series struct {
+	labels []Label
+	key    string // canonical label signature for dedup and sort
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cfn     func() uint64  // CounterFunc collector
+	gfn     func() float64 // GaugeFunc collector
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	funcy  bool // collector family (CounterFunc/GaugeFunc)
+	series []*series
+}
+
+// Registry holds metric families and renders them. Registration methods
+// lock; record paths on the returned instruments never do. The zero value
+// is unusable; use NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register validates and files one series, panicking on a malformed
+// name, a kind conflict, or a duplicate label signature — all wiring
+// bugs that must fail at startup, not at scrape time.
+func (r *Registry) register(name, help string, kind metricKind, funcy bool, labels []Label) *series {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: metric name %q does not match mus_<subsystem>_<name>[_unit]", name))
+	}
+	if kind == kindCounter && !strings.HasSuffix(name, "_total") {
+		panic(fmt.Sprintf("obs: counter %q must end in _total", name))
+	}
+	if kind != kindCounter && strings.HasSuffix(name, "_total") {
+		panic(fmt.Sprintf("obs: %s %q must not end in _total", kind, name))
+	}
+	for _, l := range labels {
+		if !labelRE.MatchString(l.Name) {
+			panic(fmt.Sprintf("obs: metric %q label %q is not lowercase snake case", name, l.Name))
+		}
+	}
+	s := &series{labels: append([]Label(nil), labels...), key: labelKey(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, funcy: funcy}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		sort.Strings(r.order)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	for _, prev := range f.series {
+		if prev.key == s.key {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, s.key))
+		}
+		if len(prev.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q series disagree on label names", name))
+		}
+	}
+	f.series = append(f.series, s)
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+	return s
+}
+
+// Counter registers (and returns) a counter series. Counter names must
+// end in _total.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, false, labels)
+	s.counter = &Counter{}
+	return s.counter
+}
+
+// CounterFunc registers a counter collected by calling fn at scrape time
+// — how subsystems that already keep atomic counters (engine, scheduler,
+// router) are exposed without double-counting on their hot paths. fn must
+// be safe for concurrent use and monotone.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	s := r.register(name, help, kindCounter, true, labels)
+	s.cfn = fn
+}
+
+// Gauge registers (and returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, false, labels)
+	s.gauge = &Gauge{}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge collected by calling fn at scrape time. fn
+// must be safe for concurrent use; it may lock (scrapes are rare), the
+// subsystem's record path stays untouched.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, kindGauge, true, labels)
+	s.gfn = fn
+}
+
+// Histogram registers (and returns) a fixed-bucket histogram series.
+// buckets are ascending upper bounds (the +Inf bucket is implicit); nil
+// selects DefLatencyBuckets. Histogram names must end in a unit
+// (_seconds, _points, ...), which metriclint enforces.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending at %v", name, buckets[i]))
+		}
+	}
+	s := r.register(name, help, kindHistogram, false, labels)
+	s.hist = &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)),
+	}
+	return s.hist
+}
+
+// labelKey renders a canonical {a="b",c="d"} signature (sorted by name;
+// empty for no labels).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Snapshot flattens every series to name{labels} → value: counters and
+// gauges directly, histograms as their _count and _sum (buckets omitted)
+// — the compact form surfaced in /v1/stats' obs block and gathered
+// per-node by the cluster SDK.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64)
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				out[name+s.key] = float64(s.counter.Value())
+			case s.cfn != nil:
+				out[name+s.key] = float64(s.cfn())
+			case s.gauge != nil:
+				out[name+s.key] = float64(s.gauge.Value())
+			case s.gfn != nil:
+				out[name+s.key] = s.gfn()
+			case s.hist != nil:
+				out[name+"_count"+s.key] = float64(s.hist.Count())
+				out[name+"_sum"+s.key] = s.hist.Sum()
+			}
+		}
+	}
+	return out
+}

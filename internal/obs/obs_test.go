@@ -1,0 +1,430 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mus_test_things_total", "things counted")
+	g := r.Gauge("mus_test_depth", "current depth")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mus_test_latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-56.05) > 1e-9 {
+		t.Fatalf("sum = %g, want 56.05", got)
+	}
+	cum, total := h.cumulative()
+	want := []uint64{1, 3, 4}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"bad name", func(r *Registry) { r.Counter("http_requests_total", "x") }},
+		{"one word", func(r *Registry) { r.Counter("mus_total", "x") }},
+		{"counter without _total", func(r *Registry) { r.Counter("mus_http_requests", "x") }},
+		{"gauge with _total", func(r *Registry) { r.Gauge("mus_http_depth_total", "x") }},
+		{"uppercase", func(r *Registry) { r.Gauge("mus_Http_depth", "x") }},
+		{"bad label", func(r *Registry) { r.Gauge("mus_http_depth", "x", L("Route", "a")) }},
+		{"dup series", func(r *Registry) {
+			r.Counter("mus_a_b_total", "x", L("l", "v"))
+			r.Counter("mus_a_b_total", "x", L("l", "v"))
+		}},
+		{"kind conflict", func(r *Registry) {
+			r.Counter("mus_a_b_total", "x")
+			r.CounterFunc("mus_a_b_total", "x", func() uint64 { return 0 }, L("l", "v"))
+			r.Gauge("mus_a_b_total", "x")
+		}},
+		{"descending buckets", func(r *Registry) {
+			r.Histogram("mus_a_b_seconds", "x", []float64{1, 0.5})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+// TestWritePrometheusGolden locks the exposition format byte for byte on
+// a small registry covering every metric kind.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mus_test_requests_total", "requests served", L("route", "/v1/solve"), L("code", "200"))
+	c.Add(3)
+	r.CounterFunc("mus_test_evals_total", "engine evaluations", func() uint64 { return 42 })
+	g := r.Gauge("mus_test_in_flight_requests", "in-flight requests")
+	g.Set(2)
+	r.GaugeFunc("mus_test_hit_ratio", "cache hit ratio", func() float64 { return 0.5 })
+	h := r.Histogram("mus_test_duration_seconds", "request duration", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP mus_test_duration_seconds request duration
+# TYPE mus_test_duration_seconds histogram
+mus_test_duration_seconds_bucket{le="0.1"} 1
+mus_test_duration_seconds_bucket{le="1"} 2
+mus_test_duration_seconds_bucket{le="+Inf"} 3
+mus_test_duration_seconds_sum 5.55
+mus_test_duration_seconds_count 3
+# HELP mus_test_evals_total engine evaluations
+# TYPE mus_test_evals_total counter
+mus_test_evals_total 42
+# HELP mus_test_hit_ratio cache hit ratio
+# TYPE mus_test_hit_ratio gauge
+mus_test_hit_ratio 0.5
+# HELP mus_test_in_flight_requests in-flight requests
+# TYPE mus_test_in_flight_requests gauge
+mus_test_in_flight_requests 2
+# HELP mus_test_requests_total requests served
+# TYPE mus_test_requests_total counter
+mus_test_requests_total{code="200",route="/v1/solve"} 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// ParsePromText parses text exposition output into samples — the
+// reusable consistency oracle for this package's tests and the
+// /metrics endpoint test in cmd/mus-serve.
+func ParsePromText(t *testing.T, text string) []promSample {
+	t.Helper()
+	var out []promSample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	types := map[string]string{}
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("duplicate TYPE for %s", parts[2])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s := parsePromLine(t, line)
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Every sample must belong to a declared family.
+	for _, s := range out {
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(base, suf); fam != base && types[fam] == "histogram" {
+				base = fam
+				break
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Errorf("sample %s has no TYPE declaration", s.name)
+		}
+	}
+	return out
+}
+
+// parsePromLine parses `name{l="v",...} value`.
+func parsePromLine(t *testing.T, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("malformed line %q", line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			t.Fatalf("unterminated labels in %q", line)
+		}
+		for _, pair := range strings.Split(rest[1:end], ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !strings.HasPrefix(v, `"`) || !strings.HasSuffix(v, `"`) {
+				t.Fatalf("malformed label %q in %q", pair, line)
+			}
+			s.labels[k] = strings.Trim(v, `"`)
+		}
+		rest = rest[end+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		// +Inf bucket values are plain numbers; le label may be +Inf but
+		// the sample value never is in this registry.
+		t.Fatalf("bad value in %q: %v", line, err)
+	}
+	s.value = v
+	return s
+}
+
+// CheckHistogramConsistency asserts, for every histogram family in the
+// samples, that bucket counts are cumulative (monotone in le), that the
+// +Inf bucket equals _count, and that _sum is present.
+func CheckHistogramConsistency(t *testing.T, samples []promSample) {
+	t.Helper()
+	type key struct{ fam, sig string }
+	buckets := map[key][]promSample{}
+	counts := map[key]float64{}
+	sums := map[key]bool{}
+	sigOf := func(labels map[string]string) string {
+		var parts []string
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			k := key{strings.TrimSuffix(s.name, "_bucket"), sigOf(s.labels)}
+			buckets[k] = append(buckets[k], s)
+		case strings.HasSuffix(s.name, "_count"):
+			counts[key{strings.TrimSuffix(s.name, "_count"), sigOf(s.labels)}] = s.value
+		case strings.HasSuffix(s.name, "_sum"):
+			sums[key{strings.TrimSuffix(s.name, "_sum"), sigOf(s.labels)}] = true
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets found")
+	}
+	for k, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return leOf(t, bs[i]) < leOf(t, bs[j]) })
+		last := -1.0
+		for _, b := range bs {
+			if b.value < last {
+				t.Errorf("%s%v: bucket counts not cumulative: %v after %v", k.fam, k.sig, b.value, last)
+			}
+			last = b.value
+		}
+		inf := bs[len(bs)-1]
+		if !math.IsInf(leOf(t, inf), 1) {
+			t.Errorf("%s%v: missing +Inf bucket", k.fam, k.sig)
+		}
+		cnt, ok := counts[k]
+		if !ok {
+			t.Errorf("%s%v: missing _count", k.fam, k.sig)
+		} else if inf.value != cnt {
+			t.Errorf("%s%v: +Inf bucket %v != _count %v", k.fam, k.sig, inf.value, cnt)
+		}
+		if !sums[k] {
+			t.Errorf("%s%v: missing _sum", k.fam, k.sig)
+		}
+	}
+}
+
+// leOf parses a bucket sample's le label.
+func leOf(t *testing.T, s promSample) float64 {
+	t.Helper()
+	le := s.labels["le"]
+	if le == "+Inf" {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		t.Fatalf("bad le %q", le)
+	}
+	return v
+}
+
+// TestExpositionParsesAndHistogramsConsistent round-trips a populated
+// registry through the test parser.
+func TestExpositionParsesAndHistogramsConsistent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mus_test_duration_seconds", "d", nil, L("route", "/v1/sweep"))
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	r.Counter("mus_test_requests_total", "r").Add(12)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := ParsePromText(t, b.String())
+	CheckHistogramConsistency(t, samples)
+}
+
+// TestRegistryConcurrency hammers every instrument kind from many
+// goroutines while scraping — the -race gate for the atomic record
+// paths.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mus_test_ops_total", "ops")
+	g := r.Gauge("mus_test_in_flight_requests", "in flight")
+	h := r.Histogram("mus_test_latency_seconds", "latency", nil)
+	r.CounterFunc("mus_test_fn_total", "fn", func() uint64 { return c.Value() })
+
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(float64(i%100) / 1000)
+				g.Dec()
+			}
+		}(w)
+	}
+	// Concurrent scrapes must parse while recording is in flight.
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		CheckHistogramConsistency(t, ParsePromText(t, b.String()))
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perW {
+		t.Fatalf("counter = %d, want %d", got, workers*perW)
+	}
+	if got := h.Count(); got != workers*perW {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perW)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	wantSum := float64(workers) * func() float64 {
+		var s float64
+		for i := 0; i < perW; i++ {
+			s += float64(i%100) / 1000
+		}
+		return s
+	}()
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Fatalf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mus_test_ops_total", "ops", L("kind", "a")).Add(3)
+	r.GaugeFunc("mus_test_depth", "depth", func() float64 { return 4 })
+	h := r.Histogram("mus_test_latency_seconds", "latency", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	snap := r.Snapshot()
+	want := map[string]float64{
+		`mus_test_ops_total{kind="a"}`:   3,
+		"mus_test_depth":                 4,
+		"mus_test_latency_seconds_count": 2,
+		"mus_test_latency_seconds_sum":   2.5,
+	}
+	for k, v := range want {
+		if got, ok := snap[k]; !ok || got != v {
+			t.Errorf("snapshot[%q] = %v (present %v), want %v", k, got, ok, v)
+		}
+	}
+	if len(snap) != len(want) {
+		t.Errorf("snapshot has %d entries, want %d: %v", len(snap), len(want), snap)
+	}
+}
+
+// BenchmarkRecordPath proves the record path allocates nothing — the
+// acceptance bar for instrumenting the sweep hot loop.
+func BenchmarkRecordPath(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("mus_bench_ops_total", "ops")
+	g := r.Gauge("mus_bench_in_flight_requests", "in flight")
+	h := r.Histogram("mus_bench_latency_seconds", "latency", nil)
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Add(1)
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%1000) / 1000)
+		}
+	})
+	b.Run("histogram-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				h.Observe(float64(i%1000) / 1000)
+				i++
+			}
+		})
+	})
+}

@@ -1,0 +1,121 @@
+package olog
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixed pins the clock so golden lines are stable.
+func fixed(l *Logger) *Logger {
+	l.now = func() time.Time { return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC) }
+	return l
+}
+
+func TestLineShape(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, Info, F{"node", "n1"}))
+	l.Info("request", F{"id", "abc"}, F{"status", 200}, F{"forwarded", true}, F{"duration_ms", 1.5})
+	got := b.String()
+	want := `{"ts":"2026-08-07T12:00:00Z","level":"info","msg":"request","node":"n1","id":"abc","status":200,"forwarded":true,"duration_ms":1.5}` + "\n"
+	if got != want {
+		t.Errorf("line mismatch:\ngot  %q\nwant %q", got, want)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(got), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, Warn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	if got := strings.Count(b.String(), "\n"); got != 2 {
+		t.Fatalf("wrote %d lines, want 2 (warn+error): %q", got, b.String())
+	}
+	l.SetLevel(Debug)
+	l.Debug("d")
+	if got := strings.Count(b.String(), "\n"); got != 3 {
+		t.Fatalf("after SetLevel(Debug): %d lines, want 3", got)
+	}
+}
+
+func TestNopAndOff(t *testing.T) {
+	Nop().Error("never") // must not panic, writes nowhere
+	var b strings.Builder
+	New(&b, Off).Error("never")
+	if b.Len() != 0 {
+		t.Fatalf("Off logger wrote %q", b.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": Debug, "info": Info, "": Info, "warn": Warn,
+		"warning": Warn, "error": Error, "off": Off, " INFO ": Info,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel(verbose) should fail")
+	}
+}
+
+func TestUnencodableValue(t *testing.T) {
+	var b strings.Builder
+	fixed(New(&b, Info)).Info("x", F{"bad", func() {}})
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("degraded line is not valid JSON: %v (%q)", err, b.String())
+	}
+	if !strings.Contains(b.String(), "!encode") {
+		t.Errorf("expected !encode marker in %q", b.String())
+	}
+}
+
+// TestConcurrentWrites checks lines never interleave under -race.
+func TestConcurrentWrites(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		lines = append(lines, string(p))
+		mu.Unlock()
+		return len(p), nil
+	})
+	l := New(w, Info)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Info("m", F{"worker", i}, F{"seq", j})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(lines) != 1600 {
+		t.Fatalf("got %d writes, want 1600", len(lines))
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("interleaved or corrupt line %q: %v", ln, err)
+		}
+	}
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

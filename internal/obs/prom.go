@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the Prometheus text exposition
+// format served by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in the text exposition format:
+// families sorted by name, one # HELP and # TYPE line each, series
+// sorted by label signature, histograms as cumulative _bucket lines plus
+// _sum and _count. Values are read live; a scrape concurrent with
+// recording sees each atomic's current value.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.kind)
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", name, s.key, s.counter.Value())
+			case s.cfn != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", name, s.key, s.cfn())
+			case s.gauge != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", name, s.key, s.gauge.Value())
+			case s.gfn != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", name, s.key, formatFloat(s.gfn()))
+			case s.hist != nil:
+				writeHistogram(bw, name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// le labels (the +Inf bucket equals _count), then _sum and _count.
+func writeHistogram(w io.Writer, name string, s *series) {
+	cum, total := s.hist.cumulative()
+	for i, bound := range s.hist.bounds {
+		// Clamp: concurrent Observes may have bumped a bucket between the
+		// cumulative read and the total read; exposition buckets must stay
+		// monotone and ≤ count.
+		c := cum[i]
+		if c > total {
+			c = total
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.key, formatFloat(bound)), c)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.key, "+Inf"), total)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.key, formatFloat(s.hist.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.key, total)
+}
+
+// withLE splices the le label into an existing label signature.
+func withLE(key, le string) string {
+	if key == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(key, "}") + `,le="` + le + `"}`
+}
+
+// formatFloat renders a sample value the exposition parsers accept.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the text exposition format.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// Handler serves the registry as a Prometheus scrape target — mount it
+// at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w) // response writer errors have no recovery path
+	})
+}

@@ -27,10 +27,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/api"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/olog"
 	"repro/internal/service"
 )
 
@@ -78,6 +81,8 @@ type Config struct {
 	// Now substitutes the clock (default time.Now); tests use it to drive
 	// TTL expiry deterministically.
 	Now func() time.Time
+	// Logger receives one line per job state transition (default: discard).
+	Logger *olog.Logger
 }
 
 // Scheduler runs jobs on an Engine. It is safe for concurrent use.
@@ -86,6 +91,17 @@ type Scheduler struct {
 	ttl   time.Duration
 	now   func() time.Time
 	depth int
+	log   *olog.Logger
+
+	// Transition counters, atomics so a metrics scrape never touches the
+	// scheduler mutex mid-run. Indexed queued → running → terminal.
+	transRunning  atomic.Uint64
+	transDone     atomic.Uint64
+	transFailed   atomic.Uint64
+	transCanceled atomic.Uint64
+	// sweepPoints counts grid points completed by sweep jobs — the
+	// scheduler's throughput signal, advanced once per point as it lands.
+	sweepPoints atomic.Uint64
 
 	mu sync.Mutex
 	// cond signals workers when pending grows or the scheduler closes.
@@ -112,6 +128,10 @@ type Scheduler struct {
 type job struct {
 	id  string
 	req api.JobRequest
+	// origin is the X-Request-ID of the submitting HTTP request; job
+	// execution runs under a context carrying it, so engine-level traces
+	// join back to the submission.
+	origin string
 
 	state            string
 	total, completed int
@@ -143,12 +163,16 @@ func New(cfg Config) *Scheduler {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = olog.Nop()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Scheduler{
 		eng:    cfg.Engine,
 		ttl:    cfg.TTL,
 		now:    cfg.Now,
 		depth:  cfg.QueueDepth,
+		log:    cfg.Logger,
 		jobs:   make(map[string]*job),
 		stop:   stop,
 		ctx:    ctx,
@@ -216,16 +240,20 @@ func (s *Scheduler) Close() {
 
 // Submit validates the request, assigns an ID and enqueues the job,
 // returning its queued status. A full queue fails fast with
-// api.CodeQueueFull — the caller's backpressure signal.
-func (s *Scheduler) Submit(req api.JobRequest) (api.JobStatus, error) {
+// api.CodeQueueFull — the caller's backpressure signal. A request ID on
+// ctx (api.ContextWithRequestID) is recorded as the job's origin and
+// reattached to the execution context, so the async evaluation traces
+// back to the HTTP submission that caused it.
+func (s *Scheduler) Submit(ctx context.Context, req api.JobRequest) (api.JobStatus, error) {
 	if err := req.Validate(); err != nil {
 		return api.JobStatus{}, err
 	}
 	j := &job{
-		id:    newJobID(),
-		req:   req,
-		state: api.JobStateQueued,
-		done:  make(chan struct{}),
+		id:     newJobID(),
+		req:    req,
+		origin: api.RequestIDFrom(ctx),
+		state:  api.JobStateQueued,
+		done:   make(chan struct{}),
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -248,6 +276,8 @@ func (s *Scheduler) Submit(req api.JobRequest) (api.JobStatus, error) {
 	st := s.statusLocked(j)
 	s.cond.Signal()
 	s.mu.Unlock()
+	s.log.Info("job queued", olog.F{K: "job", V: j.id}, olog.F{K: "kind", V: req.Kind},
+		olog.F{K: "id", V: j.origin})
 	return st, nil
 }
 
@@ -401,7 +431,12 @@ func (s *Scheduler) worker() {
 		j.started = s.now()
 		j.cancel = cancel
 		s.mu.Unlock()
-		s.run(ctx, j)
+		s.transRunning.Add(1)
+		s.log.Info("job running", olog.F{K: "job", V: j.id}, olog.F{K: "kind", V: j.req.Kind},
+			olog.F{K: "id", V: j.origin})
+		// The execution context carries the submitting request's ID, so
+		// engine work done on the job's behalf traces back to its origin.
+		s.run(api.ContextWithRequestID(ctx, j.origin), j)
 		cancel()
 	}
 }
@@ -474,6 +509,7 @@ func (s *Scheduler) runSweep(ctx context.Context, j *job) (*api.JobResult, error
 		j.partial = append(j.partial, pt)
 		j.completed = len(j.partial)
 		s.mu.Unlock()
+		s.sweepPoints.Add(1)
 		return nil
 	})
 	if err != nil {
@@ -570,13 +606,33 @@ func (s *Scheduler) runSimulate(ctx context.Context, j *job) (*api.JobResult, er
 	}}, nil
 }
 
-// finishLocked moves a job to a terminal state. Callers hold s.mu.
+// finishLocked moves a job to a terminal state. Callers hold s.mu. (The
+// logger is safe under the scheduler mutex: it only takes its own writer
+// lock, never the scheduler's.)
 func (s *Scheduler) finishLocked(j *job, state string, res *api.JobResult, ae *api.Error) {
 	j.state = state
 	j.finished = s.now()
 	j.result = res
 	j.err = ae
 	close(j.done)
+	fields := []olog.F{
+		{K: "job", V: j.id}, {K: "kind", V: j.req.Kind}, {K: "id", V: j.origin},
+		{K: "duration_ms", V: float64(j.finished.Sub(j.created)) / float64(time.Millisecond)},
+	}
+	switch state {
+	case api.JobStateDone:
+		s.transDone.Add(1)
+		s.log.Info("job done", fields...)
+	case api.JobStateFailed:
+		s.transFailed.Add(1)
+		if ae != nil {
+			fields = append(fields, olog.F{K: "error", V: ae.Message})
+		}
+		s.log.Warn("job failed", fields...)
+	case api.JobStateCanceled:
+		s.transCanceled.Add(1)
+		s.log.Info("job canceled", fields...)
+	}
 }
 
 // statusLocked snapshots a job's poll view. Callers hold s.mu.
@@ -630,6 +686,49 @@ func (s *Scheduler) gc() {
 			delete(s.jobs, id)
 		}
 	}
+}
+
+// RegisterMetrics exposes the scheduler's queue and state-machine
+// counters on a metrics registry. Population gauges snapshot under the
+// scheduler mutex at scrape time; transition and throughput counters read
+// atomics, so the job execution path is untouched. Call once per
+// scheduler per registry.
+func (s *Scheduler) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("mus_jobs_queue_depth",
+		"Jobs waiting for a worker.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.pending))
+		})
+	r.GaugeFunc("mus_jobs_queue_capacity",
+		"Bound on queued jobs; submissions beyond it are rejected with queue_full.",
+		func() float64 { return float64(s.depth) })
+	r.GaugeFunc("mus_jobs_running",
+		"Jobs currently executing.",
+		func() float64 { return float64(s.Stats().Running) })
+	r.CounterFunc("mus_jobs_submitted_total",
+		"Jobs accepted into the queue.",
+		func() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.submitted })
+	r.CounterFunc("mus_jobs_rejected_total",
+		"Submissions rejected because the queue was full.",
+		func() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.rejected })
+	for _, t := range []struct {
+		state string
+		v     *atomic.Uint64
+	}{
+		{api.JobStateRunning, &s.transRunning},
+		{api.JobStateDone, &s.transDone},
+		{api.JobStateFailed, &s.transFailed},
+		{api.JobStateCanceled, &s.transCanceled},
+	} {
+		r.CounterFunc("mus_jobs_transitions_total",
+			"Job state-machine transitions, by target state.",
+			t.v.Load, obs.L("state", t.state))
+	}
+	r.CounterFunc("mus_jobs_sweep_points_total",
+		"Grid points completed by sweep jobs.",
+		s.sweepPoints.Load)
 }
 
 // newJobID draws a 64-bit random hex job identifier.

@@ -142,7 +142,7 @@ func TestSubmitRejectsInvalidRequests(t *testing.T) {
 		api.NewSweepJob(api.SweepRequest{Param: "bogus", Values: []float64{1}}),
 	}
 	for _, req := range cases {
-		if _, err := s.Submit(req); codeOf(t, err) != api.CodeInvalidArgument {
+		if _, err := s.Submit(context.Background(), req); codeOf(t, err) != api.CodeInvalidArgument {
 			t.Errorf("Submit(%+v): want invalid_argument, got %v", req, err)
 		}
 	}
@@ -151,7 +151,7 @@ func TestSubmitRejectsInvalidRequests(t *testing.T) {
 func TestSweepJobLifecycle(t *testing.T) {
 	s := New(Config{Engine: &fakeEngine{}})
 	defer s.Close()
-	st, err := s.Submit(sweepJob(1, 2, 3, 4, 5))
+	st, err := s.Submit(context.Background(), sweepJob(1, 2, 3, 4, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,13 +188,13 @@ func TestSweepJobLifecycle(t *testing.T) {
 func TestOptimizeAndSimulateJobs(t *testing.T) {
 	s := New(Config{Engine: &fakeEngine{}})
 	defer s.Close()
-	opt, err := s.Submit(api.NewOptimizeJob(api.OptimizeRequest{
+	opt, err := s.Submit(context.Background(), api.NewOptimizeJob(api.OptimizeRequest{
 		System: api.System{Lambda: 3}, HoldingCost: 4, ServerCost: 1, MinServers: 2, MaxServers: 9,
 	}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := s.Submit(api.NewSimulateJob(api.SimulateRequest{System: api.System{Servers: 8, Lambda: 3}}))
+	sim, err := s.Submit(context.Background(), api.NewSimulateJob(api.SimulateRequest{System: api.System{Servers: 8, Lambda: 3}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 	eng := &fakeEngine{gate: make(chan struct{})}
 	s := New(Config{Engine: eng, Workers: 1, QueueDepth: 1})
 	defer s.Close()
-	running, err := s.Submit(sweepJob(1, 2))
+	running, err := s.Submit(context.Background(), sweepJob(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,11 +227,11 @@ func TestQueueFullBackpressure(t *testing.T) {
 		st, err := s.Status(running.ID)
 		return err == nil && st.State == api.JobStateRunning
 	})
-	queued, err := s.Submit(sweepJob(1))
+	queued, err := s.Submit(context.Background(), sweepJob(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(sweepJob(1)); codeOf(t, err) != api.CodeQueueFull {
+	if _, err := s.Submit(context.Background(), sweepJob(1)); codeOf(t, err) != api.CodeQueueFull {
 		t.Fatalf("third submission: want queue_full, got %v", err)
 	}
 	st := s.Stats()
@@ -250,7 +250,7 @@ func TestCancelQueuedJobNeverRuns(t *testing.T) {
 	eng := &fakeEngine{gate: make(chan struct{})}
 	s := New(Config{Engine: eng, Workers: 1, QueueDepth: 4})
 	defer s.Close()
-	running, err := s.Submit(sweepJob(1))
+	running, err := s.Submit(context.Background(), sweepJob(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestCancelQueuedJobNeverRuns(t *testing.T) {
 		st, err := s.Status(running.ID)
 		return err == nil && st.State == api.JobStateRunning
 	})
-	queued, err := s.Submit(sweepJob(1, 2, 3))
+	queued, err := s.Submit(context.Background(), sweepJob(1, 2, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestCancelQueuedJobFreesQueueSlot(t *testing.T) {
 	eng := &fakeEngine{gate: make(chan struct{})}
 	s := New(Config{Engine: eng, Workers: 1, QueueDepth: 1})
 	defer s.Close()
-	running, err := s.Submit(sweepJob(1))
+	running, err := s.Submit(context.Background(), sweepJob(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,11 +299,11 @@ func TestCancelQueuedJobFreesQueueSlot(t *testing.T) {
 		st, err := s.Status(running.ID)
 		return err == nil && st.State == api.JobStateRunning
 	})
-	queued, err := s.Submit(sweepJob(1))
+	queued, err := s.Submit(context.Background(), sweepJob(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(sweepJob(1)); codeOf(t, err) != api.CodeQueueFull {
+	if _, err := s.Submit(context.Background(), sweepJob(1)); codeOf(t, err) != api.CodeQueueFull {
 		t.Fatalf("queue not full: %v", err)
 	}
 	if _, err := s.Cancel(queued.ID); err != nil {
@@ -311,7 +311,7 @@ func TestCancelQueuedJobFreesQueueSlot(t *testing.T) {
 	}
 	// The worker is still blocked on the gated engine; the slot must be
 	// free regardless.
-	replacement, err := s.Submit(sweepJob(2))
+	replacement, err := s.Submit(context.Background(), sweepJob(2))
 	if err != nil {
 		t.Fatalf("submit after canceling the queued job: %v", err)
 	}
@@ -325,7 +325,7 @@ func TestCancelRunningJobReleasesEngine(t *testing.T) {
 	eng := &fakeEngine{gate: make(chan struct{})}
 	s := New(Config{Engine: eng})
 	defer s.Close()
-	st, err := s.Submit(sweepJob(1, 2, 3, 4))
+	st, err := s.Submit(context.Background(), sweepJob(1, 2, 3, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +376,7 @@ func TestCancelRunningOptimizeJob(t *testing.T) {
 	eng := &fakeEngine{gate: make(chan struct{})}
 	s := New(Config{Engine: eng})
 	defer s.Close()
-	st, err := s.Submit(api.NewOptimizeJob(api.OptimizeRequest{
+	st, err := s.Submit(context.Background(), api.NewOptimizeJob(api.OptimizeRequest{
 		System: api.System{Lambda: 3}, HoldingCost: 4, ServerCost: 1, MinServers: 1, MaxServers: 8,
 	}))
 	if err != nil {
@@ -402,7 +402,7 @@ func TestPartialSweepMidRun(t *testing.T) {
 	eng := &fakeEngine{gate: make(chan struct{})}
 	s := New(Config{Engine: eng})
 	defer s.Close()
-	st, err := s.Submit(sweepJob(10, 20, 30))
+	st, err := s.Submit(context.Background(), sweepJob(10, 20, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,7 +434,7 @@ func TestPartialSweepMidRun(t *testing.T) {
 func TestPartialSweepRejectsNonSweepJobs(t *testing.T) {
 	s := New(Config{Engine: &fakeEngine{}})
 	defer s.Close()
-	st, err := s.Submit(api.NewSimulateJob(api.SimulateRequest{System: api.System{Servers: 8, Lambda: 3}}))
+	st, err := s.Submit(context.Background(), api.NewSimulateJob(api.SimulateRequest{System: api.System{Servers: 8, Lambda: 3}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +446,7 @@ func TestPartialSweepRejectsNonSweepJobs(t *testing.T) {
 func TestUnstableSimulateJobFails(t *testing.T) {
 	s := New(Config{Engine: &fakeEngine{}})
 	defer s.Close()
-	st, err := s.Submit(api.NewSimulateJob(api.SimulateRequest{System: api.System{Servers: 1, Lambda: 1000}}))
+	st, err := s.Submit(context.Background(), api.NewSimulateJob(api.SimulateRequest{System: api.System{Servers: 1, Lambda: 1000}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,7 +483,7 @@ func TestTTLGarbageCollection(t *testing.T) {
 	clock := newFakeClock()
 	s := New(Config{Engine: &fakeEngine{}, TTL: time.Minute, Now: clock.Now})
 	defer s.Close()
-	st, err := s.Submit(sweepJob(1))
+	st, err := s.Submit(context.Background(), sweepJob(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,7 +504,7 @@ func TestTTLGarbageCollection(t *testing.T) {
 func TestCloseCancelsRunningJobs(t *testing.T) {
 	eng := &fakeEngine{gate: make(chan struct{})}
 	s := New(Config{Engine: eng})
-	st, err := s.Submit(sweepJob(1, 2))
+	st, err := s.Submit(context.Background(), sweepJob(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,7 +517,7 @@ func TestCloseCancelsRunningJobs(t *testing.T) {
 	if err != nil || got.State != api.JobStateCanceled {
 		t.Fatalf("job after Close: %+v, %v", got, err)
 	}
-	if _, err := s.Submit(sweepJob(1)); err == nil {
+	if _, err := s.Submit(context.Background(), sweepJob(1)); err == nil {
 		t.Error("Submit after Close succeeded")
 	}
 	s.Close() // idempotent
@@ -535,7 +535,7 @@ func TestDrainWaitsForRunningJobsAndRejectsNew(t *testing.T) {
 	eng := &fakeEngine{gate: make(chan struct{})}
 	s := New(Config{Engine: eng, Workers: 1})
 	defer s.Close()
-	st, err := s.Submit(sweepJob(1, 2))
+	st, err := s.Submit(context.Background(), sweepJob(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -551,7 +551,7 @@ func TestDrainWaitsForRunningJobsAndRejectsNew(t *testing.T) {
 	}
 	// The draining flag is in force: new work is turned away with the
 	// retryable node_unavailable code, not queue_full and not an accept.
-	if _, err := s.Submit(sweepJob(3)); codeOf(t, err) != api.CodeNodeUnavailable {
+	if _, err := s.Submit(context.Background(), sweepJob(3)); codeOf(t, err) != api.CodeNodeUnavailable {
 		t.Fatalf("Submit while draining: %v, want node_unavailable", err)
 	}
 	// Let the job's two points finish; a fresh Drain now completes clean.

@@ -1,0 +1,105 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/api"
+	"repro/internal/core"
+	"repro/internal/obs/olog"
+	"repro/internal/service"
+)
+
+// originEngine wraps fakeEngine to record the request ID visible on the
+// execution context — the observable end of origin propagation.
+type originEngine struct {
+	*fakeEngine
+	mu  sync.Mutex
+	ids []string
+}
+
+func (e *originEngine) EvaluateStream(ctx context.Context, jobs []service.Job, emit func(service.Result) error) error {
+	e.mu.Lock()
+	e.ids = append(e.ids, api.RequestIDFrom(ctx))
+	e.mu.Unlock()
+	return e.fakeEngine.EvaluateStream(ctx, jobs, emit)
+}
+
+func (e *originEngine) Simulate(ctx context.Context, sys core.System, opts core.SimOptions) (core.SimResult, error) {
+	e.mu.Lock()
+	e.ids = append(e.ids, api.RequestIDFrom(ctx))
+	e.mu.Unlock()
+	return e.fakeEngine.Simulate(ctx, sys, opts)
+}
+
+// TestJobOriginRequestIDPropagates: the X-Request-ID captured at Submit
+// time must reappear on the context the job's engine work runs under —
+// asynchronously, on a worker goroutine, long after the HTTP request
+// that submitted it has returned — and in every job lifecycle log line.
+func TestJobOriginRequestIDPropagates(t *testing.T) {
+	eng := &originEngine{fakeEngine: &fakeEngine{}}
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	s := New(Config{Engine: eng, Logger: olog.New(syncWriter{&logMu, &logBuf}, olog.Debug)})
+	defer s.Close()
+
+	ctx := api.ContextWithRequestID(context.Background(), "edge-7f3a")
+	st, err := s.Submit(ctx, sweepJob(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, "job done", func() bool {
+		got, err := s.Status(st.ID)
+		return err == nil && got.State == api.JobStateDone
+	})
+	eng.mu.Lock()
+	ids := append([]string(nil), eng.ids...)
+	eng.mu.Unlock()
+	if len(ids) != 1 || ids[0] != "edge-7f3a" {
+		t.Fatalf("engine saw request ids %q, want [\"edge-7f3a\"]", ids)
+	}
+	logMu.Lock()
+	logs := logBuf.String()
+	logMu.Unlock()
+	for _, line := range []string{"job queued", "job running", "job done"} {
+		if !strings.Contains(logs, `"msg":"`+line+`"`) {
+			t.Errorf("missing %q log line in:\n%s", line, logs)
+		}
+	}
+	if got := strings.Count(logs, `"id":"edge-7f3a"`); got != 3 {
+		t.Errorf("origin id appears in %d log lines, want 3:\n%s", got, logs)
+	}
+
+	// A submission without an ID must not invent one: origin stays empty.
+	eng.mu.Lock()
+	eng.ids = nil
+	eng.mu.Unlock()
+	st2, err := s.Submit(context.Background(), sweepJob(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, "second job done", func() bool {
+		got, err := s.Status(st2.ID)
+		return err == nil && got.State == api.JobStateDone
+	})
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	if len(eng.ids) != 1 || eng.ids[0] != "" {
+		t.Fatalf("id-less submission produced engine request ids %q, want one empty", eng.ids)
+	}
+}
+
+// syncWriter serializes concurrent log writes from worker goroutines.
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.00GHz
+BenchmarkLambdaSweep/serial-8         	      10	 104910283 ns/op	 8438031 B/op	   75637 allocs/op
+BenchmarkLambdaSweep/pooled-8         	      38	  29458127 ns/op	 8443132 B/op	   75684 allocs/op
+BenchmarkLambdaSweep/cached-8         	   24218	     49054 ns/op	         0.9990 hitrate	   43248 B/op	     364 allocs/op
+PASS
+ok  	repro	5.043s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got := ParseBenchOutput(sampleOutput)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	cached := got[2]
+	if cached.Name != "BenchmarkLambdaSweep/cached-8" {
+		t.Errorf("name = %q", cached.Name)
+	}
+	if cached.Iterations != 24218 {
+		t.Errorf("iterations = %d, want 24218", cached.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 49054, "hitrate": 0.9990, "B/op": 43248, "allocs/op": 364,
+	} {
+		if v := cached.Metrics[unit]; v != want {
+			t.Errorf("metric %q = %v, want %v", unit, v, want)
+		}
+	}
+	if got[0].Metrics["ns/op"] != 104910283 {
+		t.Errorf("serial ns/op = %v", got[0].Metrics["ns/op"])
+	}
+}
+
+func TestParseBenchOutputIgnoresNoise(t *testing.T) {
+	if got := ParseBenchOutput("PASS\nok  \trepro\t1.0s\nBenchmarkBroken abc def\n"); len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(got))
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkLambdaSweep/cached-8": "BenchmarkLambdaSweep/cached",
+		"BenchmarkClusterSweep/3node-4": "BenchmarkClusterSweep/3node",
+		"BenchmarkPlain":                "BenchmarkPlain",
+	} {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

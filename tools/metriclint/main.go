@@ -1,0 +1,178 @@
+// Command metriclint statically enforces the repo's metric naming
+// contract: every metric registered through internal/obs — any call to
+// Counter, CounterFunc, Gauge, GaugeFunc or Histogram with a literal
+// name — must match the Prometheus convention
+//
+//	mus_<subsystem>_<name>[_unit]
+//
+// with counters ending in _total, gauges and histograms not, and
+// histograms ending in a recognised unit (_seconds, _bytes, _points, …).
+// The obs registry panics on most of these at process start; this linter
+// moves the failure to CI, before any process starts, and additionally
+// demands a non-empty help string.
+//
+//	go run ./tools/metriclint ./...
+//
+// Exit status 1 with one line per violation; 0 when clean.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// nameRE mirrors internal/obs: lowercase mus_<subsystem>_<name>[_unit].
+var nameRE = regexp.MustCompile(`^mus_[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// registryMethods are the obs.Registry registration entry points, mapped
+// to their metric kind.
+var registryMethods = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+// histogramUnits are the suffixes a histogram name may end in — a
+// histogram without a unit is unreadable on a dashboard.
+var histogramUnits = []string{"seconds", "bytes", "points", "requests", "ops"}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	var violations []string
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "/...")
+		if root == "" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				// The registry's own package defines these methods; calls in
+				// its tests exercise invalid names on purpose.
+				if d.Name() == "testdata" || path == filepath.Join("internal", "obs") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			vs, err := lintFile(path)
+			if err != nil {
+				return err
+			}
+			violations = append(violations, vs...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metriclint:", err)
+			os.Exit(1)
+		}
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// lintFile parses one source file and checks every registry call in it.
+func lintFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := registryMethods[sel.Sel.Name]
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		name, ok := stringLit(call.Args[0])
+		if !ok {
+			// A computed name can't be checked statically; the registry's
+			// startup panic still covers it.
+			return true
+		}
+		if !strings.HasPrefix(name, "mus_") {
+			// Same-named method on an unrelated type (e.g. a mock); only
+			// mus_-prefixed literals are claimed by the convention.
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		report := func(msg string) {
+			out = append(out, fmt.Sprintf("%s:%d: %s %q %s", pos.Filename, pos.Line, kind, name, msg))
+		}
+		if !nameRE.MatchString(name) {
+			report("does not match mus_<subsystem>_<name>[_unit]")
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				report("must end in _total")
+			}
+		default:
+			if strings.HasSuffix(name, "_total") {
+				report("must not end in _total (only counters do)")
+			}
+		}
+		if kind == "histogram" && !hasHistogramUnit(name) {
+			report(fmt.Sprintf("must end in a unit suffix (one of _%s)", strings.Join(histogramUnits, ", _")))
+		}
+		if help, ok := stringLit(call.Args[1]); ok && strings.TrimSpace(help) == "" {
+			report("has an empty help string")
+		}
+		return true
+	})
+	return out, nil
+}
+
+// stringLit unwraps a basic string literal argument.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// hasHistogramUnit reports whether a histogram name ends in a recognised
+// unit suffix.
+func hasHistogramUnit(name string) bool {
+	for _, u := range histogramUnits {
+		if strings.HasSuffix(name, "_"+u) {
+			return true
+		}
+	}
+	return false
+}

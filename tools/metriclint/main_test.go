@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const badSource = `package sample
+
+func register(r *Registry) {
+	r.Counter("mus_http_requests_total", "good counter")
+	r.Counter("mus_http_requests", "counter without _total")
+	r.Gauge("mus_jobs_running_total", "gauge with _total")
+	r.Histogram("mus_http_request_duration", "histogram without unit")
+	r.Histogram("mus_Http_Duration_seconds", "uppercase")
+	r.Gauge("mus_jobs_queue_depth", "")
+	r.CounterFunc("mus_engine_solves_total", "fine", nil)
+	r.Counter(dynamicName, "computed names are skipped")
+	mock.Counter("requests", "non-mus literal is not claimed")
+}
+`
+
+func lintSource(t *testing.T, src string) []string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sample.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := lintFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func TestLintFileFlagsViolations(t *testing.T) {
+	vs := lintSource(t, badSource)
+	if len(vs) != 5 {
+		t.Fatalf("got %d violations, want 5:\n%s", len(vs), strings.Join(vs, "\n"))
+	}
+	for i, wantFrag := range []string{
+		"must end in _total",
+		"must not end in _total",
+		"unit suffix",
+		"does not match",
+		"empty help",
+	} {
+		if !strings.Contains(vs[i], wantFrag) {
+			t.Errorf("violation %d = %q, want substring %q", i, vs[i], wantFrag)
+		}
+	}
+}
+
+func TestLintFileCleanSource(t *testing.T) {
+	if vs := lintSource(t, `package sample
+
+func register(r *Registry) {
+	r.Counter("mus_cluster_forwards_total", "ok")
+	r.Histogram("mus_http_request_duration_seconds", "ok", nil)
+	r.Gauge("mus_jobs_queue_depth", "ok")
+}
+`); len(vs) != 0 {
+		t.Fatalf("clean source produced violations:\n%s", strings.Join(vs, "\n"))
+	}
+}
