@@ -370,6 +370,71 @@ func BenchmarkLambdaSweep(b *testing.B) {
 	})
 }
 
+// sweepBenchLambdas is the 64-point λ-grid (loads ≈ 0.50–0.89, N = 10)
+// shared by BenchmarkSweepScalar and BenchmarkSweepBatched so their ns/op
+// are directly comparable per grid point.
+func sweepBenchLambdas() []float64 {
+	lambdas := make([]float64, 64)
+	for i := range lambdas {
+		lambdas[i] = 5 + 4*float64(i)/float64(len(lambdas))
+	}
+	return lambdas
+}
+
+// BenchmarkSweepScalar is the per-point baseline of the batched sweep
+// comparison: each iteration solves one grid point through the scalar
+// spectral path, rebuilding every λ-invariant structure from scratch, as
+// a sweep did before the batched solver existed. ns/op is the cost of one
+// grid point.
+func BenchmarkSweepScalar(b *testing.B) {
+	p := benchParams(b, 10, 1)
+	lambdas := sweepBenchLambdas()
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Lambda = lambdas[i%len(lambdas)]
+		sol, err := qbd.SolveSpectral(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += sol.MeanQueue()
+	}
+	_ = sink
+}
+
+// BenchmarkSweepBatched measures the same grid through a warm
+// qbd.SweepWorker: λ-invariant work hoisted at construction, every point
+// evaluated into reused workspaces. ns/op is the cost of one grid point
+// and allocs/op must be exactly 0 — CI gates on both (≥2× vs
+// BenchmarkSweepScalar via tools/benchjson -threshold, 0 allocs via
+// -zeroalloc).
+func BenchmarkSweepBatched(b *testing.B) {
+	p := benchParams(b, 10, 1)
+	sv, err := qbd.NewSweepSolver(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := sv.NewWorker()
+	var sol qbd.SpectralSolution
+	lambdas := sweepBenchLambdas()
+	for _, l := range lambdas { // warm the workspaces outside the timer
+		if err := w.SolveInto(l, &sol); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.SolveInto(lambdas[i%len(lambdas)], &sol); err != nil {
+			b.Fatal(err)
+		}
+		sink += sol.MeanQueue()
+	}
+	_ = sink
+}
+
 // BenchmarkOptimizeServers measures the full Figure 5 style optimisation
 // (sweep + exact solve per point) for one arrival rate.
 func BenchmarkOptimizeServers(b *testing.B) {

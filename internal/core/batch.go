@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/markov"
+	"repro/internal/qbd"
+)
+
+// BatchSolver evaluates one System's spectral solution across a batch of
+// arrival rates — the shape of every λ-sweep behind Figures 4–9. It is the
+// core-level face of qbd.SweepSolver: construction enumerates the Markov
+// environment, assembles the solver parameters and hoists every
+// λ-independent piece once; each Solve then reuses pooled workspaces, so a
+// G-point sweep costs one environment build plus G allocation-light point
+// evaluations instead of G full rebuilds.
+//
+// Solve(λ) returns a Performance bit-identical (on amd64) to what
+// sys.Solve() returns for the same system with ArrivalRate = λ, including
+// per-point errors for invalid or unstable rates; see qbd.SweepSolver for
+// the equivalence contract. A BatchSolver is safe for concurrent use.
+type BatchSolver struct {
+	base     System
+	env      *markov.Env
+	opCounts []int
+	sv       *qbd.SweepSolver
+}
+
+// NewBatchSolver validates the λ-independent part of base and hoists the
+// environment and solver state. base.ArrivalRate is ignored — each Solve
+// supplies its own rate — and a construction error is one that every
+// point of the batch would report.
+func NewBatchSolver(base System) (*BatchSolver, error) {
+	probe := base
+	if probe.ArrivalRate <= 0 {
+		probe.ArrivalRate = 1 // structural validation only; Solve rates replace it
+	}
+	env, p, err := probe.envParams()
+	if err != nil {
+		return nil, err
+	}
+	sv, err := qbd.NewSweepSolver(p)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchSolver{
+		base:     base,
+		env:      env,
+		opCounts: env.OperativeCounts(),
+		sv:       sv,
+	}, nil
+}
+
+// Modes returns s, the number of environment modes.
+func (b *BatchSolver) Modes() int { return b.env.NumModes() }
+
+// Solve evaluates one arrival rate, mirroring System.Solve exactly: the
+// same validation precedence, the same solver errors, and on success a
+// Performance whose every field matches the scalar path bit for bit. The
+// returned Performance is caller-owned and independent of the solver's
+// internal workspaces.
+func (b *BatchSolver) Solve(lambda float64) (*Performance, error) {
+	sys := b.base
+	sys.ArrivalRate = lambda
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	sol, err := b.sv.Solve(lambda)
+	if err != nil {
+		return nil, err
+	}
+	l := sol.MeanQueue()
+	return &Performance{
+		MeanJobs:     l,
+		MeanResponse: l / lambda,
+		TailDecay:    sol.TailDecay(),
+		Load:         sys.Load(),
+		sol:          sol,
+		opCounts:     b.opCounts,
+	}, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/qbd"
+)
+
+// sameF64 matches the equivalence contract of the batched solver:
+// bit-identical on amd64, 1e-12 relative elsewhere (where compiler FMA
+// contraction may round the two paths differently).
+func sameF64(a, b float64) bool {
+	if runtime.GOARCH == "amd64" {
+		return math.Float64bits(a) == math.Float64bits(b)
+	}
+	return math.Abs(a-b) <= 1e-12*(1+math.Abs(a))
+}
+
+// TestBatchSolverMatchesSystemSolve checks BatchSolver.Solve against
+// System.Solve across a λ-grid: every Performance field, queue
+// probabilities and tails, mode marginals and the operative breakdown
+// must match bit for bit, and error cases (invalid and unstable rates)
+// must produce the scalar path's exact errors.
+func TestBatchSolverMatchesSystemSolve(t *testing.T) {
+	base := fig5System(5, 1)
+	bs, err := NewBatchSolver(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Modes() != 21 { // (N+1)(N+2)/2 with N=5
+		t.Fatalf("Modes() = %d, want 21", bs.Modes())
+	}
+	for g := 0; g < 16; g++ {
+		lambda := 0.3 + 4.4*float64(g)/15
+		sys := base
+		sys.ArrivalRate = lambda
+		want, wantErr := sys.Solve()
+		got, gotErr := bs.Solve(lambda)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("λ=%v: scalar err %v, batch err %v", lambda, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("λ=%v: error text %q vs %q", lambda, wantErr, gotErr)
+			}
+			continue
+		}
+		checks := []struct {
+			name      string
+			want, got float64
+		}{
+			{"MeanJobs", want.MeanJobs, got.MeanJobs},
+			{"MeanResponse", want.MeanResponse, got.MeanResponse},
+			{"TailDecay", want.TailDecay, got.TailDecay},
+			{"Load", want.Load, got.Load},
+		}
+		for _, c := range checks {
+			if !sameF64(c.want, c.got) {
+				t.Fatalf("λ=%v: %s %v vs %v", lambda, c.name, c.want, c.got)
+			}
+		}
+		for j := 0; j <= 12; j++ {
+			if !sameF64(want.QueueProb(j), got.QueueProb(j)) {
+				t.Fatalf("λ=%v: QueueProb(%d) %v vs %v", lambda, j, want.QueueProb(j), got.QueueProb(j))
+			}
+			if !sameF64(want.QueueTail(j), got.QueueTail(j)) {
+				t.Fatalf("λ=%v: QueueTail(%d) %v vs %v", lambda, j, want.QueueTail(j), got.QueueTail(j))
+			}
+		}
+		wm, gm := want.ModeMarginals(), got.ModeMarginals()
+		for i := range wm {
+			if !sameF64(wm[i], gm[i]) {
+				t.Fatalf("λ=%v: marginal %d %v vs %v", lambda, i, wm[i], gm[i])
+			}
+		}
+		wo, po := want.OperativeBreakdown(), got.OperativeBreakdown()
+		for i := range wo {
+			if wo[i].Operative != po[i].Operative || !sameF64(wo[i].Prob, po[i].Prob) {
+				t.Fatalf("λ=%v: breakdown %d %+v vs %+v", lambda, i, wo[i], po[i])
+			}
+		}
+	}
+}
+
+// TestBatchSolverErrorParity checks that per-point errors carry the
+// scalar path's exact text and types — invalid rate, then unstable rate.
+func TestBatchSolverErrorParity(t *testing.T) {
+	base := fig5System(3, 1)
+	bs, err := NewBatchSolver(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lambda := range []float64{0, -1.5, 50, math.Inf(1)} {
+		sys := base
+		sys.ArrivalRate = lambda
+		_, wantErr := sys.Solve()
+		_, gotErr := bs.Solve(lambda)
+		if wantErr == nil || gotErr == nil {
+			t.Fatalf("λ=%v: expected errors, got scalar %v, batch %v", lambda, wantErr, gotErr)
+		}
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("λ=%v: error text %q vs %q", lambda, wantErr, gotErr)
+		}
+		if errors.Is(wantErr, qbd.ErrUnstable) != errors.Is(gotErr, qbd.ErrUnstable) {
+			t.Fatalf("λ=%v: ErrUnstable identity differs", lambda)
+		}
+	}
+}
+
+// TestNewBatchSolverRejectsBadSystem checks that structural problems are
+// reported at construction, not deferred to every point.
+func TestNewBatchSolverRejectsBadSystem(t *testing.T) {
+	bad := System{Servers: 0, ArrivalRate: 1, ServiceRate: 1, Operative: paperOps, Repair: paperRepair}
+	if _, err := NewBatchSolver(bad); err == nil {
+		t.Fatal("expected construction error for zero servers")
+	}
+	// ArrivalRate is allowed to be unset at construction; rates come per point.
+	ok := fig5System(2, 0)
+	if _, err := NewBatchSolver(ok); err != nil {
+		t.Fatalf("zero arrival rate at construction should be accepted: %v", err)
+	}
+}
+
+// TestEnvFingerprintGroupsSweeps pins the grouping property the service
+// layer batches on: λ changes leave EnvFingerprint fixed, while any
+// environment change moves it, and the two key families never collide.
+func TestEnvFingerprintGroupsSweeps(t *testing.T) {
+	a := fig5System(5, 1)
+	b := fig5System(5, 4.2)
+	if a.EnvFingerprint() != b.EnvFingerprint() {
+		t.Fatal("EnvFingerprint must ignore the arrival rate")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("Fingerprint must include the arrival rate")
+	}
+	if a.Fingerprint() == a.EnvFingerprint() {
+		t.Fatal("fingerprint families must not collide")
+	}
+	c := fig5System(6, 1)
+	if a.EnvFingerprint() == c.EnvFingerprint() {
+		t.Fatal("EnvFingerprint must include the server count")
+	}
+	d := a
+	d.ServiceRate = 2
+	if a.EnvFingerprint() == d.EnvFingerprint() {
+		t.Fatal("EnvFingerprint must include the service rate")
+	}
+}

@@ -16,11 +16,26 @@ import (
 // and with no rounding collisions — and the whole description is hashed so
 // keys stay fixed-width regardless of phase counts.
 func (s System) Fingerprint() string {
+	return s.hashedPayload("v1|N=", true)
+}
+
+// EnvFingerprint is Fingerprint with the arrival rate excluded: two
+// systems share an environment fingerprint exactly when they differ in at
+// most λ — the grouping under which a whole sweep can share one hoisted
+// BatchSolver. The version tag differs from Fingerprint's, so the two key
+// families can never collide.
+func (s System) EnvFingerprint() string {
+	return s.hashedPayload("env1|N=", false)
+}
+
+func (s System) hashedPayload(tag string, withLambda bool) string {
 	var sb strings.Builder
-	sb.WriteString("v1|N=")
+	sb.WriteString(tag)
 	sb.WriteString(strconv.Itoa(s.Servers))
-	sb.WriteString("|l=")
-	sb.WriteString(strconv.FormatFloat(s.ArrivalRate, 'x', -1, 64))
+	if withLambda {
+		sb.WriteString("|l=")
+		sb.WriteString(strconv.FormatFloat(s.ArrivalRate, 'x', -1, 64))
+	}
 	sb.WriteString("|m=")
 	sb.WriteString(strconv.FormatFloat(s.ServiceRate, 'x', -1, 64))
 	writeDist := func(tag string, weights, rates []float64) {

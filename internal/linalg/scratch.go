@@ -1,0 +1,745 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// This file is the allocation-free mirror of the package's solver kernels,
+// built for the batched sweep path (qbd.SweepSolver): every routine here
+// takes an Arena for its working memory and is written to perform the
+// *identical* floating-point operation sequence as its reference
+// counterpart in eigen.go / nullspace.go / lu.go — same pivot choices, same
+// association order, same special-case branches — so results are
+// bit-identical on platforms without automatic FMA contraction (amd64).
+// The speed comes from memory reuse, direct Data indexing instead of
+// At/Set, skipping defensive clones/transposes the caller does not need,
+// and cheaper pivot searches that are proven to select the same pivots.
+// scratch_test.go enforces both properties: exact agreement with the
+// reference kernels and zero allocations after warmup.
+
+// Arena is a grow-only typed scratch allocator. Handouts are slices of a
+// few large backing arrays; Reset recycles everything at once, so a solver
+// that allocates all working state from one Arena reaches a steady state
+// with zero allocations per solve. Slices handed out before an internal
+// regrowth remain valid (they keep the old backing array); only slices
+// obtained after the last Reset may be used. An Arena must not be shared
+// between goroutines.
+type Arena struct {
+	f64   []float64
+	f64n  int
+	c128  []complex128
+	c128n int
+	ints  []int
+	intn  int
+	mats  []*Matrix
+	matn  int
+	cmats []*CMatrix
+	cmatn int
+}
+
+// Reset recycles every outstanding handout. Slices and matrices obtained
+// before the call must no longer be used.
+func (a *Arena) Reset() {
+	a.f64n, a.c128n, a.intn, a.matn, a.cmatn = 0, 0, 0, 0, 0
+}
+
+func (a *Arena) f64Raw(n int) []float64 {
+	if a.f64n+n > len(a.f64) {
+		size := 2 * len(a.f64)
+		if size < a.f64n+n {
+			size = a.f64n + n
+		}
+		if size < 256 {
+			size = 256
+		}
+		a.f64 = make([]float64, size)
+		a.f64n = 0
+	}
+	s := a.f64[a.f64n : a.f64n+n : a.f64n+n]
+	a.f64n += n
+	return s
+}
+
+func (a *Arena) c128Raw(n int) []complex128 {
+	if a.c128n+n > len(a.c128) {
+		size := 2 * len(a.c128)
+		if size < a.c128n+n {
+			size = a.c128n + n
+		}
+		if size < 128 {
+			size = 128
+		}
+		a.c128 = make([]complex128, size)
+		a.c128n = 0
+	}
+	s := a.c128[a.c128n : a.c128n+n : a.c128n+n]
+	a.c128n += n
+	return s
+}
+
+// F64 returns a zeroed scratch slice of n float64s.
+func (a *Arena) F64(n int) []float64 {
+	s := a.f64Raw(n)
+	clear(s)
+	return s
+}
+
+// C128 returns a zeroed scratch slice of n complex128s.
+func (a *Arena) C128(n int) []complex128 {
+	s := a.c128Raw(n)
+	clear(s)
+	return s
+}
+
+// Ints returns a zeroed scratch slice of n ints.
+func (a *Arena) Ints(n int) []int {
+	if a.intn+n > len(a.ints) {
+		size := 2 * len(a.ints)
+		if size < a.intn+n {
+			size = a.intn + n
+		}
+		if size < 64 {
+			size = 64
+		}
+		a.ints = make([]int, size)
+		a.intn = 0
+	}
+	s := a.ints[a.intn : a.intn+n : a.intn+n]
+	a.intn += n
+	clear(s)
+	return s
+}
+
+// Mat returns a zeroed r×c scratch matrix.
+func (a *Arena) Mat(r, c int) *Matrix {
+	m := a.MatUninit(r, c)
+	clear(m.Data)
+	return m
+}
+
+// MatUninit returns an r×c scratch matrix with unspecified contents; the
+// caller must write every entry before reading any. It exists so that
+// copy/overwrite targets skip the memclr pass of Mat.
+func (a *Arena) MatUninit(r, c int) *Matrix {
+	var m *Matrix
+	if a.matn < len(a.mats) {
+		m = a.mats[a.matn]
+	} else {
+		m = new(Matrix)
+		a.mats = append(a.mats, m)
+	}
+	a.matn++
+	m.Rows, m.Cols = r, c
+	m.Data = a.f64Raw(r * c)
+	return m
+}
+
+// CMat returns a zeroed r×c complex scratch matrix.
+func (a *Arena) CMat(r, c int) *CMatrix {
+	m := a.CMatUninit(r, c)
+	clear(m.Data)
+	return m
+}
+
+// CMatUninit is MatUninit for complex matrices.
+func (a *Arena) CMatUninit(r, c int) *CMatrix {
+	var m *CMatrix
+	if a.cmatn < len(a.cmats) {
+		m = a.cmats[a.cmatn]
+	} else {
+		m = new(CMatrix)
+		a.cmats = append(a.cmats, m)
+	}
+	a.cmatn++
+	m.Rows, m.Cols = r, c
+	m.Data = a.c128Raw(r * c)
+	return m
+}
+
+// EigenvaluesScratch is Eigenvalues with caller-owned memory: a is reduced
+// in place (its contents are destroyed) and the result slice comes from the
+// arena. The balance / Hessenberg / QR passes perform the same operation
+// sequence as the reference implementation, so the eigenvalues are
+// bit-identical to Eigenvalues(a).
+func EigenvaluesScratch(a *Matrix, ar *Arena) ([]complex128, error) {
+	a.square()
+	n := a.Rows
+	if n == 0 {
+		return nil, nil
+	}
+	balance(a)
+	hessenbergScratch(a, ar.f64Raw(n))
+	return hqrScratch(a, ar)
+}
+
+// hessenbergScratch is hessenberg with the ort buffer supplied by the
+// caller and direct Data indexing; the loop structure and therefore the
+// float operation order is identical.
+func hessenbergScratch(a *Matrix, ort []float64) {
+	n := a.Rows
+	if n < 3 {
+		return
+	}
+	d := a.Data
+	for m := 1; m < n-1; m++ {
+		var scale float64
+		for i := m; i < n; i++ {
+			scale += math.Abs(d[i*n+m-1])
+		}
+		if scale == 0 {
+			continue
+		}
+		var h float64
+		for i := n - 1; i >= m; i-- {
+			ort[i] = d[i*n+m-1] / scale
+			h += ort[i] * ort[i]
+		}
+		g := math.Sqrt(h)
+		if ort[m] > 0 {
+			g = -g
+		}
+		h -= ort[m] * g
+		ort[m] -= g
+		for j := m; j < n; j++ {
+			var f float64
+			for i := n - 1; i >= m; i-- {
+				f += ort[i] * d[i*n+j]
+			}
+			f /= h
+			for i := m; i < n; i++ {
+				d[i*n+j] -= f * ort[i]
+			}
+		}
+		for i := 0; i < n; i++ {
+			var f float64
+			for j := n - 1; j >= m; j-- {
+				f += ort[j] * d[i*n+j]
+			}
+			f /= h
+			for j := m; j < n; j++ {
+				d[i*n+j] -= f * ort[j]
+			}
+		}
+		d[m*n+m-1] = scale * g
+		for i := m + 1; i < n; i++ {
+			d[i*n+m-1] = 0
+		}
+	}
+}
+
+// hqrScratch is hqr with the eigenvalue slice drawn from the arena and the
+// h/hset closures replaced by direct Data indexing; every arithmetic step
+// matches the reference routine.
+func hqrScratch(hm *Matrix, ar *Arena) ([]complex128, error) {
+	nn := hm.Rows
+	d := hm.Data
+
+	eps := math.Nextafter(1, 2) - 1
+	low, high := 0, nn-1
+	var exshift, p, q, r, s, z, w, x, y float64
+
+	var norm float64
+	for i := 0; i < nn; i++ {
+		for j := max(i-1, 0); j < nn; j++ {
+			norm += math.Abs(d[i*nn+j])
+		}
+	}
+	if norm == 0 {
+		return ar.C128(nn), nil
+	}
+
+	eig := ar.c128Raw(nn)[:0]
+	n := high
+	iter := 0
+	totalIter := 0
+	maxTotal := 60 * nn
+	for n >= low {
+		if totalIter++; totalIter > maxTotal {
+			return nil, ErrNoConvergence
+		}
+		// Look for a single small subdiagonal element.
+		l := n
+		for l > low {
+			s = math.Abs(d[(l-1)*nn+l-1]) + math.Abs(d[l*nn+l])
+			if s == 0 {
+				s = norm
+			}
+			if math.Abs(d[l*nn+l-1]) < eps*s {
+				break
+			}
+			l--
+		}
+		switch {
+		case l == n:
+			// One root found.
+			eig = append(eig, complex(d[n*nn+n]+exshift, 0))
+			n--
+			iter = 0
+		case l == n-1:
+			// Two roots found.
+			w = d[n*nn+n-1] * d[(n-1)*nn+n]
+			p = (d[(n-1)*nn+n-1] - d[n*nn+n]) / 2
+			q = p*p + w
+			z = math.Sqrt(math.Abs(q))
+			x = d[n*nn+n] + exshift
+			if q >= 0 {
+				// Real pair.
+				if p >= 0 {
+					z = p + z
+				} else {
+					z = p - z
+				}
+				e1 := x + z
+				e2 := e1
+				if z != 0 {
+					e2 = x - w/z
+				}
+				eig = append(eig, complex(e1, 0), complex(e2, 0))
+			} else {
+				// Complex conjugate pair.
+				eig = append(eig, complex(x+p, z), complex(x+p, -z))
+			}
+			n -= 2
+			iter = 0
+		default:
+			// No convergence yet: form a shift.
+			x = d[n*nn+n]
+			y = d[(n-1)*nn+n-1]
+			w = d[n*nn+n-1] * d[(n-1)*nn+n]
+			if iter == 10 || iter == 20 {
+				// Exceptional shift.
+				exshift += x
+				for i := low; i <= n; i++ {
+					d[i*nn+i] -= x
+				}
+				s = math.Abs(d[n*nn+n-1]) + math.Abs(d[(n-1)*nn+n-2])
+				x = 0.75 * s
+				y = x
+				w = -0.4375 * s * s
+			}
+			iter++
+
+			// Look for two consecutive small subdiagonal elements.
+			m := n - 2
+			for m >= l {
+				z = d[m*nn+m]
+				r = x - z
+				s = y - z
+				p = (r*s-w)/d[(m+1)*nn+m] + d[m*nn+m+1]
+				q = d[(m+1)*nn+m+1] - z - r - s
+				r = d[(m+2)*nn+m+1]
+				s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				if math.Abs(d[m*nn+m-1])*(math.Abs(q)+math.Abs(r)) <
+					eps*(math.Abs(p)*(math.Abs(d[(m-1)*nn+m-1])+math.Abs(z)+math.Abs(d[(m+1)*nn+m+1]))) {
+					break
+				}
+				m--
+			}
+			for i := m + 2; i <= n; i++ {
+				d[i*nn+i-2] = 0
+				if i > m+2 {
+					d[i*nn+i-3] = 0
+				}
+			}
+
+			// Double QR step on rows l..n and columns m..n.
+			for k := m; k <= n-1; k++ {
+				notlast := k != n-1
+				if k != m {
+					p = d[k*nn+k-1]
+					q = d[(k+1)*nn+k-1]
+					r = 0
+					if notlast {
+						r = d[(k+2)*nn+k-1]
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x == 0 {
+						continue
+					}
+					p /= x
+					q /= x
+					r /= x
+				}
+				s = math.Sqrt(p*p + q*q + r*r)
+				if p < 0 {
+					s = -s
+				}
+				if s == 0 {
+					continue
+				}
+				if k != m {
+					d[k*nn+k-1] = -s * x
+				} else if l != m {
+					d[k*nn+k-1] = -d[k*nn+k-1]
+				}
+				p += s
+				x = p / s
+				y = q / s
+				z = r / s
+				q /= p
+				r /= p
+
+				// Row modification.
+				for j := k; j < nn; j++ {
+					p = d[k*nn+j] + q*d[(k+1)*nn+j]
+					if notlast {
+						p += r * d[(k+2)*nn+j]
+						d[(k+2)*nn+j] -= p * z
+					}
+					d[(k+1)*nn+j] -= p * y
+					d[k*nn+j] -= p * x
+				}
+				// Column modification.
+				iMax := min(n, k+3)
+				for i := 0; i <= iMax; i++ {
+					p = x*d[i*nn+k] + y*d[i*nn+k+1]
+					if notlast {
+						p += z * d[i*nn+k+2]
+						d[i*nn+k+2] -= p * r
+					}
+					d[i*nn+k+1] -= p * q
+					d[i*nn+k] -= p
+				}
+			}
+		}
+	}
+	return eig, nil
+}
+
+// ForcedNullVectorScratch is ForcedNullVector with caller-owned memory:
+// the matrix is eliminated in place (destroyed) and the returned vector
+// lives in the arena. The elimination is the reference algorithm with one
+// structural change — the full-pivot search reuses per-row maxima tracked
+// during the previous step's row updates instead of rescanning the
+// trailing submatrix — which provably selects the same pivot sequence (see
+// the argument at nullVectorScratch), so results are bit-identical.
+func ForcedNullVectorScratch(a *Matrix, rtol float64, ar *Arena) ([]float64, error) {
+	return nullVectorScratch(a, rtol, ar)
+}
+
+// nullVectorScratch mirrors nullVector(a, rtol, force=true) without
+// cloning a.
+//
+// Pivot-equivalence argument: the reference search scans the trailing
+// submatrix in row-major order keeping the first strictly-larger entry, so
+// it selects the lexicographically-first position attaining the global
+// maximum modulus. Here rmax[i]/rarg[i] cache each row's maximum and its
+// first attaining column over the active columns; the pivot scan takes the
+// first row attaining the global maximum and that row's first attaining
+// column — the same position. The caches are maintained exactly: rows
+// rewritten by the elimination step recompute their maximum in the same
+// left-to-right order during the update pass; untouched rows (zero
+// multiplier) keep a valid cache because the departing pivot column holds
+// a zero for them, except when the cached argmax sat on a column moved by
+// the pivot column swap, in which case the row is rescanned.
+func nullVectorScratch(a *Matrix, rtol float64, ar *Arena) ([]float64, error) {
+	if rtol <= 0 {
+		rtol = 1e-10
+	}
+	a.square()
+	n := a.Rows
+	w := a
+	d := w.Data
+	colPerm := ar.Ints(n)
+	for i := range colPerm {
+		colPerm[i] = i
+	}
+	rmax := ar.f64Raw(n)
+	rarg := ar.Ints(n)
+	// Seed the row maxima over all columns (the k = 0 search state).
+	for i := 0; i < n; i++ {
+		row := d[i*n : i*n+n]
+		nm, narg := 0.0, 0
+		for j, v := range row {
+			if av := math.Abs(v); av > nm {
+				nm, narg = av, j
+			}
+		}
+		rmax[i], rarg[i] = nm, narg
+	}
+	var maxPivot float64
+	rank := 0
+	for k := 0; k < n; k++ {
+		// Full pivot over the trailing submatrix, from the cached row maxima.
+		pi, pj, mx := k, k, 0.0
+		for i := k; i < n; i++ {
+			if rmax[i] > mx {
+				mx, pi, pj = rmax[i], i, rarg[i]
+			}
+		}
+		if k == 0 {
+			maxPivot = mx
+			if maxPivot == 0 {
+				// Zero matrix: any unit vector is a null vector.
+				x := ar.F64(n)
+				x[0] = 1
+				return x, nil
+			}
+		}
+		if mx <= rtol*maxPivot {
+			break // numerical rank reached
+		}
+		rank++
+		swapRows(w, k, pi)
+		rmax[k], rmax[pi] = rmax[pi], rmax[k]
+		rarg[k], rarg[pi] = rarg[pi], rarg[k]
+		swapCols(w, k, pj)
+		colPerm[k], colPerm[pj] = colPerm[pj], colPerm[k]
+		pivot := d[k*n+k]
+		prow := d[k*n : k*n+n]
+		for i := k + 1; i < n; i++ {
+			irow := d[i*n : i*n+n]
+			m := irow[k] / pivot
+			if m == 0 {
+				// Row untouched; its cache stays valid unless the argmax sat
+				// on one of the two swapped columns.
+				if g := rarg[i]; g == k || g == pj {
+					nm, narg := 0.0, 0
+					for j := k + 1; j < n; j++ {
+						if av := math.Abs(irow[j]); av > nm {
+							nm, narg = av, j
+						}
+					}
+					rmax[i], rarg[i] = nm, narg
+				}
+				continue
+			}
+			irow[k] = 0
+			nm, narg := 0.0, 0
+			for j := k + 1; j < n; j++ {
+				irow[j] -= m * prow[j]
+				if av := math.Abs(irow[j]); av > nm {
+					nm, narg = av, j
+				}
+			}
+			rmax[i], rarg[i] = nm, narg
+		}
+	}
+	if rank == n {
+		rank = n - 1 // forced: treat the smallest pivot as zero
+	}
+	// Back-substitute with the first free variable set to 1, the rest to 0.
+	y := ar.F64(n)
+	y[rank] = 1
+	for i := rank - 1; i >= 0; i-- {
+		var s float64
+		row := d[i*n : i*n+n]
+		for j := i + 1; j <= rank; j++ {
+			s += row[j] * y[j]
+		}
+		y[i] = -s / row[i]
+	}
+	x := ar.f64Raw(n)
+	for k := 0; k < n; k++ {
+		x[colPerm[k]] = y[k]
+	}
+	normalizeInf(x)
+	return x, nil
+}
+
+// CForcedNullVectorScratch is the complex analogue of
+// ForcedNullVectorScratch: CForcedNullVector semantics, matrix destroyed
+// in place, result in the arena, bit-identical output.
+func CForcedNullVectorScratch(a *CMatrix, rtol float64, ar *Arena) ([]complex128, error) {
+	if rtol <= 0 {
+		rtol = 1e-10
+	}
+	a.square()
+	n := a.Rows
+	w := a
+	d := w.Data
+	colPerm := ar.Ints(n)
+	for i := range colPerm {
+		colPerm[i] = i
+	}
+	rmax := ar.f64Raw(n)
+	rarg := ar.Ints(n)
+	for i := 0; i < n; i++ {
+		row := d[i*n : i*n+n]
+		nm, narg := 0.0, 0
+		for j, v := range row {
+			if av := cAbsIfAbove(v, nm); av > nm {
+				nm, narg = av, j
+			}
+		}
+		rmax[i], rarg[i] = nm, narg
+	}
+	var maxPivot float64
+	rank := 0
+	for k := 0; k < n; k++ {
+		pi, pj, mx := k, k, 0.0
+		for i := k; i < n; i++ {
+			if rmax[i] > mx {
+				mx, pi, pj = rmax[i], i, rarg[i]
+			}
+		}
+		if k == 0 {
+			maxPivot = mx
+			if maxPivot == 0 {
+				x := ar.C128(n)
+				x[0] = 1
+				return x, nil
+			}
+		}
+		if mx <= rtol*maxPivot {
+			break
+		}
+		rank++
+		cswapRows(w, k, pi)
+		rmax[k], rmax[pi] = rmax[pi], rmax[k]
+		rarg[k], rarg[pi] = rarg[pi], rarg[k]
+		cswapCols(w, k, pj)
+		colPerm[k], colPerm[pj] = colPerm[pj], colPerm[k]
+		pivot := d[k*n+k]
+		prow := d[k*n : k*n+n]
+		for i := k + 1; i < n; i++ {
+			irow := d[i*n : i*n+n]
+			m := irow[k] / pivot
+			if m == 0 {
+				if g := rarg[i]; g == k || g == pj {
+					nm, narg := 0.0, 0
+					for j := k + 1; j < n; j++ {
+						if av := cAbsIfAbove(irow[j], nm); av > nm {
+							nm, narg = av, j
+						}
+					}
+					rmax[i], rarg[i] = nm, narg
+				}
+				continue
+			}
+			irow[k] = 0
+			nm, narg := 0.0, 0
+			for j := k + 1; j < n; j++ {
+				irow[j] -= m * prow[j]
+				if av := cAbsIfAbove(irow[j], nm); av > nm {
+					nm, narg = av, j
+				}
+			}
+			rmax[i], rarg[i] = nm, narg
+		}
+	}
+	if rank == n {
+		rank = n - 1
+	}
+	y := ar.C128(n)
+	y[rank] = 1
+	for i := rank - 1; i >= 0; i-- {
+		var s complex128
+		row := d[i*n : i*n+n]
+		for j := i + 1; j <= rank; j++ {
+			s += row[j] * y[j]
+		}
+		y[i] = -s / row[i]
+	}
+	x := ar.c128Raw(n)
+	for k := 0; k < n; k++ {
+		x[colPerm[k]] = y[k]
+	}
+	cnormalizeInf(x)
+	return x, nil
+}
+
+// cAbsIfAbove returns cmplx.Abs(v), skipping the Hypot when v provably
+// cannot exceed the threshold t: |re|+|im| overestimates the true modulus
+// and the rounded sum underestimates it by at most a few ulps, so when the
+// sum is below t·(1−1e−15) the rounded Hypot is strictly below t and the
+// strict > comparison against t cannot select v. Returning 0 in that case
+// leaves the caller's running maximum unchanged — exactly as the reference
+// search, which would have computed the modulus and rejected it.
+func cAbsIfAbove(v complex128, t float64) float64 {
+	if math.Abs(real(v))+math.Abs(imag(v)) <= t*(1-1e-15) {
+		return 0
+	}
+	return cmplx.Abs(v)
+}
+
+// InverseScratch is Inverse with caller-owned memory: a is factored in
+// place (destroyed) and the result lives in the arena. Factorisation,
+// permuted identity columns and the two substitution sweeps replay
+// FactorLU + SolveMatrix(Identity) operation-for-operation, so the inverse
+// is bit-identical and the same ErrSingular is reported.
+func InverseScratch(a *Matrix, ar *Arena) (*Matrix, error) {
+	a.square()
+	n := a.Rows
+	lu := a.Data
+	piv := ar.Ints(n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Find the pivot row.
+		p := k
+		mx := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > mx {
+				mx, p = a, i
+			}
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[p*n+j], lu[k*n+j] = lu[k*n+j], lu[p*n+j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+		}
+		pivot := lu[k*n+k]
+		if pivot == 0 {
+			continue // singular; detected below
+		}
+		prow := lu[k*n : k*n+n]
+		for i := k + 1; i < n; i++ {
+			irow := lu[i*n : i*n+n]
+			m := irow[k] / pivot
+			irow[k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				irow[j] -= m * prow[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if lu[i*n+i] == 0 {
+			return nil, ErrSingular
+		}
+	}
+	out := ar.MatUninit(n, n)
+	x := ar.f64Raw(n)
+	for col := 0; col < n; col++ {
+		// x = P·e_col, then L·U·x = e_col by the two substitutions.
+		for i := 0; i < n; i++ {
+			if piv[i] == col {
+				x[i] = 1
+			} else {
+				x[i] = 0
+			}
+		}
+		for i := 1; i < n; i++ {
+			var s float64
+			row := lu[i*n : i*n+i]
+			for j, l := range row {
+				s += l * x[j]
+			}
+			x[i] -= s
+		}
+		for i := n - 1; i >= 0; i-- {
+			var s float64
+			row := lu[i*n : i*n+n]
+			for j := i + 1; j < n; j++ {
+				s += row[j] * x[j]
+			}
+			x[i] = (x[i] - s) / row[i]
+		}
+		for i := 0; i < n; i++ {
+			out.Data[i*n+col] = x[i]
+		}
+	}
+	return out, nil
+}

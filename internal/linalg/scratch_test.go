@@ -1,0 +1,210 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// The scratch kernels promise bit-identical results to their reference
+// counterparts (on amd64, where the compiler does not contract
+// multiply-adds into FMAs; elsewhere both sides carry the same expression
+// shapes, so agreement is still expected but asserted with a tolerance).
+
+const exactArch = "amd64"
+
+func requireSameF64(t *testing.T, what string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", what, len(want), len(got))
+	}
+	for i := range want {
+		if runtime.GOARCH == exactArch {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("%s[%d]: %v (%x) != %v (%x)", what, i,
+					want[i], math.Float64bits(want[i]), got[i], math.Float64bits(got[i]))
+			}
+			continue
+		}
+		if diff := math.Abs(want[i] - got[i]); diff > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("%s[%d]: %v != %v", what, i, want[i], got[i])
+		}
+	}
+}
+
+func requireSameC128(t *testing.T, what string, want, got []complex128) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", what, len(want), len(got))
+	}
+	for i := range want {
+		if runtime.GOARCH == exactArch {
+			if math.Float64bits(real(want[i])) != math.Float64bits(real(got[i])) ||
+				math.Float64bits(imag(want[i])) != math.Float64bits(imag(got[i])) {
+				t.Fatalf("%s[%d]: %v != %v", what, i, want[i], got[i])
+			}
+			continue
+		}
+		if diff := cmplx.Abs(want[i] - got[i]); diff > 1e-12*(1+cmplx.Abs(want[i])) {
+			t.Fatalf("%s[%d]: %v != %v", what, i, want[i], got[i])
+		}
+	}
+}
+
+// randomTestMatrix mixes smooth random matrices with tie-heavy small-integer
+// matrices; the latter hit the degenerate pivot paths (equal maxima, zero
+// multipliers, repeated entries) where a cheaper pivot search could
+// plausibly diverge from the reference scan order.
+func randomTestMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	if rng.Intn(2) == 0 {
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+	} else {
+		for i := range m.Data {
+			m.Data[i] = float64(rng.Intn(5) - 2)
+		}
+	}
+	return m
+}
+
+func TestEigenvaluesScratchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ar Arena
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		m := randomTestMatrix(rng, n)
+		want, wantErr := Eigenvalues(m)
+		ar.Reset()
+		got, gotErr := EigenvaluesScratch(m.Clone(), &ar)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		requireSameC128(t, "eigenvalues", want, got)
+	}
+}
+
+func TestForcedNullVectorScratchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var ar Arena
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(10)
+		m := randomTestMatrix(rng, n)
+		if rng.Intn(2) == 0 && n > 1 {
+			// Force genuine rank deficiency: overwrite a row with a copy.
+			src, dst := rng.Intn(n), rng.Intn(n)
+			copy(m.Data[dst*n:(dst+1)*n], m.Data[src*n:(src+1)*n])
+		}
+		want, wantErr := ForcedNullVector(m, 0)
+		ar.Reset()
+		got, gotErr := ForcedNullVectorScratch(m.Clone(), 0, &ar)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		requireSameF64(t, "null vector", want, got)
+	}
+}
+
+func TestCForcedNullVectorScratchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var ar Arena
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(8)
+		m := NewCMatrix(n, n)
+		if rng.Intn(2) == 0 {
+			for i := range m.Data {
+				m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+		} else {
+			for i := range m.Data {
+				m.Data[i] = complex(float64(rng.Intn(3)-1), float64(rng.Intn(3)-1))
+			}
+		}
+		if rng.Intn(2) == 0 && n > 1 {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			copy(m.Data[dst*n:(dst+1)*n], m.Data[src*n:(src+1)*n])
+		}
+		want, wantErr := CForcedNullVector(m, 0)
+		ar.Reset()
+		got, gotErr := CForcedNullVectorScratch(m.Clone(), 0, &ar)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		requireSameC128(t, "null vector", want, got)
+	}
+}
+
+func TestInverseScratchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var ar Arena
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		m := randomTestMatrix(rng, n)
+		want, wantErr := Inverse(m)
+		ar.Reset()
+		got, gotErr := InverseScratch(m.Clone(), &ar)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if !errors.Is(gotErr, ErrSingular) {
+				t.Fatalf("trial %d: want ErrSingular, got %v", trial, gotErr)
+			}
+			continue
+		}
+		requireSameF64(t, "inverse", want.Data, got.Data)
+	}
+}
+
+func TestInverseScratchSingular(t *testing.T) {
+	var ar Arena
+	m := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := InverseScratch(m, &ar); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+// TestScratchKernelsAllocationFree pins the arena contract: once the arena
+// has grown to its high-water mark, repeated solves allocate nothing.
+func TestScratchKernelsAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 12
+	src := randomTestMatrix(rng, n)
+	for i := 0; i < n; i++ {
+		src.Data[i*n+i] += float64(n) // diagonally dominant: invertible
+	}
+	var ar Arena
+	work := NewMatrix(n, n)
+	run := func() {
+		ar.Reset()
+		copy(work.Data, src.Data)
+		if _, err := EigenvaluesScratch(work, &ar); err != nil {
+			t.Fatal(err)
+		}
+		copy(work.Data, src.Data)
+		if _, err := ForcedNullVectorScratch(work, 0, &ar); err != nil {
+			t.Fatal(err)
+		}
+		copy(work.Data, src.Data)
+		if _, err := InverseScratch(work, &ar); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the arena to its high-water mark
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Fatalf("scratch kernels allocated %v times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,318 @@
+package qbd
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The batched sweep path promises bit-identical results to per-point
+// SolveSpectral on amd64; on architectures whose compilers contract
+// multiply-adds into FMAs the two sides may round differently, so the
+// assertions fall back to a 1e-12 relative tolerance there (documented in
+// ARCHITECTURE.md).
+
+const exactArch = "amd64"
+
+func sameFloat(a, b float64) bool {
+	if runtime.GOARCH == exactArch {
+		return math.Float64bits(a) == math.Float64bits(b)
+	}
+	return math.Abs(a-b) <= 1e-12*(1+math.Abs(a))
+}
+
+func sameComplex(a, b complex128) bool {
+	return sameFloat(real(a), real(b)) && sameFloat(imag(a), imag(b))
+}
+
+func requireSameFloats(t *testing.T, what string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", what, len(want), len(got))
+	}
+	for i := range want {
+		if !sameFloat(want[i], got[i]) {
+			t.Fatalf("%s[%d]: %v (%x) vs %v (%x)", what, i,
+				want[i], math.Float64bits(want[i]), got[i], math.Float64bits(got[i]))
+		}
+	}
+}
+
+// requireSolutionsIdentical compares the full internal state and the
+// derived metrics of two spectral solutions.
+func requireSolutionsIdentical(t *testing.T, want, got *SpectralSolution) {
+	t.Helper()
+	if want.n != got.n || want.s != got.s {
+		t.Fatalf("shape: N=%d,s=%d vs N=%d,s=%d", want.n, want.s, got.n, got.s)
+	}
+	for j := range want.boundary {
+		requireSameFloats(t, "boundary level", want.boundary[j], got.boundary[j])
+	}
+	if len(want.terms) != len(got.terms) {
+		t.Fatalf("terms: %d vs %d", len(want.terms), len(got.terms))
+	}
+	for k := range want.terms {
+		wt, gt := want.terms[k], got.terms[k]
+		if !sameComplex(wt.z, gt.z) {
+			t.Fatalf("term %d z: %v vs %v", k, wt.z, gt.z)
+		}
+		if !sameComplex(wt.gamma, gt.gamma) {
+			t.Fatalf("term %d gamma: %v vs %v", k, wt.gamma, gt.gamma)
+		}
+		for i := range wt.u {
+			if !sameComplex(wt.u[i], gt.u[i]) {
+				t.Fatalf("term %d u[%d]: %v vs %v", k, i, wt.u[i], gt.u[i])
+			}
+		}
+	}
+	if !sameFloat(want.MeanQueue(), got.MeanQueue()) {
+		t.Fatalf("MeanQueue: %v vs %v", want.MeanQueue(), got.MeanQueue())
+	}
+	if !sameFloat(want.TailDecay(), got.TailDecay()) {
+		t.Fatalf("TailDecay: %v vs %v", want.TailDecay(), got.TailDecay())
+	}
+	if !sameFloat(want.TotalProbability(), got.TotalProbability()) {
+		t.Fatalf("TotalProbability: %v vs %v", want.TotalProbability(), got.TotalProbability())
+	}
+	requireSameFloats(t, "ModeMarginals", want.ModeMarginals(), got.ModeMarginals())
+	for j := 0; j <= want.n+8; j++ {
+		if !sameFloat(want.LevelProb(j), got.LevelProb(j)) {
+			t.Fatalf("LevelProb(%d): %v vs %v", j, want.LevelProb(j), got.LevelProb(j))
+		}
+		if !sameFloat(want.TailProb(j), got.TailProb(j)) {
+			t.Fatalf("TailProb(%d): %v vs %v", j, want.TailProb(j), got.TailProb(j))
+		}
+		requireSameFloats(t, "Level", want.Level(j), got.Level(j))
+	}
+}
+
+func sweepGrid(low, high float64, g int) []float64 {
+	out := make([]float64, g)
+	for i := range out {
+		out[i] = low + (high-low)*float64(i)/float64(g)
+	}
+	return out
+}
+
+// TestSweepSolverMatchesSolveSpectral drives one worker across a λ-grid
+// with a single reused solution value and checks every point against the
+// scalar path — the core equivalence property, including workspace reuse.
+func TestSweepSolverMatchesSolveSpectral(t *testing.T) {
+	p := paramsFor(t, 4, 1, 1, paperOps, paperRepair)
+	load1, err := Params{Lambda: 1, A: p.A, ServiceDiag: p.ServiceDiag}.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewSweepSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sv.NewWorker()
+	var sol SpectralSolution
+	for _, lambda := range sweepGrid(0.1/load1, 0.95/load1, 24) {
+		p.Lambda = lambda
+		want, wantErr := SolveSpectral(p)
+		gotErr := w.SolveInto(lambda, &sol)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("λ=%v: error mismatch: scalar %v, batch %v", lambda, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		requireSolutionsIdentical(t, want, &sol)
+	}
+}
+
+// TestSweepSolverPooledSolveMatches exercises the pooled Solve entry point
+// and checks the returned solutions are caller-owned (still correct after
+// later points were solved on the same pool).
+func TestSweepSolverPooledSolveMatches(t *testing.T) {
+	p := paramsFor(t, 3, 1, 1, paperOps, paperRepair)
+	sv, err := NewSweepSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdas := sweepGrid(0.5, 2.2, 8)
+	sols := make([]*SpectralSolution, len(lambdas))
+	for i, l := range lambdas {
+		if sols[i], err = sv.Solve(l); err != nil {
+			t.Fatalf("λ=%v: %v", l, err)
+		}
+	}
+	for i, l := range lambdas {
+		p.Lambda = l
+		want, err := SolveSpectral(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSolutionsIdentical(t, want, sols[i])
+	}
+}
+
+// TestSweepSolverMidGridErrors is the regression test for mid-sweep
+// failures: invalid and unstable rates inside the grid must return the
+// scalar path's exact errors without poisoning the shared batch state —
+// points solved after the failure stay bit-identical to the scalar path.
+func TestSweepSolverMidGridErrors(t *testing.T) {
+	p := paramsFor(t, 3, 1, 1, paperOps, paperRepair)
+	sv, err := NewSweepSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sv.NewWorker()
+	var sol SpectralSolution
+
+	// Warm the workspace with a good point.
+	if err := w.SolveInto(1.0, &sol); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unstable rate mid-grid: same error as the scalar path.
+	p.Lambda = 1e6
+	_, wantErr := SolveSpectral(p)
+	gotErr := w.SolveInto(1e6, &sol)
+	if wantErr == nil || gotErr == nil {
+		t.Fatalf("expected unstable errors, got scalar %v, batch %v", wantErr, gotErr)
+	}
+	if !errors.Is(gotErr, ErrUnstable) {
+		t.Fatalf("batch error %v is not ErrUnstable", gotErr)
+	}
+	if wantErr.Error() != gotErr.Error() {
+		t.Fatalf("error text differs:\n  scalar: %v\n  batch:  %v", wantErr, gotErr)
+	}
+
+	// Invalid rate mid-grid: same error text as scalar validation.
+	p.Lambda = -2
+	wantErr = p.Validate()
+	gotErr = w.SolveInto(-2, &sol)
+	if gotErr == nil || wantErr == nil || !strings.Contains(gotErr.Error(), wantErr.Error()) {
+		t.Fatalf("λ<0 error mismatch: scalar %v, batch %v", wantErr, gotErr)
+	}
+
+	// The shared state survives: the next point is still bit-identical.
+	p.Lambda = 1.3
+	want, err := SolveSpectral(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SolveInto(1.3, &sol); err != nil {
+		t.Fatal(err)
+	}
+	requireSolutionsIdentical(t, want, &sol)
+}
+
+// TestSweepSolverConcurrent hammers one shared SweepSolver from many
+// goroutines and verifies every result against precomputed scalar
+// references — pooled workspaces must never alias across concurrent
+// points. Run under -race in CI.
+func TestSweepSolverConcurrent(t *testing.T) {
+	p := paramsFor(t, 3, 1, 1, paperOps, paperRepair)
+	sv, err := NewSweepSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdas := sweepGrid(0.4, 2.4, 16)
+	want := make([]*SpectralSolution, len(lambdas))
+	for i, l := range lambdas {
+		p.Lambda = l
+		if want[i], err = SolveSpectral(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				for i := range lambdas {
+					idx := (i + g) % len(lambdas)
+					got, err := sv.Solve(lambdas[idx])
+					if err != nil {
+						errs <- err
+						return
+					}
+					w := want[idx]
+					// Canary: a torn or aliased workspace shows up as a
+					// mean-queue mismatch against the scalar reference.
+					if !sameFloat(w.MeanQueue(), got.MeanQueue()) ||
+						!sameFloat(w.TailDecay(), got.TailDecay()) {
+						errs <- errors.New("concurrent result diverged from scalar reference")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepWorkerSolveIntoAllocationFree enforces the tentpole invariant:
+// once a (worker, solution) pair is warm, a grid point costs zero heap
+// allocations, including reading the headline metric.
+func TestSweepWorkerSolveIntoAllocationFree(t *testing.T) {
+	p := paramsFor(t, 4, 1, 1, paperOps, paperRepair)
+	sv, err := NewSweepSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sv.NewWorker()
+	var sol SpectralSolution
+	lambdas := sweepGrid(0.6, 3.4, 8)
+	for _, l := range lambdas { // warm worker arena and solution storage
+		if err := w.SolveInto(l, &sol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	var sink float64
+	allocs := testing.AllocsPerRun(40, func() {
+		l := lambdas[i%len(lambdas)]
+		i++
+		if err := w.SolveInto(l, &sol); err != nil {
+			t.Fatal(err)
+		}
+		sink += sol.MeanQueue()
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveInto allocated %v times per point, want 0 (sink %v)", allocs, sink)
+	}
+}
+
+// TestSweepSolverEigenvaluesMatch spot-checks that the eigenvalue sets
+// agree exactly — the piece of the pipeline where a different sort or
+// selection rule would silently change everything downstream.
+func TestSweepSolverEigenvaluesMatch(t *testing.T) {
+	p := paramsFor(t, 5, 3.1, 1, paperOps, paperRepair)
+	want, err := SolveSpectral(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewSweepSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sv.Solve(3.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, ge := want.Eigenvalues(), got.Eigenvalues()
+	for i := range we {
+		if runtime.GOARCH == exactArch && we[i] != ge[i] {
+			t.Fatalf("eigenvalue %d: %v vs %v", i, we[i], ge[i])
+		}
+		if cmplx.Abs(we[i]-ge[i]) > 1e-12 {
+			t.Fatalf("eigenvalue %d: %v vs %v", i, we[i], ge[i])
+		}
+	}
+}

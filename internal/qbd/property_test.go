@@ -74,6 +74,105 @@ func TestCrossMethodAgreementProperty(t *testing.T) {
 	}
 }
 
+// randomStableParams draws a random unreliable-server environment (the
+// same family TestCrossMethodAgreementProperty uses) and scales λ to a
+// stable load in (0.2, 0.95). It reports ok=false when the draw is
+// degenerate rather than failing, so property tests can skip it.
+func randomStableParams(rng *rand.Rand) (p Params, ok bool) {
+	n := 1 + rng.Intn(4)
+	w := 0.2 + 0.6*rng.Float64()
+	r1 := math.Exp(rng.NormFloat64() - 1)
+	r2 := r1 * (3 + 20*rng.Float64())
+	op := dist.MustHyperExp([]float64{w, 1 - w}, []float64{r1, r2})
+	rep := dist.Exp(math.Exp(rng.NormFloat64() + 1))
+	env, err := markov.NewEnv(n, op, rep)
+	if err != nil {
+		return Params{}, false
+	}
+	mu := 0.5 + rng.Float64()
+	p = Params{Lambda: 1, A: env.AMatrix(), ServiceDiag: env.ServiceDiag(mu)}
+	load, err := p.Load()
+	if err != nil {
+		return Params{}, false
+	}
+	target := 0.2 + 0.75*rng.Float64()
+	p.Lambda = target / load
+	return p, true
+}
+
+// TestSweepSolverMetamorphicProperty is the batched path's metamorphic
+// suite: for fuzzed random stable environments and λ-grids around each
+// drawn rate, a SweepSolver evaluating the grid through one reused worker
+// must reproduce per-point SolveSpectral exactly — bit-identical on amd64,
+// within 1e-12 relative elsewhere — including level probabilities, queue
+// tails and mode marginals. Per-point errors (unstable grid points at the
+// high end) must appear on exactly the same points as the scalar path.
+func TestSweepSolverMetamorphicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, ok := randomStableParams(rng)
+		if !ok {
+			return true
+		}
+		sv, err := NewSweepSolver(p)
+		if err != nil {
+			t.Logf("seed %d: NewSweepSolver: %v", seed, err)
+			return false
+		}
+		w := sv.NewWorker()
+		var sol SpectralSolution
+		// Grid straddles the drawn rate; the top factor 1.3 can push some
+		// points past the stability threshold, exercising per-point errors.
+		for g := 0; g < 6; g++ {
+			lambda := p.Lambda * (0.4 + 0.9*float64(g)/5)
+			p2 := p
+			p2.Lambda = lambda
+			want, wantErr := SolveSpectral(p2)
+			gotErr := w.SolveInto(lambda, &sol)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Logf("seed %d λ=%v: scalar err %v, batch err %v", seed, lambda, wantErr, gotErr)
+				return false
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Logf("seed %d λ=%v: error text %q vs %q", seed, lambda, wantErr, gotErr)
+					return false
+				}
+				continue
+			}
+			if !sameFloat(want.MeanQueue(), sol.MeanQueue()) ||
+				!sameFloat(want.TailDecay(), sol.TailDecay()) ||
+				!sameFloat(want.TotalProbability(), sol.TotalProbability()) {
+				t.Logf("seed %d λ=%v: headline metrics diverge", seed, lambda)
+				return false
+			}
+			for j := 0; j <= 12; j++ {
+				if !sameFloat(want.LevelProb(j), sol.LevelProb(j)) {
+					t.Logf("seed %d λ=%v: LevelProb(%d) %v vs %v",
+						seed, lambda, j, want.LevelProb(j), sol.LevelProb(j))
+					return false
+				}
+				if !sameFloat(want.TailProb(j), sol.TailProb(j)) {
+					t.Logf("seed %d λ=%v: TailProb(%d) %v vs %v",
+						seed, lambda, j, want.TailProb(j), sol.TailProb(j))
+					return false
+				}
+			}
+			wm, gm := want.ModeMarginals(), sol.ModeMarginals()
+			for i := range wm {
+				if !sameFloat(wm[i], gm[i]) {
+					t.Logf("seed %d λ=%v: marginal %d %v vs %v", seed, lambda, i, wm[i], gm[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestLargeNNearPaperLimit exercises the solver at N = 20 (s = 231), the
 // region just below where the paper reports ill-conditioning warnings
 // (N ≳ 24), and checks the approximation against the exact answer.

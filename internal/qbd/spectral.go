@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"sort"
+	"slices"
 
 	"repro/internal/linalg"
 )
@@ -95,7 +95,7 @@ func unitDiskEigenvalues(p Params) ([]complex128, error) {
 	}
 	// The s eigenvalues z inside the unit disk correspond to the s largest
 	// |w| (all > 1); the next one down is the unit root w = 1.
-	sort.Slice(ws, func(i, j int) bool { return cmplx.Abs(ws[i]) > cmplx.Abs(ws[j]) })
+	sortModulusDesc(ws)
 	if len(ws) < s+1 {
 		return nil, fmt.Errorf("%w: companion produced %d eigenvalues", ErrEigenCount, len(ws))
 	}
@@ -116,8 +116,41 @@ func unitDiskEigenvalues(p Params) ([]complex128, error) {
 			zs[k] = complex(real(zs[k]), 0)
 		}
 	}
-	linalg.SortEigenvalues(zs)
+	sortModulusDesc(zs)
 	return zs, nil
+}
+
+// sortModulusDesc orders eigenvalues by descending modulus with the same
+// tie-break as linalg.SortEigenvalues (real part, then imaginary part,
+// both descending). Because the comparator is a total order on values,
+// the sorted sequence is unique — so the scalar and batched sweep paths,
+// which must produce bit-identical eigenvalue sets, can sort
+// independently and still agree even when moduli tie at the unit-disk
+// boundary. slices.SortFunc is also allocation-free, which the batched
+// path's zero-allocation invariant relies on.
+func sortModulusDesc(ws []complex128) {
+	slices.SortFunc(ws, func(a, b complex128) int {
+		aa, ab := cmplx.Abs(a), cmplx.Abs(b)
+		switch {
+		case aa > ab:
+			return -1
+		case aa < ab:
+			return 1
+		}
+		switch {
+		case real(a) > real(b):
+			return -1
+		case real(a) < real(b):
+			return 1
+		}
+		switch {
+		case imag(a) > imag(b):
+			return -1
+		case imag(a) < imag(b):
+			return 1
+		}
+		return 0
+	})
 }
 
 func countAbove(ws []complex128, r float64) int {

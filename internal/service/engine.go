@@ -135,6 +135,16 @@ func jobKey(j Job) string {
 // configurations evaluated concurrently share a single solver run; waiting
 // callers respect context cancellation.
 func (e *Engine) Evaluate(ctx context.Context, sys core.System, m core.Method) (*core.Performance, error) {
+	return e.evaluate(ctx, sys, m, nil)
+}
+
+// evaluate is Evaluate with a pluggable solver: when solve is non-nil it
+// replaces sys.SolveWith(m) as the cache-miss path. The substitute must
+// be result-equivalent to the scalar solver (the batched sweep path is,
+// bit for bit) — cache keys, in-flight sharing and counters are identical
+// either way, so callers joining an in-flight solve or hitting the cache
+// cannot tell which path produced the entry.
+func (e *Engine) evaluate(ctx context.Context, sys core.System, m core.Method, solve func(core.System) (*core.Performance, error)) (*core.Performance, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -176,7 +186,11 @@ func (e *Engine) Evaluate(ctx context.Context, sys core.System, m core.Method) (
 	select {
 	case e.sem <- struct{}{}:
 		e.solves.Add(1)
-		f.perf, f.err = sys.SolveWith(m)
+		if solve != nil {
+			f.perf, f.err = solve(sys)
+		} else {
+			f.perf, f.err = sys.SolveWith(m)
+		}
 		<-e.sem
 		if f.err != nil {
 			e.errs.Add(1)
@@ -209,6 +223,7 @@ func (e *Engine) EvaluateBatch(ctx context.Context, jobs []Job) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	batches := newSweepBatches(jobs)
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -216,7 +231,7 @@ func (e *Engine) EvaluateBatch(ctx context.Context, jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				perf, err := e.Evaluate(ctx, jobs[i].System, jobs[i].Method)
+				perf, err := e.evaluateJob(ctx, jobs[i], batches)
 				results[i] = Result{Index: i, Job: jobs[i], Perf: perf, Err: err}
 			}
 		}()
@@ -264,6 +279,7 @@ func (e *Engine) EvaluateStream(ctx context.Context, jobs []Job, emit func(Resul
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
+	batches := newSweepBatches(jobs)
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -271,7 +287,7 @@ func (e *Engine) EvaluateStream(ctx context.Context, jobs []Job, emit func(Resul
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				perf, err := e.Evaluate(ctx, jobs[i].System, jobs[i].Method)
+				perf, err := e.evaluateJob(ctx, jobs[i], batches)
 				results[i] = Result{Index: i, Job: jobs[i], Perf: perf, Err: err}
 				close(done[i])
 			}

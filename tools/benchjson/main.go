@@ -13,6 +13,13 @@
 //
 //	go run ./tools/benchjson -compare -old BENCH_sweep.json -new BENCH_sweep.new.json -threshold 0.30
 //
+// Compare mode can additionally gate allocation-freedom: every benchmark
+// in -new whose name matches -zeroalloc must report exactly 0 allocs/op,
+// and at least one benchmark must match (a typo'd pattern that matches
+// nothing would otherwise pass vacuously):
+//
+//	go run ./tools/benchjson -compare -old ... -new ... -zeroalloc BenchmarkSweepBatched
+//
 // Benchmark names are matched with the trailing GOMAXPROCS suffix
 // stripped ("/cached-8" equals "/cached-4"), so baselines recorded on one
 // machine compare on another; benchmarks present on only one side are
@@ -62,10 +69,11 @@ func main() {
 		oldPath   = flag.String("old", "", "baseline JSON (compare mode)")
 		newPath   = flag.String("new", "", "candidate JSON (compare mode)")
 		threshold = flag.Float64("threshold", 0.30, "max tolerated ns/op regression, relative (0.30 = +30%)")
+		zeroalloc = flag.String("zeroalloc", "", "regex of benchmarks that must report 0 allocs/op in -new (compare mode)")
 	)
 	flag.Parse()
 	if *compare {
-		if err := runCompare(*oldPath, *newPath, *threshold); err != nil {
+		if err := runCompare(*oldPath, *newPath, *threshold, *zeroalloc); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -161,8 +169,9 @@ var procSuffixRE = regexp.MustCompile(`-\d+$`)
 func baseName(name string) string { return procSuffixRE.ReplaceAllString(name, "") }
 
 // runCompare diffs two documents on ns/op and fails when any benchmark
-// present in both regressed beyond the threshold.
-func runCompare(oldPath, newPath string, threshold float64) error {
+// present in both regressed beyond the threshold, or when a benchmark
+// matching the zeroalloc pattern reports a non-zero allocs/op.
+func runCompare(oldPath, newPath string, threshold float64, zeroalloc string) error {
 	if oldPath == "" || newPath == "" {
 		return fmt.Errorf("-compare needs both -old and -new")
 	}
@@ -173,6 +182,11 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 	newDoc, err := readDoc(newPath)
 	if err != nil {
 		return err
+	}
+	if zeroalloc != "" {
+		if err := checkZeroAlloc(newDoc.Benchmarks, zeroalloc); err != nil {
+			return err
+		}
 	}
 	oldBy := make(map[string]Benchmark, len(oldDoc.Benchmarks))
 	for _, b := range oldDoc.Benchmarks {
@@ -211,6 +225,41 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 		return fmt.Errorf("%d benchmark(s) regressed:\n  %s", len(regressions), strings.Join(regressions, "\n  "))
 	}
 	fmt.Printf("no ns/op regression beyond %+.0f%% (%d benchmarks compared)\n", 100*threshold, len(names))
+	return nil
+}
+
+// checkZeroAlloc enforces the allocation-free gate: every candidate
+// benchmark matching pattern must report exactly 0 allocs/op. A pattern
+// that matches no benchmark is itself an error — it means the gated
+// benchmark was renamed or dropped, and the gate would otherwise pass
+// without checking anything.
+func checkZeroAlloc(benchmarks []Benchmark, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("-zeroalloc pattern: %w", err)
+	}
+	matched := 0
+	var dirty []string
+	for _, b := range benchmarks {
+		if !re.MatchString(baseName(b.Name)) {
+			continue
+		}
+		matched++
+		allocs, ok := b.Metrics["allocs/op"]
+		if !ok {
+			dirty = append(dirty, fmt.Sprintf("%s: no allocs/op recorded (run with -benchmem)", b.Name))
+		} else if allocs != 0 {
+			dirty = append(dirty, fmt.Sprintf("%s: %.0f allocs/op, want 0", b.Name, allocs))
+		} else {
+			fmt.Printf("ZEROALLOC %-54s 0 allocs/op\n", baseName(b.Name))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("-zeroalloc %q matched no benchmark in the candidate document", pattern)
+	}
+	if len(dirty) > 0 {
+		return fmt.Errorf("%d benchmark(s) failed the zero-allocation gate:\n  %s", len(dirty), strings.Join(dirty, "\n  "))
+	}
 	return nil
 }
 

@@ -43,6 +43,29 @@ func TestParseBenchOutputIgnoresNoise(t *testing.T) {
 	}
 }
 
+func TestCheckZeroAlloc(t *testing.T) {
+	benchmarks := []Benchmark{
+		{Name: "BenchmarkSweepScalar-8", Metrics: map[string]float64{"ns/op": 5e7, "allocs/op": 1639}},
+		{Name: "BenchmarkSweepBatched-8", Metrics: map[string]float64{"ns/op": 2e7, "allocs/op": 0}},
+	}
+	if err := checkZeroAlloc(benchmarks, "BenchmarkSweepBatched"); err != nil {
+		t.Errorf("clean benchmark failed the gate: %v", err)
+	}
+	if err := checkZeroAlloc(benchmarks, "BenchmarkSweepScalar"); err == nil {
+		t.Error("allocating benchmark passed the gate")
+	}
+	if err := checkZeroAlloc(benchmarks, "BenchmarkRenamedAway"); err == nil {
+		t.Error("pattern matching nothing must fail, not pass vacuously")
+	}
+	if err := checkZeroAlloc(benchmarks, "("); err == nil {
+		t.Error("invalid regex must be reported")
+	}
+	noMem := []Benchmark{{Name: "BenchmarkSweepBatched-8", Metrics: map[string]float64{"ns/op": 2e7}}}
+	if err := checkZeroAlloc(noMem, "BenchmarkSweepBatched"); err == nil {
+		t.Error("missing allocs/op metric must fail the gate")
+	}
+}
+
 func TestBaseName(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkLambdaSweep/cached-8": "BenchmarkLambdaSweep/cached",
