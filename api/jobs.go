@@ -111,6 +111,12 @@ func (r JobRequest) Validate() error {
 	}
 }
 
+// DetailNodeRestarting is the JobStatus.Detail value of a job recovered
+// from the write-ahead log during boot replay: the node restarted while
+// the job was queued or running, and the scheduler has re-queued it to
+// resume from its last persisted point.
+const DetailNodeRestarting = "node_restarting"
+
 // JobProgress counts a job's work units. Sweep jobs report one unit per
 // grid point, advancing as points are solved; optimize and simulate jobs
 // report a single unit completed on success.
@@ -142,6 +148,40 @@ type JobStatus struct {
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
 	// Error carries the structured failure of a failed job.
 	Error *Error `json:"error,omitempty"`
+	// Node is the node that accepted the job and coordinates its
+	// execution (clustered daemons only).
+	Node string `json:"node,omitempty"`
+	// Detail qualifies State with recovery context; see
+	// DetailNodeRestarting.
+	Detail string `json:"detail,omitempty"`
+	// Shards lists a clustered sweep job's environment shards and their
+	// planned ring owners, in grid order of first appearance.
+	Shards []JobShard `json:"shards,omitempty"`
+}
+
+// JobShard is one environment shard of a clustered sweep job: the grid
+// points sharing one λ-excluded environment fingerprint, executed
+// together on the fingerprint's ring-owner node so the engine's batched
+// solver hoists their λ-invariant work once. Node is the planned owner at
+// dispatch; a mid-job failover re-scatters the shard's unanswered points
+// to the next-ranked live node without updating this plan.
+type JobShard struct {
+	// Fingerprint is the shard's environment fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// Node is the shard's planned ring-owner node.
+	Node string `json:"node"`
+	// Points counts the grid points in the shard.
+	Points int `json:"points"`
+	// Completed counts the shard's solved points so far.
+	Completed int `json:"completed"`
+}
+
+// JobListResponse is the job-history view (GET /v1/jobs): every job the
+// scheduler retains — queued, running, terminal-but-unexpired, and
+// WAL-recovered — newest first.
+type JobListResponse struct {
+	// Jobs holds one status per retained job, newest first.
+	Jobs []JobStatus `json:"jobs"`
 }
 
 // Terminal reports whether the job has reached a final state — done,

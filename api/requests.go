@@ -398,6 +398,14 @@ type StatsResponse struct {
 	SimRuns uint64 `json:"sim_runs"`
 	// SimErrors counts replicated simulations that failed.
 	SimErrors uint64 `json:"sim_errors"`
+	// BatchGroups counts shared sweep batch solvers actually constructed
+	// (λ-invariant work hoisted once per environment group).
+	BatchGroups uint64 `json:"batch_groups"`
+	// BatchFallbacks counts batched sweep points solved through the
+	// scalar fallback after a failed batch-solver construction.
+	BatchFallbacks uint64 `json:"batch_fallbacks"`
+	// WarmedEntries counts cache entries restored from a boot snapshot.
+	WarmedEntries uint64 `json:"warmed_entries"`
 	// Cache reports solver memoization effectiveness.
 	Cache CacheStats `json:"cache"`
 	// SimCache reports simulation memoization effectiveness.

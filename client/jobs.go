@@ -62,23 +62,45 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*api.JobStatus, erro
 	return &resp, nil
 }
 
+// ListJobs fetches the status of every job the daemon retains, newest
+// first (GET /v1/jobs) — after a node restart this includes the history
+// replayed from its write-ahead log.
+func (c *Client) ListJobs(ctx context.Context) (*api.JobListResponse, error) {
+	var resp api.JobListResponse
+	if err := c.call(ctx, http.MethodGet, api.PathJobs, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // WaitJob polls one job until it reaches a terminal state and returns the
 // final status. Poll delays back off from DefaultPollInterval, growing
 // 1.5× per poll up to MaxPollInterval; ctx bounds the whole wait. When fn
 // is non-nil it is invoked with every observed status — progress
 // reporting for CLIs — including the terminal one.
+//
+// A poll that fails with a node failure (a transport error while the node
+// restarts, or a node_unavailable rejection while it drains) does not
+// abort the wait: durable jobs survive the restart and resume, so WaitJob
+// keeps polling on the same schedule until ctx expires. Structured
+// failures about the job itself (not_found after TTL expiry, say) still
+// return immediately.
 func (c *Client) WaitJob(ctx context.Context, id string, fn func(api.JobStatus)) (*api.JobStatus, error) {
 	delay := DefaultPollInterval
 	for {
 		st, err := c.JobStatus(ctx, id)
-		if err != nil {
+		switch {
+		case err == nil:
+			if fn != nil {
+				fn(*st)
+			}
+			if st.Terminal() {
+				return st, nil
+			}
+		case ctx.Err() != nil:
+			return nil, fmt.Errorf("client: waiting for job %s: %w", id, ctx.Err())
+		case !api.NodeFailure(err):
 			return nil, err
-		}
-		if fn != nil {
-			fn(*st)
-		}
-		if st.Terminal() {
-			return st, nil
 		}
 		if err := c.sleep(ctx, delay); err != nil {
 			return nil, fmt.Errorf("client: waiting for job %s: %w", id, err)

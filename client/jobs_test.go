@@ -1,0 +1,125 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/api"
+)
+
+func TestListJobs(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || r.URL.Path != api.PathJobs {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		json.NewEncoder(w).Encode(api.JobListResponse{Jobs: []api.JobStatus{ //nolint:errcheck
+			{ID: "j2", Kind: api.JobKindSweep, State: api.JobStateRunning, Node: "node-b"},
+			{ID: "j1", Kind: api.JobKindSimulate, State: api.JobStateDone, Detail: api.DetailNodeRestarting},
+		}})
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	list, err := c.ListJobs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 2 || list.Jobs[0].ID != "j2" || list.Jobs[0].Node != "node-b" {
+		t.Fatalf("list %+v", list)
+	}
+	if list.Jobs[1].Detail != api.DetailNodeRestarting {
+		t.Fatalf("detail lost on the wire: %+v", list.Jobs[1])
+	}
+}
+
+// TestWaitJobRidesOutNodeRestart pins WaitJob's durability contract: polls
+// that fail with node failures — a drain rejection, then a dropped
+// connection while the process restarts — keep the wait alive on the same
+// backoff schedule, and the job's terminal status is still delivered.
+func TestWaitJobRidesOutNodeRestart(t *testing.T) {
+	var polls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch polls.Add(1) {
+		case 1: // draining for shutdown
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", api.ContentTypeJSON)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.NodeUnavailable("draining")}) //nolint:errcheck
+		case 2: // process gone: kill the connection without a response
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("recorder cannot hijack")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatalf("hijack: %v", err)
+			}
+			conn.Close()
+		case 3: // back up, job recovered from the WAL and running again
+			w.Header().Set("Content-Type", api.ContentTypeJSON)
+			json.NewEncoder(w).Encode(api.JobStatus{ //nolint:errcheck
+				ID: "j1", Kind: api.JobKindSweep, State: api.JobStateRunning, Detail: api.DetailNodeRestarting,
+			})
+		default:
+			w.Header().Set("Content-Type", api.ContentTypeJSON)
+			json.NewEncoder(w).Encode(api.JobStatus{ID: "j1", Kind: api.JobKindSweep, State: api.JobStateDone}) //nolint:errcheck
+		}
+	}))
+	defer srv.Close()
+	rec := &recordSleeper{}
+	// No client-level retries — WaitJob itself must ride the failures out —
+	// and no keep-alives, so the dropped connection is a plain transport
+	// error instead of triggering net/http's reused-connection GET retry.
+	c := New(srv.URL, WithRetries(0),
+		WithHTTPClient(&http.Client{Transport: &http.Transport{DisableKeepAlives: true}}))
+	c.sleep = rec.sleep
+	var seen []string
+	final, err := c.WaitJob(context.Background(), "j1", func(st api.JobStatus) {
+		seen = append(seen, st.State)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.JobStateDone {
+		t.Fatalf("final %+v", final)
+	}
+	// fn observed only real statuses — the two failed polls never surfaced.
+	if len(seen) != 2 || seen[0] != api.JobStateRunning || seen[1] != api.JobStateDone {
+		t.Fatalf("observed states %v", seen)
+	}
+	if got := polls.Load(); got != 4 {
+		t.Fatalf("server saw %d polls, want 4", got)
+	}
+	// One backoff sleep per non-terminal poll, failed or not.
+	if len(rec.delays) != 3 {
+		t.Fatalf("slept %v, want 3 delays", rec.delays)
+	}
+}
+
+// TestWaitJobStillFailsFastOnJobErrors: only node failures are ridden out
+// — a structured answer about the job itself (expired, never existed)
+// aborts the wait immediately.
+func TestWaitJobStillFailsFastOnJobErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.JobNotFound("j9")}) //nolint:errcheck
+	}))
+	defer srv.Close()
+	rec := &recordSleeper{}
+	c := New(srv.URL, WithRetries(0))
+	c.sleep = rec.sleep
+	_, err := c.WaitJob(context.Background(), "j9", nil)
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeNotFound {
+		t.Fatalf("WaitJob on unknown job: %v", err)
+	}
+	if len(rec.delays) != 0 {
+		t.Fatalf("WaitJob slept %v before failing fast", rec.delays)
+	}
+}

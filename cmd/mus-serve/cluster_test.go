@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"reflect"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"testing"
@@ -372,6 +374,62 @@ func TestDrainingRejectsWithRetryAfter(t *testing.T) {
 	defer jr.Body.Close()
 	if jr.StatusCode != http.StatusNotFound {
 		t.Fatalf("draining job read: %d, want 404 (reads exempt from the drain gate)", jr.StatusCode)
+	}
+	// The job-history read is exempt too: pollers catching up after the
+	// drain announcement still see the full list.
+	jl, err := http.Get(ts.URL + api.PathJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.Body.Close()
+	if jl.StatusCode != http.StatusOK {
+		t.Fatalf("draining job list: %d, want 200", jl.StatusCode)
+	}
+}
+
+// TestDrainSubmitRaceStillRejected pins the drain-race regression: a
+// submission that slipped PAST the HTTP drain middleware before the flag
+// flipped (simulated by invoking the submit handler directly) must still
+// be rejected — startDrain closes the scheduler's own gate in the same
+// breath — and the rejection must carry the identical 503 +
+// Retry-After contract the middleware emits, so a racing client cannot
+// tell which layer turned it away and retries the same way regardless.
+func TestDrainSubmitRaceStillRejected(t *testing.T) {
+	eng := service.NewEngine(service.Config{})
+	sched := jobs.New(jobs.Config{Engine: eng})
+	t.Cleanup(sched.Close)
+	srv := newServerJobs(eng, sched)
+	handler := srv.handler() // registers instruments; submit goes through the mux below
+	srv.startDrain()
+	body, err := json.Marshal(api.NewSweepJob(sweepReqN(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hit the submit handler directly — the raced request already passed
+	// the middleware check, so the middleware never sees the drain flag.
+	r := httptest.NewRequest(http.MethodPost, api.PathJobs, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.handleJobSubmit(w, r)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("raced submit: %d, want 503", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != strconv.Itoa(api.RetryAfterDraining) {
+		t.Fatalf("raced submit Retry-After = %q, want %d", got, api.RetryAfterDraining)
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env.Error == nil || env.Error.Code != api.CodeNodeUnavailable {
+		t.Fatalf("raced submit envelope: %s (%v)", w.Body.Bytes(), err)
+	}
+	// And the ordinary path through the middleware reports identically.
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	resp, err := http.Post(ts.URL+api.PathJobs, api.ContentTypeJSON, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("gated submit: %d Retry-After=%q, want 503 with hint", resp.StatusCode, resp.Header.Get("Retry-After"))
 	}
 }
 

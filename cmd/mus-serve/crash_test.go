@@ -1,0 +1,268 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+)
+
+// TestCrashRecoveryAcceptance is the durability acceptance run, against
+// the real binary: three daemons federate with per-node data dirs, one is
+// SIGKILLed mid-10k-point sweep job, and the cluster must finish the job
+// with zero lost or duplicated points. The killed node is then restarted
+// on its old data dir and must (a) replay its write-ahead log — its own
+// job history answers GET /v1/jobs again — and (b) boot with caches
+// warmed from its snapshot, proven by the warmed-entry counter and a
+// cache hit on the first solve of a system it solved before the kill.
+func TestCrashRecoveryAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess acceptance test; skipped under -short")
+	}
+	bin := buildServer(t)
+	ports := freePorts(t, 3)
+	ids := []string{"n1", "n2", "n3"}
+	urls := make([]string, 3)
+	peers := ""
+	for i, p := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+		if i > 0 {
+			peers += ","
+		}
+		peers += ids[i] + "=" + urls[i]
+	}
+	dirs := make([]string, 3)
+	procs := make([]*exec.Cmd, 3)
+	start := func(i int) {
+		t.Helper()
+		procs[i] = startNode(t, bin, fmt.Sprintf("127.0.0.1:%d", ports[i]), ids[i], peers, dirs[i])
+	}
+	for i := range procs {
+		dirs[i] = t.TempDir()
+		start(i)
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill() //nolint:errcheck
+				p.Wait()         //nolint:errcheck
+			}
+		}
+	}()
+	for _, u := range urls {
+		waitHealthy(t, u)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Learn the ring owner of the sweep family's environment fingerprint
+	// from a tiny probe job: a λ-sweep over one system is a single shard,
+	// and the big job below shares its environment, hence its owner.
+	probe, err := client.New(urls[0]).SubmitJob(ctx, api.NewSweepJob(sweepReqN(2)))
+	if err != nil {
+		t.Fatalf("probe job: %v", err)
+	}
+	probeFinal, err := client.New(urls[0]).WaitJob(ctx, probe.ID, nil)
+	if err != nil || probeFinal.State != api.JobStateDone {
+		t.Fatalf("probe job: %+v, %v", probeFinal, err)
+	}
+	if len(probeFinal.Shards) != 1 {
+		t.Fatalf("probe shards %+v, want exactly one", probeFinal.Shards)
+	}
+	victim := -1
+	for i, id := range ids {
+		if id == probeFinal.Shards[0].Node {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		t.Fatalf("shard owner %q is not a member", probeFinal.Shards[0].Node)
+	}
+	coord := (victim + 1) % 3
+	t.Logf("victim=%s coordinator=%s", ids[victim], ids[coord])
+
+	// Seed the victim's own durability surfaces: a small job of its own
+	// (the history the replayed WAL must answer with) and a locally-served
+	// solve (the cache entry the snapshot must carry into the next boot).
+	victimClient := client.New(urls[victim])
+	hist, err := victimClient.SubmitJob(ctx, api.NewSweepJob(sweepReqN(3)))
+	if err != nil {
+		t.Fatalf("victim history job: %v", err)
+	}
+	if st, err := victimClient.WaitJob(ctx, hist.ID, nil); err != nil || st.State != api.JobStateDone {
+		t.Fatalf("victim history job: %+v, %v", st, err)
+	}
+	warmSys := api.SolveRequest{System: api.System{Servers: 9, Lambda: 0.7}}
+	pinned := client.New(urls[victim], client.WithHeader(api.HeaderForwarded, "1"))
+	if _, err := pinned.Solve(ctx, warmSys); err != nil {
+		t.Fatalf("victim warm solve: %v", err)
+	}
+	// The kill is a SIGKILL: only state already snapshotted survives, so
+	// wait for a snapshot written after the solve landed in the cache.
+	solvedAt := time.Now()
+	snapPath := filepath.Join(dirs[victim], "snapshot.json")
+	waitFor(t, "victim cache snapshot", func() bool {
+		fi, err := os.Stat(snapPath)
+		return err == nil && fi.ModTime().After(solvedAt)
+	})
+
+	// The 10k-point job: submitted on the coordinator, executed — whole
+	// shard — on the victim, killed mid-flight.
+	coordClient := client.New(urls[coord])
+	big, err := coordClient.SubmitJob(ctx, api.NewSweepJob(sweepReqN(10000)))
+	if err != nil {
+		t.Fatalf("big job: %v", err)
+	}
+	waitFor(t, "big job under way", func() bool {
+		st, err := coordClient.JobStatus(ctx, big.ID)
+		return err == nil && st.Progress.Completed > 0
+	})
+	mid, _ := coordClient.JobStatus(ctx, big.ID)
+	if err := procs[victim].Process.Kill(); err != nil { // SIGKILL, no drain
+		t.Fatalf("killing victim: %v", err)
+	}
+	procs[victim].Wait() //nolint:errcheck
+	procs[victim] = nil
+	if mid != nil && mid.Progress.Completed >= mid.Progress.Total {
+		t.Logf("note: job already complete at kill time (%d/%d); failover not exercised this run",
+			mid.Progress.Completed, mid.Progress.Total)
+	}
+
+	final, err := coordClient.WaitJob(ctx, big.ID, nil)
+	if err != nil {
+		t.Fatalf("big job after kill: %v", err)
+	}
+	if final.State != api.JobStateDone {
+		t.Fatalf("big job ended %s (error %v)", final.State, final.Error)
+	}
+	res, err := coordClient.JobResult(ctx, big.ID)
+	if err != nil {
+		t.Fatalf("big job result: %v", err)
+	}
+	pts := res.Sweep.Points
+	if len(pts) != 10000 {
+		t.Fatalf("big job has %d points, want 10000", len(pts))
+	}
+	for i, pt := range pts {
+		// Grid-ordered and gap-free ⇒ no point lost, none duplicated.
+		if pt.Index != i {
+			t.Fatalf("point %d has index %d: lost or duplicated work", i, pt.Index)
+		}
+		if pt.Error != "" {
+			t.Fatalf("point %d failed: %s", i, pt.Error)
+		}
+	}
+
+	// Restart the victim on its old data dir: WAL replay must bring its
+	// job history back, and the snapshot must warm its caches.
+	start(victim)
+	waitHealthy(t, urls[victim])
+	list, err := victimClient.ListJobs(ctx)
+	if err != nil {
+		t.Fatalf("victim history after restart: %v", err)
+	}
+	found := false
+	for _, st := range list.Jobs {
+		if st.ID == hist.ID && st.State == api.JobStateDone {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("replayed history %+v misses job %s", list.Jobs, hist.ID)
+	}
+	if res, err := victimClient.JobResult(ctx, hist.ID); err != nil || len(res.Sweep.Points) != 3 {
+		t.Fatalf("replayed job result: %+v, %v", res, err)
+	}
+	stats, err := victimClient.Stats(ctx)
+	if err != nil {
+		t.Fatalf("victim stats after restart: %v", err)
+	}
+	if stats.WarmedEntries == 0 {
+		t.Fatal("restarted victim warmed no cache entries from its snapshot")
+	}
+	if _, err := pinned.Solve(ctx, warmSys); err != nil {
+		t.Fatalf("victim solve after restart: %v", err)
+	}
+	after, err := victimClient.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := after.Cache.Hits - stats.Cache.Hits; hits != 1 {
+		t.Fatalf("first solve after restart scored %d cache hits, want 1 (snapshot warm-up)", hits)
+	}
+}
+
+// buildServer compiles the daemon once per test run.
+func buildServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mus-serve-test")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building mus-serve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startNode launches one daemon process with aggressive durability
+// cadences, so the acceptance run does not wait on production intervals.
+func startNode(t *testing.T, bin, addr, id, peers, dir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addr, "-node-id", id, "-peers", peers, "-data-dir", dir,
+		"-fsync-interval", "1ms", "-snapshot-interval", "100ms",
+		"-workers", "2", "-log-level", "warn")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting node %s: %v", id, err)
+	}
+	return cmd
+}
+
+// freePorts reserves n distinct listening ports and releases them for the
+// subprocesses to claim.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	for i := range ports {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = l.Addr().(*net.TCPAddr).Port
+		l.Close()
+	}
+	return ports
+}
+
+// waitHealthy polls a node's healthz until it answers.
+func waitHealthy(t *testing.T, url string) {
+	t.Helper()
+	c := client.New(url)
+	waitFor(t, "node "+url+" healthy", func() bool {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_, err := c.Health(ctx)
+		return err == nil
+	})
+}
+
+// waitFor polls cond with a generous deadline (subprocesses boot slowly
+// under race builds).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

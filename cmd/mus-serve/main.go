@@ -17,7 +17,8 @@
 //	POST /v1/optimize  — cost-optimal N (Fig. 5) or min N for an SLA (Fig. 9)
 //	POST /v1/simulate  — replicated simulation with 95% confidence intervals
 //	POST /v1/jobs      — submit a sweep/optimize/simulate payload as an
-//	                     asynchronous job; GET /v1/jobs/{id} polls it,
+//	                     asynchronous job; GET /v1/jobs lists the retained
+//	                     records, GET /v1/jobs/{id} polls one,
 //	                     GET /v1/jobs/{id}/result fetches the outcome (or,
 //	                     for sweeps under Accept: application/x-ndjson, the
 //	                     points solved so far mid-run), DELETE cancels it
@@ -30,11 +31,15 @@
 // shared membership list) and -node-id (this node's entry): a rendezvous
 // hash ring over the system fingerprint routes each configuration to one
 // owner node — forwarding single-point requests, scattering sweep grids
-// point-wise and gathering them back in grid order — with health-checked
-// deterministic failover and the local engine as last resort. SIGTERM
-// drains gracefully: new requests are rejected with 503 node_unavailable
-// + Retry-After while in-flight requests and running jobs get
-// -drain-timeout to finish, then the process exits 0.
+// (synchronous and job-submitted alike) point-wise and gathering them
+// back in grid order — with health-checked deterministic failover and the
+// local engine as last resort. -data-dir makes the node durable: accepted
+// jobs are write-ahead-logged (fsynced before the 202, batched on
+// -fsync-interval after it) and replayed at boot, and a cache snapshot
+// written every -snapshot-interval warms the solver caches so a restarted
+// node rejoins hot. SIGTERM drains gracefully: new requests are rejected
+// with 503 node_unavailable + Retry-After while in-flight requests and
+// running jobs get -drain-timeout to finish, then the process exits 0.
 //
 // Every response echoes an X-Request-ID header (generated when the caller
 // sends none) that also appears in error envelopes, so client and server
@@ -53,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -60,11 +66,17 @@ import (
 	"repro/internal/obs/olog"
 	"repro/internal/service"
 	"repro/internal/service/jobs"
+	"repro/internal/store"
 
 	// Registered on a dedicated mux behind -pprof-addr only — never on
 	// the API listener.
 	"net/http/pprof"
 )
+
+// snapshotEntries caps how many cache entries (per cache, MRU-first) a
+// periodic snapshot persists for warm restarts — enough to cover any
+// realistic working set while keeping snapshot writes small.
+const snapshotEntries = 4096
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -84,6 +96,9 @@ func run(args []string) error {
 		jobTTL       = fs.Duration("job-ttl", jobs.DefaultTTL, "retention of finished async jobs before garbage collection")
 		peers        = fs.String("peers", "", "cluster membership: comma-separated [id=]url entries incl. this node (empty = standalone)")
 		nodeID       = fs.String("node-id", "", "this node's ID in -peers (required with -peers; defaults to the bare URL for id-less entries)")
+		dataDir      = fs.String("data-dir", "", "durability directory: job write-ahead log + cache snapshot (empty = in-memory only)")
+		fsyncEvery   = fs.Duration("fsync-interval", store.DefaultFsyncInterval, "write-ahead-log fsync batching period (0 = fsync every append)")
+		snapEvery    = fs.Duration("snapshot-interval", 30*time.Second, "cache-snapshot period for warm restarts (needs -data-dir; 0 disables)")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests and running jobs")
 		logLevel     = fs.String("log-level", "info", "structured request/job log threshold: debug, info, warn, error or off")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty = disabled; never exposed on -addr)")
@@ -101,9 +116,11 @@ func run(args []string) error {
 	}
 	logger := olog.New(os.Stderr, lvl, olog.F{K: "node", V: node})
 	eng := service.NewEngine(service.Config{Workers: *workers, CacheSize: *cache})
-	sched := jobs.New(jobs.Config{Engine: eng, QueueDepth: *jobQueue, Workers: *jobWorkers, TTL: *jobTTL, Logger: logger})
-	defer sched.Close()
-	hs := newServerJobs(eng, sched)
+
+	// The router is built before the scheduler: durable sweep jobs execute
+	// through it, so it must exist when the scheduler replays its log and
+	// resumes recovered jobs.
+	var clu *cluster.Router
 	if *peers != "" {
 		nodes, err := cluster.ParsePeers(*peers)
 		if err != nil {
@@ -112,13 +129,56 @@ func run(args []string) error {
 		if *nodeID == "" {
 			return errors.New("-peers needs -node-id naming this node's entry")
 		}
-		clu, err := cluster.New(cluster.Config{SelfID: *nodeID, Nodes: nodes})
-		if err != nil {
+		if clu, err = cluster.New(cluster.Config{SelfID: *nodeID, Nodes: nodes}); err != nil {
 			return err
 		}
 		clu.Start()
 		defer clu.Close()
+	}
+
+	// -data-dir turns on durability: a write-ahead job log (replayed into
+	// the scheduler below, so acknowledged jobs survive a crash) and a
+	// solver/simulation cache snapshot that warms the engine at boot.
+	var jlog *store.JobLog
+	var snapPath string
+	writeSnapshot := func() {}
+	if *dataDir != "" {
+		var err error
+		if jlog, err = store.OpenJobLog(*dataDir, store.Options{FsyncInterval: *fsyncEvery}); err != nil {
+			return fmt.Errorf("opening job log in %s: %w", *dataDir, err)
+		}
+		defer jlog.Close()
+		snapPath = filepath.Join(*dataDir, "snapshot.json")
+		var snap service.CacheSnapshot
+		switch err := store.ReadSnapshot(snapPath, &snap); {
+		case err == nil:
+			log.Printf("mus-serve: warmed %d cache entries from %s", eng.WarmCaches(snap), snapPath)
+		case !errors.Is(err, store.ErrNoSnapshot):
+			log.Printf("mus-serve: cache snapshot unreadable, starting cold: %v", err)
+		}
+		writeSnapshot = func() {
+			if err := store.WriteSnapshot(snapPath, eng.ExportCaches(snapshotEntries)); err != nil {
+				log.Printf("mus-serve: cache snapshot failed: %v", err)
+			}
+		}
+	}
+
+	schedCfg := jobs.Config{Engine: eng, QueueDepth: *jobQueue, Workers: *jobWorkers, TTL: *jobTTL,
+		Logger: logger, Log: jlog, NodeID: node}
+	if clu != nil {
+		schedCfg.Router = clu // typed-nil guard: only assign a live router
+	}
+	sched := jobs.New(schedCfg)
+	defer sched.Close()
+
+	var hs *server
+	if clu != nil {
 		hs = newServerCluster(eng, sched, clu)
+	} else {
+		hs = newServerJobs(eng, sched)
+	}
+	if jlog != nil {
+		jlog.RegisterMetrics(hs.reg)
 	}
 	hs.log = logger
 	if *pprofAddr != "" {
@@ -149,6 +209,23 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if snapPath != "" && *snapEvery > 0 {
+		// Periodic cache snapshots are advisory: each one atomically
+		// replaces snapshot.json, and losing the newest just means a
+		// slightly colder warm-up after the next boot.
+		go func() {
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					writeSnapshot()
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("mus-serve: listening on %s (workers=%d, cache=%d, peers=%q)", *addr, eng.Workers(), *cache, *peers)
@@ -177,6 +254,9 @@ func run(args []string) error {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("mus-serve: http drain incomplete: %v", err)
 		}
+		// One last snapshot so the caches are as warm as possible when the
+		// successor process boots.
+		writeSnapshot()
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}

@@ -104,6 +104,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST "+api.PathOptimize, s.instrument(http.MethodPost, api.PathOptimize, s.handleOptimize))
 	mux.HandleFunc("POST "+api.PathSimulate, s.instrument(http.MethodPost, api.PathSimulate, s.handleSimulate))
 	mux.HandleFunc("POST "+api.PathJobs, s.instrument(http.MethodPost, api.PathJobs, s.handleJobSubmit))
+	mux.HandleFunc("GET "+api.PathJobs, s.instrument(http.MethodGet, api.PathJobs, s.handleJobList))
 	mux.HandleFunc("GET "+api.PathJobs+"/{id}", s.instrument(http.MethodGet, api.PathJobs+"/{id}", s.handleJobStatus))
 	mux.HandleFunc("GET "+api.PathJobs+"/{id}/result", s.instrument(http.MethodGet, api.PathJobs+"/{id}/result", s.handleJobResult))
 	mux.HandleFunc("DELETE "+api.PathJobs+"/{id}", s.instrument(http.MethodDelete, api.PathJobs+"/{id}", s.handleJobCancel))
@@ -127,7 +128,8 @@ func (s *server) handler() http.Handler {
 func (s *server) withDraining(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		exempt := r.Method == http.MethodGet &&
-			(strings.HasPrefix(r.URL.Path, api.PathJobs+"/") || r.URL.Path == api.PathMetrics)
+			(r.URL.Path == api.PathJobs || strings.HasPrefix(r.URL.Path, api.PathJobs+"/") ||
+				r.URL.Path == api.PathMetrics)
 		if s.draining.Load() && !exempt {
 			w.Header().Set("Retry-After", strconv.Itoa(api.RetryAfterDraining))
 			writeJSON(w, http.StatusServiceUnavailable, api.ErrorEnvelope{
@@ -140,8 +142,16 @@ func (s *server) withDraining(next http.Handler) http.Handler {
 	})
 }
 
-// startDrain flips the server into draining mode.
-func (s *server) startDrain() { s.draining.Store(true) }
+// startDrain flips the server into draining mode — the HTTP gate and the
+// scheduler's own submission gate in one breath. Both flips matter: a
+// submission that slipped past the middleware check before the flag
+// flipped must still be rejected by the scheduler, or it would be
+// accepted into a process that is about to exit and (on nodes without a
+// job log) silently lost.
+func (s *server) startDrain() {
+	s.draining.Store(true)
+	s.sched.BeginDrain()
+}
 
 // forwarded reports whether the request already crossed its one allowed
 // cluster hop and must be served locally.
@@ -352,9 +362,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError classifies err into the wire taxonomy (client cancellations
 // become 499, deadline expiry 504, typed errors keep their code, anything
-// else 500) and renders the error envelope with the request ID.
+// else 500) and renders the error envelope with the request ID. A
+// node_unavailable rejection carries the same Retry-After hint whichever
+// layer raised it — the drain middleware or the scheduler's own gate —
+// so clients see one consistent 503 contract.
 func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	ae := api.Classify(err)
+	if ae.Code == api.CodeNodeUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(api.RetryAfterDraining))
+	}
 	writeJSON(w, ae.HTTPStatus(), api.ErrorEnvelope{Error: ae, RequestID: requestID(r.Context())})
 }
 
@@ -678,9 +694,11 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // handleJobSubmit accepts an asynchronous job (POST /v1/jobs): the
 // validated payload is queued and a 202 with the job's queued status
 // returns immediately. A full queue answers 429 queue_full — the
-// backpressure contract of the bounded scheduler. Jobs run wholly on
-// this node's engine — they do not enter the cluster routing tier (see
-// ARCHITECTURE.md, "Known limitation").
+// backpressure contract of the bounded scheduler. With -data-dir the
+// submission is fsynced to the write-ahead log before the 202, so an
+// accepted job survives a crash; with -peers, sweep jobs execute
+// cluster-wide through the routing tier, sharded by environment
+// fingerprint onto their ring-owner nodes.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.JobRequest
 	if !decodeBody(w, r, &req) {
@@ -693,6 +711,13 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	setTraceJob(r.Context(), st.ID)
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleJobList reports every retained job, newest first (GET /v1/jobs)
+// — after a restart with -data-dir, the history replayed from the
+// write-ahead log. Exempt from the drain gate like the other job reads.
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.JobListResponse{Jobs: s.sched.List()})
 }
 
 // handleJobStatus polls one job (GET /v1/jobs/{id}).
@@ -777,6 +802,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SharedInFlight: st.SharedInFlight,
 		SimRuns:        st.SimRuns,
 		SimErrors:      st.SimErrors,
+		BatchGroups:    st.BatchGroups,
+		BatchFallbacks: st.BatchFallbacks,
+		WarmedEntries:  st.WarmedEntries,
 		Cache:          cacheStatsOf(st.Cache),
 		SimCache:       cacheStatsOf(st.SimCache),
 		Jobs:           s.sched.Stats(),

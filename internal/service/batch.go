@@ -37,12 +37,18 @@ type sweepGroup struct {
 // solve evaluates one point through the shared solver, falling back to
 // the scalar path when construction failed — the scalar solver then
 // reports the configuration's error with its usual precedence, keeping
-// error behaviour identical to the unbatched engine.
-func (g *sweepGroup) solve(sys core.System) (*core.Performance, error) {
+// error behaviour identical to the unbatched engine. The engine's batch
+// counters record both outcomes: one BatchGroups tick per solver actually
+// constructed (lazily, so all-cached groups never count) and one
+// BatchFallbacks tick per point solved scalar after a failed
+// construction.
+func (g *sweepGroup) solve(e *Engine, sys core.System) (*core.Performance, error) {
 	g.once.Do(func() {
 		g.bs, g.err = core.NewBatchSolver(g.base)
+		e.batchGroups.Add(1)
 	})
 	if g.err != nil {
+		e.batchFallbacks.Add(1)
 		return sys.SolveWith(core.Spectral)
 	}
 	return g.bs.Solve(sys.ArrivalRate)
@@ -91,7 +97,9 @@ func newSweepBatches(jobs []Job) sweepBatches {
 func (e *Engine) evaluateJob(ctx context.Context, j Job, batches sweepBatches) (*core.Performance, error) {
 	if j.Method == core.Spectral && batches != nil {
 		if g, ok := batches[j.System.EnvFingerprint()]; ok {
-			return e.evaluate(ctx, j.System, j.Method, g.solve)
+			return e.evaluate(ctx, j.System, j.Method, func(sys core.System) (*core.Performance, error) {
+				return g.solve(e, sys)
+			})
 		}
 	}
 	return e.Evaluate(ctx, j.System, j.Method)

@@ -256,9 +256,13 @@ func TestSweepGroupConstructionFallback(t *testing.T) {
 	bad := testSystem(3, 1)
 	bad.ServiceRate = 0
 	g := &sweepGroup{base: bad}
-	_, err := g.solve(bad)
+	e := NewEngine(Config{})
+	_, err := g.solve(e, bad)
 	if err == nil {
 		t.Fatal("expected an error from the fallback scalar solve")
+	}
+	if s := e.Stats(); s.BatchGroups != 1 || s.BatchFallbacks != 1 {
+		t.Fatalf("batch counters after a fallback: groups=%d fallbacks=%d, want 1/1", s.BatchGroups, s.BatchFallbacks)
 	}
 	_, wantErr := bad.SolveWith(core.Spectral)
 	if wantErr == nil || err.Error() != wantErr.Error() {

@@ -111,6 +111,26 @@ func (c *lruCache[V]) add(key string, val V) {
 	c.items[key] = c.order.PushFront(&cacheEntry[V]{key: key, val: val})
 }
 
+// export snapshots up to limit entries, most recently used first — the
+// traversal order that makes a truncated snapshot keep the hottest
+// entries. limit <= 0 exports everything.
+func (c *lruCache[V]) export(limit int) (keys []string, vals []V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.order.Len()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	keys = make([]string, 0, n)
+	vals = make([]V, 0, n)
+	for el := c.order.Front(); el != nil && len(keys) < n; el = el.Next() {
+		ent := el.Value.(*cacheEntry[V])
+		keys = append(keys, ent.key)
+		vals = append(vals, ent.val)
+	}
+	return keys, vals
+}
+
 // stats snapshots the counters.
 func (c *lruCache[V]) stats() CacheStats {
 	c.mu.Lock()

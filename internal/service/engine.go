@@ -63,12 +63,15 @@ type Engine struct {
 	inflight    map[string]*flight
 	simInflight map[string]*simFlight
 
-	evals   atomic.Uint64 // evaluations answered by any means
-	solves  atomic.Uint64 // solver invocations that actually ran
-	errs    atomic.Uint64 // solver invocations that returned an error
-	shared  atomic.Uint64 // evaluations that joined an in-flight solve
-	simRuns atomic.Uint64 // replicated simulations that actually ran
-	simErrs atomic.Uint64 // replicated simulations that failed
+	evals          atomic.Uint64 // evaluations answered by any means
+	solves         atomic.Uint64 // solver invocations that actually ran
+	errs           atomic.Uint64 // solver invocations that returned an error
+	shared         atomic.Uint64 // evaluations that joined an in-flight solve
+	simRuns        atomic.Uint64 // replicated simulations that actually ran
+	simErrs        atomic.Uint64 // replicated simulations that failed
+	batchGroups    atomic.Uint64 // shared batch solvers actually constructed
+	batchFallbacks atomic.Uint64 // batched points solved scalar after a failed construction
+	warmed         atomic.Uint64 // cache entries restored from a snapshot
 }
 
 // flight is one in-progress solve that concurrent callers of the same
@@ -474,6 +477,14 @@ type Stats struct {
 	SimRuns uint64
 	// SimErrors counts replicated simulations that failed.
 	SimErrors uint64
+	// BatchGroups counts shared batch solvers actually constructed — sweep
+	// groups whose λ-invariant work was hoisted once instead of per point.
+	BatchGroups uint64
+	// BatchFallbacks counts batched points that fell back to the scalar
+	// solver because their group's construction failed.
+	BatchFallbacks uint64
+	// WarmedEntries counts cache entries restored from a boot snapshot.
+	WarmedEntries uint64
 	// Cache reports solver memoization effectiveness; zero-valued when
 	// disabled.
 	Cache CacheStats
@@ -492,6 +503,9 @@ func (e *Engine) Stats() Stats {
 		SharedInFlight: e.shared.Load(),
 		SimRuns:        e.simRuns.Load(),
 		SimErrors:      e.simErrs.Load(),
+		BatchGroups:    e.batchGroups.Load(),
+		BatchFallbacks: e.batchFallbacks.Load(),
+		WarmedEntries:  e.warmed.Load(),
 	}
 	if e.cache != nil {
 		s.Cache = e.cache.stats()

@@ -1,0 +1,86 @@
+package jobs
+
+import (
+	"context"
+
+	"repro/api"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// Router is the slice of internal/cluster.Router the scheduler drives to
+// execute sweep jobs cluster-wide — *cluster.Router satisfies it; tests
+// substitute controllable fakes.
+type Router interface {
+	// Sweep scatters a sweep grid by per-point fingerprint across the
+	// live membership and gathers the points back in grid order, with
+	// rank-order failover re-scattering a dead node's unanswered points.
+	Sweep(ctx context.Context, req api.SweepRequest, fps []string, emit func(api.SweepPoint) error, local cluster.LocalEval) error
+	// Self returns this node's membership ID.
+	Self() string
+	// Owner returns the ring-owner node of a fingerprint.
+	Owner(fp string) string
+}
+
+// runSweepCluster executes grid points resume.. through the cluster
+// router. Points are sharded by λ-excluded environment fingerprint, so
+// every point of one environment lands on that fingerprint's ring owner
+// as one sub-request — which is exactly the grouping the executing
+// engine's batched solver hoists λ-invariant work for, keeping the PR 7
+// per-point speedup intact across the scatter. The full-grid shard plan
+// (including the recovered prefix) is published on the job for status
+// reporting before any point is dispatched.
+func (s *Scheduler) runSweepCluster(ctx context.Context, j *job, req api.SweepRequest, systems []core.System, m core.Method, resume int, record func(api.SweepPoint)) error {
+	fps := make([]string, len(systems))
+	shardIdx := make(map[string]int)
+	var shards []api.JobShard
+	pointShard := make([]int, len(systems))
+	for i, sys := range systems {
+		fp := sys.EnvFingerprint()
+		fps[i] = fp
+		k, ok := shardIdx[fp]
+		if !ok {
+			k = len(shards)
+			shardIdx[fp] = k
+			shards = append(shards, api.JobShard{Fingerprint: fp, Node: s.router.Owner(fp)})
+		}
+		shards[k].Points++
+		pointShard[i] = k
+	}
+	s.mu.Lock()
+	for i := 0; i < resume; i++ {
+		shards[pointShard[i]].Completed++
+	}
+	j.shards = shards
+	j.pointShard = pointShard
+	s.mu.Unlock()
+
+	// The sub-request covers only the unsolved suffix; its indices are
+	// remapped back to absolute grid positions at the gather.
+	sub := api.SweepRequest{System: req.System, Method: req.Method, Param: req.Param, Values: req.Values[resume:]}
+	subSystems := systems[resume:]
+	local := func(ctx context.Context, indices []int, out func(api.SweepPoint)) error {
+		work := make([]service.Job, len(indices))
+		for k, i := range indices {
+			work[k] = service.Job{System: subSystems[i], Method: m}
+		}
+		return s.eng.EvaluateStream(ctx, work, func(res service.Result) error {
+			pt := api.SweepPoint{Index: indices[res.Index]}
+			if res.Err != nil {
+				pt.Error = res.Err.Error()
+			} else {
+				perf := api.FromPerformance(res.Perf)
+				pt.Perf = &perf
+			}
+			out(pt)
+			return nil
+		})
+	}
+	return s.router.Sweep(ctx, sub, fps[resume:], func(pt api.SweepPoint) error {
+		pt.Index += resume
+		pt.Value = req.Values[pt.Index]
+		record(pt)
+		return nil
+	}, local)
+}

@@ -1,9 +1,9 @@
 // Package jobs is the asynchronous job layer of the evaluation service:
-// a scheduler that wraps the service.Engine with durable-in-memory job
-// records so workloads too large for one synchronous HTTP request —
-// 10k-point sweeps, high-precision replicated simulations, wide
-// optimisations — can be submitted, polled, partially read, canceled and
-// garbage-collected independently of any connection.
+// a scheduler that wraps the service.Engine with job records so workloads
+// too large for one synchronous HTTP request — 10k-point sweeps,
+// high-precision replicated simulations, wide optimisations — can be
+// submitted, polled, partially read, canceled and garbage-collected
+// independently of any connection.
 //
 // Each job moves through the state machine
 //
@@ -18,6 +18,23 @@
 // The scheduler adds no second worker pool: its workers only orchestrate,
 // while all solver and simulation concurrency stays on the engine's
 // existing gate, so synchronous requests and jobs share one global bound.
+//
+// Two optional Config fields lift the scheduler beyond one process:
+//
+//   - Log (an internal/store.JobLog) makes jobs durable: submissions are
+//     fsynced before they are acknowledged, every transition and solved
+//     sweep point is appended behind batched fsyncs, and New replays the
+//     log on boot — terminal jobs reappear with their results, jobs
+//     caught mid-flight are re-queued with Detail "node_restarting" and
+//     resume from their last persisted point (persisted points are always
+//     a grid-order prefix, so resumption is an index, not a merge).
+//   - Router (the internal/cluster scatter/gather tier) makes sweep jobs
+//     cluster-wide: the grid is split by λ-excluded environment
+//     fingerprint into shards executed on their ring-owner nodes — where
+//     the engine's batched solver hoists each shard's λ-invariant work
+//     once — with the router's rank-order failover re-scattering only a
+//     dead node's unanswered points, so a node kill mid-job delays its
+//     shard but never loses a point.
 package jobs
 
 import (
@@ -26,6 +43,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +53,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // Engine is the slice of service.Engine the scheduler drives —
@@ -83,15 +102,33 @@ type Config struct {
 	Now func() time.Time
 	// Logger receives one line per job state transition (default: discard).
 	Logger *olog.Logger
+	// Log, when set, persists job records to a write-ahead log and replays
+	// it in New: submissions are durable once acknowledged, and a restart
+	// recovers job history and resumes incomplete jobs.
+	Log *store.JobLog
+	// Router, when set, executes sweep jobs cluster-wide: grid shards run
+	// on their environment fingerprint's ring-owner node with rank-order
+	// failover. Nil keeps every job on the local engine.
+	Router Router
+	// NodeID names this node in persisted records and job statuses
+	// (default: the Router's Self, or "" standalone).
+	NodeID string
 }
 
 // Scheduler runs jobs on an Engine. It is safe for concurrent use.
 type Scheduler struct {
-	eng   Engine
-	ttl   time.Duration
-	now   func() time.Time
-	depth int
-	log   *olog.Logger
+	eng    Engine
+	ttl    time.Duration
+	now    func() time.Time
+	depth  int
+	log    *olog.Logger
+	jlog   *store.JobLog
+	router Router
+	nodeID string
+
+	// recovered counts jobs reconstructed from the write-ahead log at
+	// boot (terminal history and re-queued incomplete jobs alike).
+	recovered atomic.Uint64
 
 	// Transition counters, atomics so a metrics scrape never touches the
 	// scheduler mutex mid-run. Indexed queued → running → terminal.
@@ -143,6 +180,15 @@ type job struct {
 	result           *api.JobResult
 	partial          []api.SweepPoint
 	done             chan struct{}
+
+	// node is the accepting node's ID (empty standalone); detail is the
+	// recovery qualifier (api.DetailNodeRestarting on replayed jobs).
+	node   string
+	detail string
+	// shards is the clustered sweep's planned shard map; pointShard maps
+	// grid index → position in shards for per-shard progress counting.
+	shards     []api.JobShard
+	pointShard []int
 }
 
 // New builds a scheduler and starts its workers and garbage collector.
@@ -166,6 +212,9 @@ func New(cfg Config) *Scheduler {
 	if cfg.Logger == nil {
 		cfg.Logger = olog.Nop()
 	}
+	if cfg.NodeID == "" && cfg.Router != nil {
+		cfg.NodeID = cfg.Router.Self()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Scheduler{
 		eng:    cfg.Engine,
@@ -173,18 +222,36 @@ func New(cfg Config) *Scheduler {
 		now:    cfg.Now,
 		depth:  cfg.QueueDepth,
 		log:    cfg.Logger,
+		jlog:   cfg.Log,
+		router: cfg.Router,
+		nodeID: cfg.NodeID,
 		jobs:   make(map[string]*job),
 		stop:   stop,
 		ctx:    ctx,
 		gcDone: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	// Replay before the first worker starts: recovered jobs re-enter the
+	// pending queue with no goroutine racing the reconstruction.
+	s.replay()
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go s.worker()
 	}
 	go s.janitor()
 	return s
+}
+
+// BeginDrain flips the submission gate and returns immediately: every
+// Submit from this instant on is rejected with api.CodeNodeUnavailable.
+// It exists so a serving front end can close its own drain gate and the
+// scheduler's in one breath — without it, a submission that slipped past
+// the HTTP middleware before the flag flip could be accepted into a
+// scheduler about to die with the process. Idempotent; Drain implies it.
+func (s *Scheduler) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
 }
 
 // Drain prepares for a graceful shutdown: new submissions are rejected
@@ -253,6 +320,7 @@ func (s *Scheduler) Submit(ctx context.Context, req api.JobRequest) (api.JobStat
 		req:    req,
 		origin: api.RequestIDFrom(ctx),
 		state:  api.JobStateQueued,
+		node:   s.nodeID,
 		done:   make(chan struct{}),
 	}
 	s.mu.Lock()
@@ -270,6 +338,13 @@ func (s *Scheduler) Submit(ctx context.Context, req api.JobRequest) (api.JobStat
 		return api.JobStatus{}, api.QueueFull(s.depth)
 	}
 	j.created = s.now()
+	// The acknowledgement below promises the job survives a crash, so the
+	// submit record must be on disk — not merely buffered — before it is
+	// sent. A log that cannot make that promise rejects the submission.
+	if err := s.persistSubmit(j); err != nil {
+		s.mu.Unlock()
+		return api.JobStatus{}, err
+	}
 	s.pending = append(s.pending, j)
 	s.submitted++
 	s.jobs[j.id] = j
@@ -380,6 +455,25 @@ func (s *Scheduler) Wait(ctx context.Context, id string) (api.JobStatus, error) 
 	}
 }
 
+// List returns the status of every retained job, newest first — the
+// GET /v1/jobs history view, which after a restart includes everything
+// recovered from the write-ahead log.
+func (s *Scheduler) List() []api.JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]api.JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.statusLocked(j))
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].CreatedAt.Equal(out[b].CreatedAt) {
+			return out[a].CreatedAt.After(out[b].CreatedAt)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
 // Stats snapshots the scheduler's population and queue counters.
 func (s *Scheduler) Stats() api.JobStats {
 	s.mu.Lock()
@@ -430,6 +524,7 @@ func (s *Scheduler) worker() {
 		j.state = api.JobStateRunning
 		j.started = s.now()
 		j.cancel = cancel
+		s.persistState(j, nil)
 		s.mu.Unlock()
 		s.transRunning.Add(1)
 		s.log.Info("job running", olog.F{K: "job", V: j.id}, olog.F{K: "kind", V: j.req.Kind},
@@ -480,9 +575,13 @@ func isCanceled(err error) bool {
 	return errors.As(err, &ae) && ae.Code == api.CodeCanceled
 }
 
-// runSweep executes a sweep payload via the engine's ordered stream,
-// recording each point (and advancing the progress counter) as it lands,
-// so partial results are readable mid-run.
+// runSweep executes a sweep payload, recording each point (and advancing
+// the progress counter) as it lands, so partial results are readable
+// mid-run. Execution starts at the first unsolved index — zero normally,
+// the length of the WAL-recovered prefix after a restart (persisted
+// points are always a grid-order prefix, so resumption never merges) —
+// and routes through the cluster router when one is configured, the local
+// engine stream otherwise.
 func (s *Scheduler) runSweep(ctx context.Context, j *job) (*api.JobResult, error) {
 	req := *j.req.Sweep
 	systems, err := req.Systems()
@@ -490,28 +589,35 @@ func (s *Scheduler) runSweep(ctx context.Context, j *job) (*api.JobResult, error
 		return nil, err
 	}
 	m, _ := api.ParseMethod(req.Method)
-	work := make([]service.Job, len(systems))
-	for i, sys := range systems {
-		work[i] = service.Job{System: sys, Method: m}
-	}
 	s.mu.Lock()
-	j.total = len(work)
+	if len(j.partial) > len(systems) { // a log replaying more points than the grid holds
+		j.partial = j.partial[:len(systems)]
+	}
+	j.total = len(systems)
+	resume := len(j.partial)
+	j.completed = resume
 	s.mu.Unlock()
-	err = s.eng.EvaluateStream(ctx, work, func(res service.Result) error {
-		pt := api.SweepPoint{Index: res.Index, Value: req.Values[res.Index]}
-		if res.Err != nil {
-			pt.Error = res.Err.Error()
-		} else {
-			perf := api.FromPerformance(res.Perf)
-			pt.Perf = &perf
-		}
+
+	// record lands one solved point with its absolute grid index. Both
+	// execution paths call it from a single sequencing goroutine in grid
+	// order, so the persisted point stream stays a replayable prefix.
+	record := func(pt api.SweepPoint) {
 		s.mu.Lock()
 		j.partial = append(j.partial, pt)
 		j.completed = len(j.partial)
+		if j.pointShard != nil && pt.Index < len(j.pointShard) {
+			j.shards[j.pointShard[pt.Index]].Completed++
+		}
 		s.mu.Unlock()
+		s.persistPoint(j, pt)
 		s.sweepPoints.Add(1)
-		return nil
-	})
+	}
+
+	if s.router != nil {
+		err = s.runSweepCluster(ctx, j, req, systems, m, resume, record)
+	} else {
+		err = s.runSweepLocal(ctx, req, systems, m, resume, record)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -524,6 +630,27 @@ func (s *Scheduler) runSweep(ctx context.Context, j *job) (*api.JobResult, error
 		Kind:  j.req.Kind,
 		Sweep: &api.SweepResponse{Method: m.String(), Param: req.Param, Points: points},
 	}, nil
+}
+
+// runSweepLocal evaluates grid points resume.. on the local engine's
+// ordered stream.
+func (s *Scheduler) runSweepLocal(ctx context.Context, req api.SweepRequest, systems []core.System, m core.Method, resume int, record func(api.SweepPoint)) error {
+	work := make([]service.Job, len(systems)-resume)
+	for k, sys := range systems[resume:] {
+		work[k] = service.Job{System: sys, Method: m}
+	}
+	return s.eng.EvaluateStream(ctx, work, func(res service.Result) error {
+		i := resume + res.Index
+		pt := api.SweepPoint{Index: i, Value: req.Values[i]}
+		if res.Err != nil {
+			pt.Error = res.Err.Error()
+		} else {
+			perf := api.FromPerformance(res.Perf)
+			pt.Perf = &perf
+		}
+		record(pt)
+		return nil
+	})
 }
 
 // runOptimize executes an optimize payload — the same two provisioning
@@ -614,6 +741,8 @@ func (s *Scheduler) finishLocked(j *job, state string, res *api.JobResult, ae *a
 	j.finished = s.now()
 	j.result = res
 	j.err = ae
+	j.detail = "" // a recovered job that terminates is no longer restarting
+	s.persistState(j, res)
 	close(j.done)
 	fields := []olog.F{
 		{K: "job", V: j.id}, {K: "kind", V: j.req.Kind}, {K: "id", V: j.origin},
@@ -644,6 +773,12 @@ func (s *Scheduler) statusLocked(j *job) api.JobStatus {
 		Progress:  api.JobProgress{Total: j.total, Completed: j.completed},
 		CreatedAt: j.created,
 		Error:     j.err,
+		Node:      j.node,
+		Detail:    j.detail,
+	}
+	if len(j.shards) > 0 {
+		st.Shards = make([]api.JobShard, len(j.shards))
+		copy(st.Shards, j.shards)
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -676,14 +811,34 @@ func (s *Scheduler) janitor() {
 	}
 }
 
-// gc drops terminal jobs whose retention TTL has expired.
+// gc drops terminal jobs whose retention TTL has expired, then compacts
+// the write-ahead log down to the records of still-retained jobs — boot
+// replay stays proportional to the live population, not to history.
 func (s *Scheduler) gc() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cutoff := s.now().Add(-s.ttl)
+	dropped := 0
 	for id, j := range s.jobs {
 		if !j.finished.IsZero() && j.finished.Before(cutoff) {
 			delete(s.jobs, id)
+			dropped++
+		}
+	}
+	var retained map[string]bool
+	if dropped > 0 && s.jlog != nil {
+		retained = make(map[string]bool, len(s.jobs))
+		for id := range s.jobs {
+			retained[id] = true
+		}
+	}
+	s.mu.Unlock()
+	// Compaction reads and rewrites the whole log; run it outside the
+	// scheduler mutex so status polls never wait on it. The retained set
+	// is a snapshot — a job submitted during compaction appends behind
+	// the compaction point and is never dropped by it.
+	if retained != nil {
+		if err := s.jlog.Compact(func(id string) bool { return retained[id] }); err != nil {
+			s.log.Warn("job log compaction failed", olog.F{K: "error", V: err.Error()})
 		}
 	}
 }
@@ -729,6 +884,9 @@ func (s *Scheduler) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("mus_jobs_sweep_points_total",
 		"Grid points completed by sweep jobs.",
 		s.sweepPoints.Load)
+	r.CounterFunc("mus_jobs_recovered_total",
+		"Jobs reconstructed from the write-ahead log at boot (history and re-queued jobs alike).",
+		s.recovered.Load)
 }
 
 // newJobID draws a 64-bit random hex job identifier.

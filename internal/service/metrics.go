@@ -26,6 +26,15 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("mus_engine_sim_errors_total",
 		"Replicated simulations that failed.",
 		e.simErrs.Load)
+	r.CounterFunc("mus_engine_batch_groups_total",
+		"Shared sweep batch solvers actually constructed (λ-invariant work hoisted once per group).",
+		e.batchGroups.Load)
+	r.CounterFunc("mus_engine_batch_fallbacks_total",
+		"Batched sweep points solved through the scalar fallback after a failed batch-solver construction.",
+		e.batchFallbacks.Load)
+	r.CounterFunc("mus_engine_warmed_entries_total",
+		"Cache entries restored from a boot snapshot.",
+		e.warmed.Load)
 	r.GaugeFunc("mus_engine_workers",
 		"Configured solver concurrency bound (the engine-wide gate).",
 		func() float64 { return float64(e.workers) })

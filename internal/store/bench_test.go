@@ -1,0 +1,65 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchRecord is a realistic job-log payload size: a points entry of a
+// few solved sweep points, JSON-encoded (~200 bytes).
+var benchRecord = []byte(`{"kind":"points","job":"j-bench","points":[` +
+	`{"index":0,"value":0.10,"perf":{"mean_jobs":1.23,"mean_response":4.56,"tail_decay":0.9,"load":0.4}},` +
+	`{"index":1,"value":0.11,"perf":{"mean_jobs":1.25,"mean_response":4.60,"tail_decay":0.9,"load":0.41}}]}`)
+
+// BenchmarkWALAppend measures the batched-fsync append path — the cost a
+// sweep job pays per persisted points batch. SetBytes makes the reported
+// MB/s the log's append throughput.
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := OpenWAL(b.TempDir(), Options{FsyncInterval: DefaultFsyncInterval})
+	if err != nil {
+		b.Fatalf("OpenWAL: %v", err)
+	}
+	defer w.Close()
+	b.SetBytes(int64(len(benchRecord)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(benchRecord); err != nil {
+			b.Fatalf("Append: %v", err)
+		}
+	}
+	b.StopTimer()
+	if err := w.Sync(); err != nil {
+		b.Fatalf("Sync: %v", err)
+	}
+}
+
+// BenchmarkWALReplay10k measures boot-replay time over a 10k-record log —
+// the recovery-time budget of the crash-recovery acceptance test.
+func BenchmarkWALReplay10k(b *testing.B) {
+	dir := b.TempDir()
+	w, err := OpenWAL(dir, Options{FsyncInterval: time.Second})
+	if err != nil {
+		b.Fatalf("OpenWAL: %v", err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := w.Append(fmt.Appendf(nil, "%s#%05d", benchRecord, i)); err != nil {
+			b.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		b.Fatalf("Sync: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := w.Replay(func([]byte) error { n++; return nil }); err != nil {
+			b.Fatalf("Replay: %v", err)
+		}
+		if n != 10_000 {
+			b.Fatalf("replayed %d records, want 10000", n)
+		}
+	}
+	b.StopTimer()
+	w.Close()
+}

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/api"
+)
+
+// EntryKind names one job-log record type.
+type EntryKind string
+
+// Job-log record kinds. A job's life on disk is one submit entry, zero or
+// more state and points entries, and at most one result entry.
+const (
+	// EntrySubmit records an accepted job: its request, origin node and
+	// submission time. It is the entry that makes a job durable — the
+	// scheduler syncs the log before acknowledging the submission.
+	EntrySubmit EntryKind = "submit"
+	// EntryState records a state-machine transition (running, done,
+	// failed, canceled), with the structured error for failures.
+	EntryState EntryKind = "state"
+	// EntryPoints records a batch of solved sweep points in grid order.
+	// Because emission order is grid order, the concatenation of a job's
+	// points entries is always a prefix of its final result — which is
+	// what lets a restarted node resume a sweep at the first unsolved
+	// index instead of re-solving everything.
+	EntryPoints EntryKind = "points"
+	// EntryResult records a terminal job's full result payload.
+	EntryResult EntryKind = "result"
+)
+
+// Entry is one job-log record. Kind selects which optional fields are
+// meaningful; Job and Time are always set.
+type Entry struct {
+	// Kind is the record type; see the Entry* constants.
+	Kind EntryKind `json:"kind"`
+	// Job is the job identifier the record belongs to.
+	Job string `json:"job"`
+	// Time is when the recorded event happened.
+	Time time.Time `json:"time"`
+	// Origin is the node that accepted the job (submit entries).
+	Origin string `json:"origin,omitempty"`
+	// Request is the submitted payload (submit entries).
+	Request *api.JobRequest `json:"request,omitempty"`
+	// State is the entered state (state entries).
+	State string `json:"state,omitempty"`
+	// Error is the structured failure of a failed transition.
+	Error *api.Error `json:"error,omitempty"`
+	// Points is a batch of solved sweep points (points entries).
+	Points []api.SweepPoint `json:"points,omitempty"`
+	// Result is the terminal result payload (result entries).
+	Result *api.JobResult `json:"result,omitempty"`
+}
+
+// JobLog is the typed façade over a WAL that the job scheduler persists
+// through: JSON-encoded Entry records behind the WAL's framing,
+// durability and replay guarantees. Safe for concurrent use.
+type JobLog struct {
+	wal *WAL
+}
+
+// OpenJobLog opens the job log in dir (see OpenWAL for recovery
+// semantics).
+func OpenJobLog(dir string, opts Options) (*JobLog, error) {
+	w, err := OpenWAL(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &JobLog{wal: w}, nil
+}
+
+// Append writes one entry. Durability follows the WAL's fsync batching;
+// call Sync after appends that must be durable before acknowledgement.
+func (l *JobLog) Append(e Entry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encode entry: %w", err)
+	}
+	return l.wal.Append(payload)
+}
+
+// Sync forces appended entries to disk.
+func (l *JobLog) Sync() error { return l.wal.Sync() }
+
+// Replay streams every logged entry, oldest first. Entries that fail to
+// decode as JSON are skipped (they passed the CRC, so they are a
+// format-evolution artifact, not corruption); framing-level corruption
+// before the tail still returns ErrCorrupt.
+func (l *JobLog) Replay(fn func(Entry) error) error {
+	return l.wal.Replay(func(payload []byte) error {
+		var e Entry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return nil
+		}
+		return fn(e)
+	})
+}
+
+// Compact rewrites the log keeping only entries whose job retain accepts
+// — the scheduler passes its set of still-retained job IDs, dropping
+// completed-and-expired history so boot replay stays proportional to the
+// live job population.
+func (l *JobLog) Compact(retain func(jobID string) bool) error {
+	return l.wal.Compact(func(payload []byte) bool {
+		var e Entry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return false
+		}
+		return retain(e.Job)
+	})
+}
+
+// Stats exposes the underlying WAL counters.
+func (l *JobLog) Stats() WALStats { return l.wal.Stats() }
+
+// Close flushes and closes the underlying WAL.
+func (l *JobLog) Close() error { return l.wal.Close() }

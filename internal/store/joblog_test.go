@@ -1,0 +1,172 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// sweepEntry builds a representative submit entry for job id.
+func sweepEntry(id string) Entry {
+	return Entry{
+		Kind:   EntrySubmit,
+		Job:    id,
+		Time:   time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+		Origin: "node-a",
+		Request: &api.JobRequest{
+			Kind: api.JobKindSweep,
+			Sweep: &api.SweepRequest{
+				System: api.System{
+					Servers:    4,
+					Mu:         1,
+					OpWeights:  []float64{1},
+					OpRates:    []float64{0.05},
+					RepWeights: []float64{1},
+					RepRates:   []float64{0.5},
+				},
+				Param:  "lambda",
+				Values: []float64{0.1, 0.5, 0.9},
+			},
+		},
+	}
+}
+
+func TestJobLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenJobLog(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenJobLog: %v", err)
+	}
+	entries := []Entry{
+		sweepEntry("job-1"),
+		{Kind: EntryState, Job: "job-1", Time: time.Now().UTC(), State: api.JobStateRunning},
+		{Kind: EntryPoints, Job: "job-1", Time: time.Now().UTC(), Points: []api.SweepPoint{
+			{Index: 0, Value: 0.1}, {Index: 1, Value: 0.5},
+		}},
+		{Kind: EntryState, Job: "job-1", Time: time.Now().UTC(), State: api.JobStateDone},
+	}
+	for _, e := range entries {
+		if err := l.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l, err = OpenJobLog(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	var got []Entry
+	if err := l.Replay(func(e Entry) error { got = append(got, e); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(entries))
+	}
+	if got[0].Kind != EntrySubmit || got[0].Job != "job-1" || got[0].Origin != "node-a" {
+		t.Fatalf("submit entry mangled: %+v", got[0])
+	}
+	if got[0].Request == nil || got[0].Request.Sweep == nil || len(got[0].Request.Sweep.Values) != 3 {
+		t.Fatalf("request payload mangled: %+v", got[0].Request)
+	}
+	if got[2].Kind != EntryPoints || len(got[2].Points) != 2 || got[2].Points[1].Value != 0.5 {
+		t.Fatalf("points entry mangled: %+v", got[2])
+	}
+	if got[3].State != api.JobStateDone {
+		t.Fatalf("state entry mangled: %+v", got[3])
+	}
+}
+
+func TestJobLogCompactDropsExpiredJobs(t *testing.T) {
+	l, err := OpenJobLog(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("OpenJobLog: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		if err := l.Append(sweepEntry(id)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := l.Append(Entry{Kind: EntryState, Job: id, Time: time.Now().UTC(), State: api.JobStateDone}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	retained := map[string]bool{"job-1": true, "job-4": true}
+	if err := l.Compact(func(id string) bool { return retained[id] }); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	perJob := map[string]int{}
+	if err := l.Replay(func(e Entry) error { perJob[e.Job]++; return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(perJob) != 2 || perJob["job-1"] != 2 || perJob["job-4"] != 2 {
+		t.Fatalf("compaction kept the wrong set: %v", perJob)
+	}
+}
+
+func TestJobLogSkipsUndecodableEntries(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenJobLog(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenJobLog: %v", err)
+	}
+	defer l.Close()
+	if err := l.Append(sweepEntry("job-1")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// A CRC-valid record that is not JSON: a future format extension or a
+	// hand-edited log. Replay must skip it, not fail the boot.
+	if err := l.wal.Append([]byte("not-json")); err != nil {
+		t.Fatalf("raw Append: %v", err)
+	}
+	if err := l.Append(Entry{Kind: EntryState, Job: "job-1", Time: time.Now().UTC(), State: api.JobStateRunning}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	var kinds []EntryKind
+	if err := l.Replay(func(e Entry) error { kinds = append(kinds, e.Kind); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(kinds) != 2 || kinds[0] != EntrySubmit || kinds[1] != EntryState {
+		t.Fatalf("replayed kinds = %v, want [submit state]", kinds)
+	}
+}
+
+func TestSnapshotRoundTripAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/snapshot.json"
+	type payload struct {
+		Keys []string `json:"keys"`
+		N    int      `json:"n"`
+	}
+	var missing payload
+	if err := ReadSnapshot(path, &missing); err != ErrNoSnapshot {
+		t.Fatalf("ReadSnapshot(missing) = %v, want ErrNoSnapshot", err)
+	}
+	want := payload{Keys: []string{"a", "b"}, N: 42}
+	if err := WriteSnapshot(path, want); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	var got payload
+	if err := ReadSnapshot(path, &got); err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got.N != want.N || len(got.Keys) != 2 || got.Keys[1] != "b" {
+		t.Fatalf("snapshot round trip: got %+v, want %+v", got, want)
+	}
+	// Overwrite is atomic: a second write fully replaces the first.
+	if err := WriteSnapshot(path, payload{N: 7}); err != nil {
+		t.Fatalf("WriteSnapshot overwrite: %v", err)
+	}
+	got = payload{}
+	if err := ReadSnapshot(path, &got); err != nil {
+		t.Fatalf("ReadSnapshot after overwrite: %v", err)
+	}
+	if got.N != 7 || len(got.Keys) != 0 {
+		t.Fatalf("overwrite not atomic: %+v", got)
+	}
+}

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// ErrNoSnapshot reports that no snapshot file exists — the normal state
+// of a first boot, distinct from a snapshot that exists but is unreadable.
+var ErrNoSnapshot = errors.New("store: no snapshot")
+
+// WriteSnapshot atomically replaces the snapshot at path with the JSON
+// encoding of v: the bytes are written to a sibling tmp file, fsynced,
+// and renamed into place, so a crash mid-write leaves the previous
+// snapshot intact. Snapshots are advisory (they only warm caches), so
+// unlike WAL appends they are all-or-nothing rather than incremental.
+func WriteSnapshot(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: fsync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// ReadSnapshot decodes the snapshot at path into v. A missing file
+// returns ErrNoSnapshot; a present-but-undecodable file returns the
+// decode error (the caller decides whether a stale snapshot is fatal —
+// for cache warming it never is).
+func ReadSnapshot(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return ErrNoSnapshot
+		}
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("store: decode snapshot %s: %w", path, err)
+	}
+	return nil
+}
