@@ -172,13 +172,14 @@ func NodeUnavailable(format string, args ...any) *Error {
 }
 
 // Unstable builds the unstable_system error for a configuration violating
-// eq. 11, naming the smallest stabilising fleet size.
+// eq. 11, naming the smallest stabilising fleet size when one exists (a
+// degenerate configuration — zero availability, say — has none).
 func Unstable(sys core.System) *Error {
-	return &Error{
-		Code: CodeUnstableSystem,
-		Message: fmt.Sprintf("unstable: load %.4g ≥ 1, need at least %d servers",
-			sys.Load(), core.MinServersForStability(sys)),
+	msg := fmt.Sprintf("unstable: load %.4g ≥ 1", sys.Load())
+	if n, err := core.MinServersForStability(sys); err == nil {
+		msg = fmt.Sprintf("%s, need at least %d servers", msg, n)
 	}
+	return &Error{Code: CodeUnstableSystem, Message: msg}
 }
 
 // NodeFailure reports whether an error indicts the contacted node rather

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dist"
@@ -532,4 +535,47 @@ func BenchmarkSimulateService(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAdmissionDecision gates the admission controller's hot path:
+// Decide reads one atomic model snapshot and must never solve inline or
+// allocate — every job submission pays this cost before the scheduler is
+// consulted. The solver-call counter pins solve-freedom; the CI benchjson
+// gate pins 0 allocs/op (-zeroalloc).
+func BenchmarkAdmissionDecision(b *testing.B) {
+	var solves atomic.Int64
+	now := time.Unix(1_700_000_000, 0)
+	flow := admission.Flow{Busy: 1, Servers: 2}
+	ctl := admission.New(admission.Config{
+		Sample: func() admission.Flow { return flow },
+		Evaluate: func(ctx context.Context, sys core.System, m core.Method) (*core.Performance, error) {
+			solves.Add(1)
+			return &core.Performance{MeanJobs: 2, MeanResponse: 1}, nil
+		},
+		Interval: -1,
+		Now:      func() time.Time { return now },
+	})
+	if err := ctl.Refit(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	now = now.Add(10 * time.Second)
+	flow = admission.Flow{Arrivals: 5, Completions: 10, Busy: 1, Servers: 2, Backlog: 10}
+	if err := ctl.Refit(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	if ctl.Snapshot() == nil {
+		b.Fatal("no model published")
+	}
+	fitted := solves.Load()
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Backlogs sweep 0..63 so both branches (admit and shed-with-hint)
+	// are exercised every 64 iterations.
+	for i := 0; i < b.N; i++ {
+		_ = ctl.Decide(i & 63)
+	}
+	b.StopTimer()
+	if got := solves.Load(); got != fitted {
+		b.Fatalf("Decide ran %d inline solves; the hot path must never solve", got-fitted)
+	}
 }

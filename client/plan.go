@@ -1,0 +1,26 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"repro/api"
+)
+
+// Plan asks a capacity-planning question about the serving tier
+// (POST /v1/plan). With req.Measured set the server fills the rates from
+// its own fitted self-model — cluster-aggregated when clustering is
+// enabled — so the request only needs an objective:
+//
+//	resp, err := c.Plan(ctx, api.PlanRequest{
+//	    Measured:    true,
+//	    HoldingCost: 1, ServerCost: 0.5,
+//	})
+//	// resp.Servers is the cost-optimal fleet size for the measured load.
+func (c *Client) Plan(ctx context.Context, req api.PlanRequest) (*api.PlanResponse, error) {
+	var resp api.PlanResponse
+	if err := c.call(ctx, http.MethodPost, api.PathPlan, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

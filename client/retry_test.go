@@ -338,6 +338,48 @@ func TestRunJobSurfacesFailedJobError(t *testing.T) {
 	}
 }
 
+// TestSubmitJobRetriesOnHintedQueueFull pins the fixed backpressure loop
+// at the SDK layer on the exact path the bug stranded: a job submission
+// shed with queue_full plus the server's Retry-After hint is resubmitted
+// after exactly the hinted delay, and the caller receives the accepted
+// job — never the intermediate 429.
+func TestSubmitJobRetriesOnHintedQueueFull(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "4")
+			w.Header().Set("Content-Type", api.ContentTypeJSON)
+			w.WriteHeader(http.StatusTooManyRequests)
+			writeTestJSON(t, w, api.ErrorEnvelope{Error: api.QueueFull(8)})
+			return
+		}
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.WriteHeader(http.StatusAccepted)
+		writeTestJSON(t, w, api.JobStatus{ID: "j1", State: api.JobStateQueued})
+	}))
+	defer srv.Close()
+	rec := &recordSleeper{}
+	c := New(srv.URL)
+	c.sleep = rec.sleep
+	st, err := c.SubmitJob(context.Background(), api.NewSweepJob(api.SweepRequest{
+		System: api.System{Servers: 4},
+		Param:  api.ParamLambda,
+		Values: []float64{1},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j1" || st.State != api.JobStateQueued {
+		t.Errorf("accepted job %+v", st)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2 (one shed, one accepted)", got)
+	}
+	if len(rec.delays) != 1 || rec.delays[0] != 4*time.Second {
+		t.Errorf("slept %v, want exactly the server's [4s] hint", rec.delays)
+	}
+}
+
 func writeTestJSON(t *testing.T, w http.ResponseWriter, v any) {
 	t.Helper()
 	w.Header().Set("Content-Type", api.ContentTypeJSON)

@@ -15,6 +15,10 @@
 //	                     "Accept: application/x-ndjson" each grid point
 //	                     streams back as soon as it is solved
 //	POST /v1/optimize  — cost-optimal N (Fig. 5) or min N for an SLA (Fig. 9)
+//	POST /v1/plan      — the same provisioning questions asked about the
+//	                     serving tier itself; with "measured": true the
+//	                     rates come from the daemon's own fitted
+//	                     self-model (cluster-aggregated under -peers)
 //	POST /v1/simulate  — replicated simulation with 95% confidence intervals
 //	POST /v1/jobs      — submit a sweep/optimize/simulate payload as an
 //	                     asynchronous job; GET /v1/jobs lists the retained
@@ -62,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/obs/olog"
 	"repro/internal/service"
@@ -94,6 +99,9 @@ func run(args []string) error {
 		jobQueue     = fs.Int("job-queue", jobs.DefaultQueueDepth, "bound on queued async jobs (full queue rejects with queue_full)")
 		jobWorkers   = fs.Int("job-workers", jobs.DefaultWorkers, "concurrently executing async jobs (solver concurrency stays bounded by -workers)")
 		jobTTL       = fs.Duration("job-ttl", jobs.DefaultTTL, "retention of finished async jobs before garbage collection")
+		admissionOn  = fs.Bool("admission", true, "self-modeling admission control: fit the tier's measured rates into the paper's model and shed load (with model-derived Retry-After) when the backlog cannot clear in time")
+		admInterval  = fs.Duration("admission-interval", admission.DefaultInterval, "admission self-model refit period")
+		admTarget    = fs.Duration("admission-target-wait", admission.DefaultTargetWait, "admission SLO: shed submissions the model predicts cannot start within this wait")
 		peers        = fs.String("peers", "", "cluster membership: comma-separated [id=]url entries incl. this node (empty = standalone)")
 		nodeID       = fs.String("node-id", "", "this node's ID in -peers (required with -peers; defaults to the bare URL for id-less entries)")
 		dataDir      = fs.String("data-dir", "", "durability directory: job write-ahead log + cache snapshot (empty = in-memory only)")
@@ -181,6 +189,15 @@ func run(args []string) error {
 		jlog.RegisterMetrics(hs.reg)
 	}
 	hs.log = logger
+	if *admissionOn {
+		adm := hs.attachAdmission(admission.Config{
+			Interval:   *admInterval,
+			TargetWait: *admTarget,
+			Logger:     logger,
+		})
+		adm.Start()
+		defer adm.Close()
+	}
 	if *pprofAddr != "" {
 		// Opt-in profiling on its own listener: bind -pprof-addr to
 		// localhost (or a firewalled interface) — the API port never

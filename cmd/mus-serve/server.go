@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -15,8 +16,10 @@ import (
 	"time"
 
 	"repro/api"
+	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
 	"repro/internal/service"
@@ -34,9 +37,14 @@ import (
 // api.HeaderForwarded already crossed their one allowed hop and are
 // always served locally.
 type server struct {
-	eng      *service.Engine
-	sched    *jobs.Scheduler
-	clu      *cluster.Router // nil on a standalone node
+	eng   *service.Engine
+	sched *jobs.Scheduler
+	clu   *cluster.Router // nil on a standalone node
+	// adm is the self-modeling admission controller (nil with -admission
+	// off): it periodically fits the serving tier's own measured rates into
+	// a core.System, solves it, and turns the predictions into the
+	// load-shedding decision and the model-derived Retry-After hints.
+	adm      *admission.Controller
 	started  time.Time
 	requests atomic.Uint64
 	// reg is the node's metric registry: every layer registers its
@@ -88,6 +96,30 @@ func newServerCluster(eng *service.Engine, sched *jobs.Scheduler, clu *cluster.R
 	return s
 }
 
+// attachAdmission wires the self-modeling admission controller into the
+// server: counters are sampled from the job scheduler, self-model solves
+// run through the engine (sharing its worker pool and cache), and the
+// controller's mus_admission_* series join the node registry. The caller
+// owns the controller's lifecycle — Start it before serving, Close it on
+// shutdown. Call before handler(): registration panics on a duplicate.
+func (s *server) attachAdmission(cfg admission.Config) *admission.Controller {
+	cfg.Sample = func() admission.Flow {
+		f := s.sched.Flow()
+		return admission.Flow{
+			Arrivals:    float64(f.Offered),
+			Completions: float64(f.Completed),
+			Busy:        float64(f.Running),
+			Backlog:     f.Queued + f.Running,
+			Servers:     f.Workers,
+		}
+	}
+	cfg.Evaluate = s.eng.Evaluate
+	c := admission.New(cfg)
+	c.RegisterMetrics(s.reg)
+	s.adm = c
+	return c
+}
+
 // handler builds the /v1 route table behind the middleware chain.
 // Request-ID propagation wraps everything; per-route instrumentation
 // (latency histogram, in-flight gauge, status-code counters, one trace
@@ -102,6 +134,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST "+api.PathSolve, s.instrument(http.MethodPost, api.PathSolve, s.handleSolve))
 	mux.HandleFunc("POST "+api.PathSweep, s.instrument(http.MethodPost, api.PathSweep, s.handleSweep))
 	mux.HandleFunc("POST "+api.PathOptimize, s.instrument(http.MethodPost, api.PathOptimize, s.handleOptimize))
+	mux.HandleFunc("POST "+api.PathPlan, s.instrument(http.MethodPost, api.PathPlan, s.handlePlan))
 	mux.HandleFunc("POST "+api.PathSimulate, s.instrument(http.MethodPost, api.PathSimulate, s.handleSimulate))
 	mux.HandleFunc("POST "+api.PathJobs, s.instrument(http.MethodPost, api.PathJobs, s.handleJobSubmit))
 	mux.HandleFunc("GET "+api.PathJobs, s.instrument(http.MethodGet, api.PathJobs, s.handleJobList))
@@ -362,23 +395,41 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError classifies err into the wire taxonomy (client cancellations
 // become 499, deadline expiry 504, typed errors keep their code, anything
-// else 500) and renders the error envelope with the request ID. A
-// node_unavailable rejection carries the same Retry-After hint whichever
-// layer raised it — the drain middleware or the scheduler's own gate —
-// so clients see one consistent 503 contract.
-func writeError(w http.ResponseWriter, r *http.Request, err error) {
+// else 500) and renders the error envelope with the request ID. Every
+// backpressure rejection — queue_full 429 and node_unavailable 503,
+// whichever layer raised it — carries a Retry-After hint: the SDK's
+// backpressure contract only retries a 429 on the server's explicit
+// invitation, so a hintless 429 strands the caller. The hint is the
+// admission self-model's predicted drain time when a model exists, the
+// static fallback otherwise.
+func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	ae := api.Classify(err)
-	if ae.Code == api.CodeNodeUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(api.RetryAfterDraining))
+	switch ae.Code {
+	case api.CodeNodeUnavailable:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint(api.RetryAfterDraining)))
+	case api.CodeQueueFull:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint(api.RetryAfterQueueFull)))
 	}
 	writeJSON(w, ae.HTTPStatus(), api.ErrorEnvelope{Error: ae, RequestID: requestID(r.Context())})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+// retryAfterHint picks the Retry-After value for a backpressure
+// rejection: the admission controller's model-derived drain estimate
+// when one is fitted, the layer's static fallback otherwise.
+func (s *server) retryAfterHint(fallback int) int {
+	if s.adm != nil {
+		if secs := s.adm.RetryAfterSeconds(); secs > 0 {
+			return secs
+		}
+	}
+	return fallback
+}
+
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, r, api.InvalidArgument("body", "decode request: %v", err))
+		s.writeError(w, r, api.InvalidArgument("body", "decode request: %v", err))
 		return false
 	}
 	return true
@@ -386,16 +437,16 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req api.SolveRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	sys, m, err := req.Resolve()
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if !sys.Stable() {
-		writeError(w, r, api.Unstable(sys))
+		s.writeError(w, r, api.Unstable(sys))
 		return
 	}
 	if s.shouldRoute(r) {
@@ -403,7 +454,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp, served, err := s.clu.ForwardSolve(r.Context(), sys.Fingerprint(), req)
 		if served {
 			if err != nil {
-				writeError(w, r, err)
+				s.writeError(w, r, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, resp)
@@ -412,7 +463,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	perf, err := s.eng.Evaluate(r.Context(), sys, m)
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	resp := api.SolveResponse{
@@ -437,17 +488,17 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // the points are buffered into one api.SweepResponse.
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req api.SweepRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	systems, err := req.Systems() // validates and expands the grid
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	m, err := api.ParseMethod(req.Method) // cannot fail after Systems
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if s.shouldRoute(r) {
@@ -510,7 +561,7 @@ func (s *server) clusterSweep(w http.ResponseWriter, r *http.Request, req api.Sw
 		return nil
 	}, local)
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, api.SweepResponse{Method: m.String(), Param: req.Param, Points: points})
@@ -592,18 +643,18 @@ func sweepPointOf(req api.SweepRequest, res service.Result) api.SweepPoint {
 // (Figure 5).
 func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var req api.OptimizeRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	base, m, minN, maxN, err := req.Resolve()
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if req.TargetResponse > 0 {
 		pt, err := s.eng.MinServersForResponseTime(r.Context(), base, req.TargetResponse, minN, maxN, m)
 		if err != nil {
-			writeError(w, r, unsatisfiable(err))
+			s.writeError(w, r, unsatisfiable(err))
 			return
 		}
 		writeJSON(w, http.StatusOK, api.OptimizeResponse{
@@ -616,7 +667,7 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	cm := core.CostModel{HoldingCost: req.HoldingCost, ServerCost: req.ServerCost}
 	best, err := s.eng.OptimizeServers(r.Context(), base, cm, minN, maxN, m)
 	if err != nil {
-		writeError(w, r, unsatisfiable(err))
+		s.writeError(w, r, unsatisfiable(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, api.OptimizeResponse{
@@ -638,6 +689,135 @@ func unsatisfiable(err error) error {
 	return &api.Error{Code: api.CodeUnsatisfiable, Message: err.Error()}
 }
 
+// handlePlan answers the provisioning questions of /v1/optimize about
+// the serving tier itself (POST /v1/plan) — the planning half of the
+// self-modeling loop. In request mode the caller supplies the rates; in
+// measured mode ("measured": true) they come from the admission
+// controller's fitted self-model, aggregated across every live cluster
+// node when clustering is enabled: arrival rates sum (each node sheds
+// its own offered load), per-server service, breakdown and repair rates
+// average. Either way the answer is computed by the same
+// core.OptimizeServers / MinServersForResponseTime search the offline
+// optimizer runs, so a plan fed the paper's §5 parameters agrees with
+// Figure 5 exactly.
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req api.PlanRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	m, minN, maxN, err := req.ResolveObjective()
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	resp := api.PlanResponse{Source: api.PlanSourceRequest}
+	var base core.System
+	if req.Measured {
+		rates, nodes, err := s.measuredRates(r.Context())
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		base = core.System{
+			Servers:     1, // N is the decision variable
+			ArrivalRate: rates.Lambda,
+			ServiceRate: rates.Mu,
+			Operative:   dist.Exp(rates.Xi),
+			Repair:      dist.Exp(rates.Eta),
+		}
+		resp.Source = api.PlanSourceMeasured
+		resp.Nodes = nodes
+		resp.Rates = rates
+	} else {
+		if base, err = req.BaseSystem(); err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		resp.Rates = api.PlanRates{
+			Lambda: base.ArrivalRate,
+			Mu:     base.ServiceRate,
+			Xi:     base.Operative.Rate(),
+			Eta:    base.Repair.Rate(),
+		}
+	}
+	minStable, err := core.MinServersForStability(base)
+	if err != nil {
+		s.writeError(w, r, unsatisfiable(fmt.Errorf("no fleet size stabilises the planned load: %w", err)))
+		return
+	}
+	resp.MinStable = minStable
+	resp.Availability = base.Availability()
+	if req.TargetResponse > 0 {
+		pt, err := s.eng.MinServersForResponseTime(r.Context(), base, req.TargetResponse, minN, maxN, m)
+		if err != nil {
+			s.writeError(w, r, unsatisfiable(err))
+			return
+		}
+		resp.Objective = fmt.Sprintf("min N in [%d, %d] with W ≤ %g", minN, maxN, req.TargetResponse)
+		resp.Servers = pt.Servers
+		resp.Perf = api.FromPerformance(pt.Perf)
+	} else {
+		cm := core.CostModel{HoldingCost: req.HoldingCost, ServerCost: req.ServerCost}
+		best, err := s.eng.OptimizeServers(r.Context(), base, cm, minN, maxN, m)
+		if err != nil {
+			s.writeError(w, r, unsatisfiable(err))
+			return
+		}
+		resp.Objective = fmt.Sprintf("min %g·L + %g·N over [%d, %d]", cm.HoldingCost, cm.ServerCost, minN, maxN)
+		resp.Servers = best.Servers
+		resp.Cost = &best.Cost
+		resp.Perf = api.FromPerformance(best.Perf)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// measuredRates assembles the rate quadruple for a measured-mode plan:
+// this node's fitted self-model, joined with every live peer's fitted
+// rates read from their /v1/cluster metric snapshots (the exported
+// mus_admission_* gauge keys are the wire contract). Arrival rates are
+// additive — each node sees its own slice of the offered load — while
+// the per-server service, breakdown and repair rates are averaged over
+// the nodes that measured them.
+func (s *server) measuredRates(ctx context.Context) (api.PlanRates, int, error) {
+	if s.adm == nil {
+		return api.PlanRates{}, 0, api.InvalidArgument("measured",
+			"measured mode needs the admission controller (-admission) enabled")
+	}
+	local, ok := s.adm.MeasuredRates()
+	if !ok {
+		return api.PlanRates{}, 0, &api.Error{Code: api.CodeUnsatisfiable,
+			Message: "no fitted self-model yet: the tier has not served enough traffic to measure its rates; retry after the next refit window"}
+	}
+	rates := api.PlanRates{Lambda: local.Arrival, Mu: local.Service, Xi: local.Failure, Eta: local.Repair}
+	nodes, mus, xis, etas := 1, 1, 1, 1
+	if s.clu != nil {
+		for _, snap := range s.clu.GatherObs(ctx) {
+			lam := snap[admission.MetricArrivalRate]
+			if lam <= 0 {
+				continue // peer has no fitted model yet
+			}
+			nodes++
+			rates.Lambda += lam
+			if mu := snap[admission.MetricServiceRate]; mu > 0 {
+				rates.Mu += mu
+				mus++
+			}
+			if xi := snap[admission.MetricFailureRate]; xi > 0 {
+				rates.Xi += xi
+				xis++
+			}
+			if eta := snap[admission.MetricRepairRate]; eta > 0 {
+				rates.Eta += eta
+				etas++
+			}
+		}
+		rates.Mu /= float64(mus)
+		rates.Xi /= float64(xis)
+		rates.Eta /= float64(etas)
+	}
+	return rates, nodes, nil
+}
+
 // handleSimulate estimates the steady state by parallel independent
 // replications with Student-t confidence intervals — the statistical
 // validation companion to /v1/solve. With rel_precision set, replications
@@ -646,20 +826,20 @@ func unsatisfiable(err error) error {
 // and are bit-for-bit reproducible for a fixed request.
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req api.SimulateRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	// Option errors are client errors: rejecting them here gets them a 400
 	// and keeps them out of the engine's simulation-failure counter.
 	sys, opts, err := req.Resolve()
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if !sys.Stable() {
 		ae := api.Unstable(sys)
 		ae.Message += " — a simulation would never reach steady state"
-		writeError(w, r, ae)
+		s.writeError(w, r, ae)
 		return
 	}
 	if s.shouldRoute(r) {
@@ -667,7 +847,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		resp, served, err := s.clu.ForwardSimulate(r.Context(), sys.Fingerprint(), req)
 		if served {
 			if err != nil {
-				writeError(w, r, err)
+				s.writeError(w, r, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, resp)
@@ -676,7 +856,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.eng.Simulate(r.Context(), sys, opts)
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, api.SimulateResponse{
@@ -701,12 +881,36 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // fingerprint onto their ring-owner nodes.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.JobRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
+	}
+	// The admission controller sheds before the scheduler's hard queue
+	// bound is reached: when the self-model predicts the current backlog
+	// cannot clear within the target wait, the 429 carries the predicted
+	// drain time instead of letting the queue fill to its static limit
+	// first. No model (first window, -admission off) admits everything —
+	// the scheduler's own queue_full gate stays the backstop either way.
+	if s.adm != nil {
+		if d := s.adm.Decide(s.sched.Backlog()); !d.Admit {
+			secs := int(math.Ceil(d.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, api.ErrorEnvelope{
+				Error: &api.Error{
+					Code: api.CodeQueueFull,
+					Message: fmt.Sprintf(
+						"admission control: backlog exceeds the model-derived limit; predicted drain %ds", secs),
+				},
+				RequestID: requestID(r.Context()),
+			})
+			return
+		}
 	}
 	st, err := s.sched.Submit(r.Context(), req)
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	setTraceJob(r.Context(), st.ID)
@@ -725,7 +929,7 @@ func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	setTraceJob(r.Context(), r.PathValue("id"))
 	st, err := s.sched.Status(r.PathValue("id"))
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -742,7 +946,7 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	if r.Header.Get("Accept") == api.ContentTypeNDJSON {
 		pts, st, err := s.sched.PartialSweep(id)
 		if err != nil {
-			writeError(w, r, err)
+			s.writeError(w, r, err)
 			return
 		}
 		w.Header().Set("Content-Type", api.ContentTypeNDJSON)
@@ -758,7 +962,7 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.sched.Result(id)
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -772,7 +976,7 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	setTraceJob(r.Context(), r.PathValue("id"))
 	st, err := s.sched.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)

@@ -88,7 +88,11 @@ func run(args []string) error {
 	fmt.Fprintf(w, "offered load\t%.6g\n", sys.Load())
 	fmt.Fprintf(w, "modes s\t%d\n", sys.Modes())
 	if !sys.Stable() {
-		fmt.Fprintf(w, "stability\tUNSTABLE (eq. 11 violated) — need N ≥ %d\n", core.MinServersForStability(sys))
+		if n, nerr := core.MinServersForStability(sys); nerr == nil {
+			fmt.Fprintf(w, "stability\tUNSTABLE (eq. 11 violated) — need N ≥ %d\n", n)
+		} else {
+			fmt.Fprintf(w, "stability\tUNSTABLE (eq. 11 violated) — no stabilising N: %v\n", nerr)
+		}
 		return nil
 	}
 	if *serverURL != "" {

@@ -21,8 +21,12 @@ func main() {
 		Operative:   dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091}),
 		Repair:      dist.Exp(25),
 	}
+	minStable, err := core.MinServersForStability(base)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("λ = %g, availability = %.4f ⇒ at least N = %d for stability\n\n",
-		base.ArrivalRate, base.Availability(), core.MinServersForStability(base))
+		base.ArrivalRate, base.Availability(), minStable)
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "SLA target W ≤\tmin servers\tachieved W\tachieved L\tP(wait > 0... ≥N jobs)")

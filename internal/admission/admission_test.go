@@ -1,0 +1,221 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// controllerHarness scripts the controller's inputs: a mutable Flow the
+// test advances between refits, a manual clock, and a counting fake
+// evaluator.
+type controllerHarness struct {
+	flow   Flow
+	now    time.Time
+	solves int
+	perf   core.Performance
+	fail   error
+}
+
+func (h *controllerHarness) controller(cfg Config) *Controller {
+	cfg.Sample = func() Flow { return h.flow }
+	cfg.Evaluate = func(_ context.Context, _ core.System, _ core.Method) (*core.Performance, error) {
+		h.solves++
+		if h.fail != nil {
+			return nil, h.fail
+		}
+		p := h.perf
+		return &p, nil
+	}
+	cfg.Now = func() time.Time { return h.now }
+	cfg.Interval = -1 // tests drive Refit directly
+	return New(cfg)
+}
+
+func (h *controllerHarness) advance(d time.Duration) { h.now = h.now.Add(d) }
+
+// TestControllerAdmitsWithoutData: before any usable window the controller
+// has no model and must admit everything with no hint.
+func TestControllerAdmitsWithoutData(t *testing.T) {
+	h := &controllerHarness{now: at(0)}
+	c := h.controller(Config{})
+	if err := c.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Decide(1 << 20)
+	if !d.Admit || d.ModelDerived {
+		t.Fatalf("no-data decision = %+v, want default-admit", d)
+	}
+	if s := c.RetryAfterSeconds(); s != 0 {
+		t.Fatalf("RetryAfterSeconds = %d, want 0 before a model exists", s)
+	}
+	if c.Snapshot() != nil {
+		t.Fatal("snapshot published without data")
+	}
+}
+
+// fitModel drives two refits that produce a known fit: λ̂ = 0.5, µ̂ = 1,
+// N = 2, near-perfect availability ⇒ capacity ≈ 2 jobs/s, and with
+// TargetWait = 2s an admission limit of ≈ 4 jobs.
+func fitModel(t *testing.T, h *controllerHarness, c *Controller) {
+	t.Helper()
+	h.flow = Flow{Arrivals: 0, Completions: 0, Busy: 1, Servers: 2, Backlog: 0}
+	if err := c.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h.advance(10 * time.Second)
+	h.flow = Flow{Arrivals: 5, Completions: 10, Busy: 1, Servers: 2, Backlog: 10}
+	if err := c.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControllerShedsOnOverload: with a fitted model, a backlog beyond the
+// admission limit is shed with a drain-time Retry-After; a backlog under
+// it is admitted and carries the predicted queue length.
+func TestControllerShedsOnOverload(t *testing.T) {
+	h := &controllerHarness{now: at(0), perf: core.Performance{MeanJobs: 0.6, MeanResponse: 1.2}}
+	c := h.controller(Config{TargetWait: 2 * time.Second})
+	fitModel(t, h, c)
+
+	m := c.Snapshot()
+	if m == nil || !m.Stable {
+		t.Fatalf("snapshot = %+v, want a stable fit", m)
+	}
+	if m.Rates.Arrival != 0.5 || m.Rates.Service != 1 {
+		t.Fatalf("fitted rates = %+v, want λ̂ 0.5, µ̂ 1", m.Rates)
+	}
+	if h.solves != 1 {
+		t.Fatalf("evaluator ran %d times, want 1", h.solves)
+	}
+
+	if d := c.Decide(3); !d.Admit || d.PredictedQueue != 0.6 {
+		t.Fatalf("under-limit decision = %+v, want admit with L̂ 0.6", d)
+	}
+	d := c.Decide(10)
+	if d.Admit || !d.ModelDerived {
+		t.Fatalf("over-limit decision = %+v, want a model-derived shed", d)
+	}
+	// excess ≈ 10 − limit(≈4) = 6; (6+1)/capacity(≈2) ≈ 3.5s.
+	if d.RetryAfter < 3*time.Second || d.RetryAfter > 4*time.Second {
+		t.Fatalf("RetryAfter = %v, want ≈ 3.5s drain", d.RetryAfter)
+	}
+	// The refit observed backlog 10, so the backlog-free hint agrees.
+	if s := c.RetryAfterSeconds(); s != 4 {
+		t.Fatalf("RetryAfterSeconds = %d, want 4 (⌈3.5⌉)", s)
+	}
+	// Deciding never re-solves: the model is read, not recomputed.
+	if h.solves != 1 {
+		t.Fatalf("Decide solved the model inline (%d solves)", h.solves)
+	}
+}
+
+// TestControllerUnstableFitSheds: when the fitted λ̂ exceeds capacity there
+// is no steady state to solve; the controller must still publish the fit
+// (capacity and limit drive shedding) without invoking the solver.
+func TestControllerUnstableFitSheds(t *testing.T) {
+	h := &controllerHarness{now: at(0), perf: core.Performance{MeanJobs: 0.6}}
+	c := h.controller(Config{TargetWait: 2 * time.Second})
+	fitModel(t, h, c)
+
+	h.advance(10 * time.Second)
+	// A 10 s burst of 100 arrivals against the same single-worker
+	// completion rate lifts λ̂ past the ≈2 job/s fitted capacity.
+	h.flow = Flow{Arrivals: 105, Completions: 20, Busy: 1, Servers: 2, Backlog: 50}
+	if err := c.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Snapshot()
+	if m == nil || m.Stable {
+		t.Fatalf("snapshot = %+v, want an unstable fit", m)
+	}
+	if h.solves != 1 {
+		t.Fatalf("unstable fit ran the solver (%d solves)", h.solves)
+	}
+	d := c.Decide(50)
+	if d.Admit {
+		t.Fatal("overloaded tier admitted a deep backlog")
+	}
+	if d.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want ≥ 1s", d.RetryAfter)
+	}
+}
+
+// TestControllerSolverFailureKeepsModel: a solver error must count as a
+// refit failure and leave the previous snapshot in place.
+func TestControllerSolverFailureKeepsModel(t *testing.T) {
+	h := &controllerHarness{now: at(0), perf: core.Performance{MeanJobs: 0.6}}
+	c := h.controller(Config{TargetWait: 2 * time.Second})
+	fitModel(t, h, c)
+	prev := c.Snapshot()
+
+	h.advance(10 * time.Second)
+	h.flow = Flow{Arrivals: 6, Completions: 12, Busy: 1, Servers: 2, Backlog: 1}
+	h.fail = errors.New("solver exploded")
+	if err := c.Refit(context.Background()); err == nil {
+		t.Fatal("failing solver did not surface an error")
+	}
+	if c.Snapshot() != prev {
+		t.Fatal("failed refit replaced the model snapshot")
+	}
+}
+
+// TestControllerIdleTierNeverSheds: arrivals with no completions yet (the
+// tier is busy on its very first job) must not fit a garbage µ̂; the
+// controller keeps admitting.
+func TestControllerIdleTierNeverSheds(t *testing.T) {
+	h := &controllerHarness{now: at(0)}
+	c := h.controller(Config{})
+	h.flow = Flow{Arrivals: 0, Completions: 0, Busy: 0, Servers: 2}
+	if err := c.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h.advance(10 * time.Second)
+	h.flow = Flow{Arrivals: 50, Completions: 0, Busy: 2, Servers: 2, Backlog: 48}
+	if err := c.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Snapshot() != nil {
+		t.Fatal("published a model with an unmeasurable service rate")
+	}
+	if d := c.Decide(48); !d.Admit {
+		t.Fatal("shed without a model")
+	}
+}
+
+// TestControllerMetricsRegister: the mus_admission_* series must satisfy
+// the registry's naming contract (Register panics on violations) and
+// surface the fitted rates under the exported snapshot keys.
+func TestControllerMetricsRegister(t *testing.T) {
+	h := &controllerHarness{now: at(0), perf: core.Performance{MeanJobs: 0.6, MeanResponse: 1.2}}
+	c := h.controller(Config{TargetWait: 2 * time.Second})
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+	fitModel(t, h, c)
+	c.Decide(1)
+	c.Decide(1000)
+
+	snap := reg.Snapshot()
+	if got := snap[MetricArrivalRate]; got != 0.5 {
+		t.Errorf("%s = %v, want 0.5", MetricArrivalRate, got)
+	}
+	if got := snap[MetricServiceRate]; got != 1 {
+		t.Errorf("%s = %v, want 1", MetricServiceRate, got)
+	}
+	if got := snap["mus_admission_predicted_queue_jobs"]; got != 0.6 {
+		t.Errorf("predicted queue = %v, want 0.6", got)
+	}
+	if got := snap["mus_admission_shed_total"]; got != 1 {
+		t.Errorf("shed_total = %v, want 1", got)
+	}
+	if got := snap["mus_admission_admitted_total"]; got != 1 {
+		t.Errorf("admitted_total = %v, want 1", got)
+	}
+	if got := snap["mus_admission_model_solve_seconds_count"]; got != 1 {
+		t.Errorf("model_solve_seconds_count = %v, want 1", got)
+	}
+}

@@ -1,0 +1,146 @@
+// Package admission closes the serving tier's self-modeling loop: it
+// turns the daemon's own cumulative counters into smoothed arrival,
+// service, failure and repair rate estimates, periodically fits them into
+// a core.System describing the serving tier itself, solves that system
+// with the paper's own model, and derives both the load-shedding decision
+// and the Retry-After hint from the predicted queue behaviour — replacing
+// the static queue bound the scheduler alone would enforce.
+//
+// The split of responsibilities is strict: Refit (slow path, one solver
+// call per interval) samples counters, fits rates and stores an immutable
+// model snapshot behind an atomic pointer; Decide (hot path, every job
+// submission) only reads that snapshot and compares the live backlog
+// against the precomputed admission limit. The decision never solves the
+// model inline.
+package admission
+
+import (
+	"math"
+	"time"
+)
+
+// DefaultHalfLife is the smoothing half-life of the rate estimators: a
+// window delta observed one half-life ago carries half the weight of one
+// observed now.
+const DefaultHalfLife = 30 * time.Second
+
+// RateEstimator turns samples of one cumulative counter into a smoothed
+// event rate (events per second). Deltas between consecutive samples are
+// converted to instantaneous rates and blended by an exponentially
+// weighted moving average whose weight follows the sample spacing, so
+// irregular sampling does not skew the estimate.
+//
+// The estimator is deliberately conservative about sparse data: before the
+// first sample (first-window emptiness) and after only one sample there is
+// no delta, so Rate reports not-ok and callers fall back to admitting
+// everything. A counter that goes backwards — the daemon restarted and its
+// cumulative counters re-zeroed — re-primes the estimator at the new
+// origin instead of recording an enormous negative rate.
+//
+// Not safe for concurrent use: the Controller owns its estimators and
+// drives them from a single refit goroutine.
+type RateEstimator struct {
+	halfLife time.Duration
+	last     float64
+	lastAt   time.Time
+	primed   bool
+	rate     float64
+	haveRate bool
+	resets   uint64
+}
+
+// NewRateEstimator builds an estimator with the given smoothing half-life
+// (DefaultHalfLife when non-positive).
+func NewRateEstimator(halfLife time.Duration) *RateEstimator {
+	if halfLife <= 0 {
+		halfLife = DefaultHalfLife
+	}
+	return &RateEstimator{halfLife: halfLife}
+}
+
+// Observe records one sample of the cumulative counter at the given time.
+// Samples at or before the previous sample's timestamp are ignored; a
+// count below the previous one is treated as a counter reset.
+func (e *RateEstimator) Observe(when time.Time, count float64) {
+	if math.IsNaN(count) || math.IsInf(count, 0) {
+		return
+	}
+	if !e.primed {
+		e.last, e.lastAt, e.primed = count, when, true
+		return
+	}
+	dt := when.Sub(e.lastAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	delta := count - e.last
+	if delta < 0 {
+		// The counter went backwards: the process restarted and re-zeroed.
+		// The delta spans two counter lifetimes and means nothing — drop
+		// it and restart the window from the new origin, keeping the
+		// previously smoothed rate (the workload did not reset with the
+		// counter).
+		e.resets++
+		e.last, e.lastAt = count, when
+		return
+	}
+	inst := delta / dt
+	if !e.haveRate {
+		e.rate, e.haveRate = inst, true
+	} else {
+		alpha := 1 - math.Exp2(-dt/e.halfLife.Seconds())
+		e.rate += alpha * (inst - e.rate)
+	}
+	e.last, e.lastAt = count, when
+}
+
+// Rate returns the smoothed rate in events per second. ok is false until
+// at least one usable window delta has been observed — callers must treat
+// a not-ok estimator as "no data", never as rate zero.
+func (e *RateEstimator) Rate() (rate float64, ok bool) {
+	return e.rate, e.haveRate
+}
+
+// Resets counts counter resets observed (restarts survived).
+func (e *RateEstimator) Resets() uint64 { return e.resets }
+
+// Smoother is the gauge companion of RateEstimator: an exponentially
+// weighted moving average of a sampled level (busy workers, broken
+// servers) with the same spacing-aware weighting. Not safe for concurrent
+// use.
+type Smoother struct {
+	halfLife time.Duration
+	value    float64
+	lastAt   time.Time
+	primed   bool
+}
+
+// NewSmoother builds a smoother with the given half-life (DefaultHalfLife
+// when non-positive).
+func NewSmoother(halfLife time.Duration) *Smoother {
+	if halfLife <= 0 {
+		halfLife = DefaultHalfLife
+	}
+	return &Smoother{halfLife: halfLife}
+}
+
+// Observe records one sample of the level at the given time.
+func (s *Smoother) Observe(when time.Time, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if !s.primed {
+		s.value, s.lastAt, s.primed = v, when, true
+		return
+	}
+	dt := when.Sub(s.lastAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	alpha := 1 - math.Exp2(-dt/s.halfLife.Seconds())
+	s.value += alpha * (v - s.value)
+	s.lastAt = when
+}
+
+// Value returns the smoothed level; ok is false before the first sample.
+func (s *Smoother) Value() (v float64, ok bool) { return s.value, s.primed }

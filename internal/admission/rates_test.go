@@ -1,0 +1,116 @@
+package admission
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func at(sec int) time.Time { return time.Unix(1_700_000_000, 0).Add(time.Duration(sec) * time.Second) }
+
+// TestRateEstimatorFirstWindow: before any sample there is no rate, and a
+// single sample (no delta yet) still reports not-ok — the first-window
+// emptiness contract callers rely on to fall back to admit-everything.
+func TestRateEstimatorFirstWindow(t *testing.T) {
+	e := NewRateEstimator(10 * time.Second)
+	if r, ok := e.Rate(); ok {
+		t.Fatalf("empty estimator reported rate %v", r)
+	}
+	e.Observe(at(0), 42)
+	if r, ok := e.Rate(); ok {
+		t.Fatalf("single-sample estimator reported rate %v", r)
+	}
+}
+
+// TestRateEstimatorFirstDelta: the second sample yields the first usable
+// window and the exact instantaneous rate.
+func TestRateEstimatorFirstDelta(t *testing.T) {
+	e := NewRateEstimator(10 * time.Second)
+	e.Observe(at(0), 100)
+	e.Observe(at(10), 150)
+	r, ok := e.Rate()
+	if !ok || r != 5 {
+		t.Fatalf("Rate = %v, %v; want 5, true", r, ok)
+	}
+}
+
+// TestRateEstimatorCounterReset: a cumulative counter that goes backwards
+// means the process restarted and re-zeroed. The impossible negative delta
+// must be dropped (the smoothed rate survives), the reset counted, and
+// estimation must resume from the new origin.
+func TestRateEstimatorCounterReset(t *testing.T) {
+	e := NewRateEstimator(10 * time.Second)
+	e.Observe(at(0), 0)
+	e.Observe(at(10), 100) // 10/s
+	if r, _ := e.Rate(); r != 10 {
+		t.Fatalf("pre-reset rate = %v, want 10", r)
+	}
+	e.Observe(at(20), 5) // restart: counter re-zeroed and re-grew to 5
+	if r, ok := e.Rate(); !ok || r != 10 {
+		t.Fatalf("rate across reset = %v, %v; want the surviving 10, true", r, ok)
+	}
+	if e.Resets() != 1 {
+		t.Fatalf("Resets = %d, want 1", e.Resets())
+	}
+	// The next window measures against the new origin: delta 20 over 10s.
+	e.Observe(at(30), 25)
+	r, _ := e.Rate()
+	// halfLife 10s over a 10s window blends half-and-half: (10+2)/2.
+	if math.Abs(r-6) > 1e-9 {
+		t.Fatalf("post-reset rate = %v, want 6", r)
+	}
+}
+
+// TestRateEstimatorNonAdvancingClock: a sample at or before the previous
+// timestamp cannot form a window and must be ignored.
+func TestRateEstimatorNonAdvancingClock(t *testing.T) {
+	e := NewRateEstimator(10 * time.Second)
+	e.Observe(at(0), 0)
+	e.Observe(at(10), 50)
+	e.Observe(at(10), 500) // same instant: no window
+	if r, _ := e.Rate(); r != 5 {
+		t.Fatalf("rate = %v, want 5", r)
+	}
+}
+
+// TestRateEstimatorConvergence: against a synthetic arrival process that
+// switches from 2/s to 5/s, the smoothed estimate must converge to the new
+// true rate within a few half-lives.
+func TestRateEstimatorConvergence(t *testing.T) {
+	e := NewRateEstimator(10 * time.Second)
+	var count float64
+	for i := 0; i <= 60; i++ { // 60 s at 2/s
+		e.Observe(at(i), count)
+		count += 2
+	}
+	for i := 61; i <= 120; i++ { // 60 s at 5/s: six half-lives of decay
+		e.Observe(at(i), count)
+		count += 5
+	}
+	r, ok := e.Rate()
+	if !ok {
+		t.Fatal("no rate after 120 samples")
+	}
+	if math.Abs(r-5) > 0.1 {
+		t.Fatalf("rate = %v, want ≈ 5 after convergence", r)
+	}
+}
+
+// TestSmootherTracksLevel: the gauge smoother primes on the first sample
+// and converges onto a changed level.
+func TestSmootherTracksLevel(t *testing.T) {
+	s := NewSmoother(10 * time.Second)
+	if _, ok := s.Value(); ok {
+		t.Fatal("empty smoother reported a value")
+	}
+	s.Observe(at(0), 4)
+	if v, ok := s.Value(); !ok || v != 4 {
+		t.Fatalf("Value = %v, %v; want 4, true", v, ok)
+	}
+	for i := 1; i <= 60; i++ {
+		s.Observe(at(i), 8)
+	}
+	if v, _ := s.Value(); math.Abs(v-8) > 0.1 {
+		t.Fatalf("Value = %v, want ≈ 8", v)
+	}
+}

@@ -434,6 +434,43 @@ func (r *Router) countOwned(fp string) {
 	}
 }
 
+// GatherObs fetches each live peer's /v1/cluster snapshot concurrently
+// and returns the metric maps keyed by node ID — the measurement-plane
+// gather behind /v1/plan's cluster-wide measured mode, where each node's
+// fitted mus_admission_* rates are summed or averaged into one
+// cluster-level model. Best-effort by design: the self entry is omitted
+// (the caller reads its own registry directly), down peers are skipped,
+// and a peer that fails mid-gather is dropped from the result exactly as
+// if it had been down — capacity planning over the reachable majority
+// beats no plan at all.
+func (r *Router) GatherObs(ctx context.Context) map[string]map[string]float64 {
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		out = make(map[string]map[string]float64, len(r.nodes))
+	)
+	for _, n := range r.nodes {
+		if n.c == nil || !r.alive(n) {
+			continue
+		}
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			gctx, cancel := context.WithTimeout(ctx, r.probeTimeout)
+			defer cancel()
+			resp, err := n.c.Cluster(gctx)
+			if err != nil || resp.Obs == nil {
+				return
+			}
+			mu.Lock()
+			out[n.id] = resp.Obs
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	return out
+}
+
 // Stats snapshots the router's routing state: per-node health and
 // counters in ring order. The caller (the /v1/cluster handler) fills in
 // the local engine's cache-affinity fields.

@@ -275,7 +275,10 @@ func TestSweepServersSkipsUnstable(t *testing.T) {
 
 func TestMinServersForStability(t *testing.T) {
 	s := fig5System(0, 8)
-	n := MinServersForStability(s)
+	n, err := MinServersForStability(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Servers = n
 	if !s.Stable() {
 		t.Errorf("N = %d not stable", n)

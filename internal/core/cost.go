@@ -128,10 +128,22 @@ func SweepServers(base System, cm CostModel, minN, maxN int, m Method) ([]Server
 // OptimizeServers returns the N in [minN, maxN] minimising C = c₁L + c₂N —
 // the paper's third introduction question, answered in Figure 5. Because L
 // decreases in N while c₂N grows linearly, the cost is unimodal in N; the
-// search therefore stops early once the cost has risen for three
+// search therefore stops early once the cost has not decreased for three
 // consecutive stable configurations, which keeps the expensive large-N
 // solves out of the loop.
 func OptimizeServers(base System, cm CostModel, minN, maxN int, m Method) (ServerSweepPoint, error) {
+	return optimizeServers(base, cm, minN, maxN, func(sys System) (*Performance, error) {
+		return sys.SolveWith(m)
+	})
+}
+
+// costTol is the relative tolerance under which two consecutive costs count
+// as equal for the early-stop rule of optimizeServers.
+const costTol = 1e-9
+
+// optimizeServers is OptimizeServers with the solver injected, so the
+// early-stop behaviour is testable against synthetic cost curves.
+func optimizeServers(base System, cm CostModel, minN, maxN int, solve func(System) (*Performance, error)) (ServerSweepPoint, error) {
 	if minN < 1 || maxN < minN {
 		return ServerSweepPoint{}, fmt.Errorf("core: invalid server range [%d, %d]", minN, maxN)
 	}
@@ -145,7 +157,7 @@ func OptimizeServers(base System, cm CostModel, minN, maxN int, m Method) (Serve
 		if !sys.Stable() {
 			continue
 		}
-		perf, err := sys.SolveWith(m)
+		perf, err := solve(sys)
 		if err != nil {
 			return ServerSweepPoint{}, fmt.Errorf("core: N = %d: %w", n, err)
 		}
@@ -154,7 +166,12 @@ func OptimizeServers(base System, cm CostModel, minN, maxN int, m Method) (Serve
 			best = pt
 			found = true
 		}
-		if pt.Cost > prev {
+		// A non-decreasing step counts as a rise: past the minimum of a
+		// unimodal curve the cost can only stay flat or grow, so an
+		// equal-cost plateau (within costTol of float noise) must trip the
+		// cutoff too — a strict comparison would reset the counter on every
+		// flat point and solve all the way to maxN.
+		if pt.Cost >= prev-costTol*math.Max(1, math.Abs(prev)) {
 			rises++
 			if rises >= 3 {
 				break
@@ -196,12 +213,28 @@ func MinServersForResponseTime(base System, target float64, maxN int, m Method) 
 }
 
 // MinServersForStability returns the smallest N satisfying eq. (11),
-// ⌈(λ/µ)·(ξ+η)/η⌉ (+1 when the load is exactly 1).
-func MinServersForStability(base System) int {
-	needed := base.ArrivalRate / base.ServiceRate / base.Availability()
+// ⌈(λ/µ)·(ξ+η)/η⌉ (+1 when the load is exactly 1). The rates must be
+// usable: a non-positive arrival or service rate, a missing distribution,
+// or zero availability (repairs that never complete) admits no stabilising
+// N at all and returns an error instead of ⌈NaN⌉ garbage.
+func MinServersForStability(base System) (int, error) {
+	if !(base.ArrivalRate > 0) || math.IsInf(base.ArrivalRate, 0) {
+		return 0, fmt.Errorf("core: arrival rate %v must be positive and finite", base.ArrivalRate)
+	}
+	if !(base.ServiceRate > 0) || math.IsInf(base.ServiceRate, 0) {
+		return 0, fmt.Errorf("core: service rate %v must be positive and finite", base.ServiceRate)
+	}
+	if base.Operative == nil || base.Repair == nil {
+		return 0, errors.New("core: operative and repair distributions are required")
+	}
+	avail := base.Availability()
+	if !(avail > 0) {
+		return 0, fmt.Errorf("core: availability %v must be positive (zero repair rate?)", avail)
+	}
+	needed := base.ArrivalRate / base.ServiceRate / avail
 	n := int(math.Ceil(needed))
 	if float64(n) <= needed {
 		n++
 	}
-	return n
+	return n, nil
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// TestMinServersForStabilityDegenerate pins the validation contract: every
+// input whose eq.-11 quotient would be Inf or NaN must fail loudly instead
+// of returning ⌈NaN⌉ garbage.
+func TestMinServersForStabilityDegenerate(t *testing.T) {
+	op := dist.MustHyperExp([]float64{1}, []float64{0.02})
+	rep := dist.Exp(25)
+	cases := []struct {
+		name string
+		sys  System
+	}{
+		{"zero arrival rate", System{ArrivalRate: 0, ServiceRate: 1, Operative: op, Repair: rep}},
+		{"negative arrival rate", System{ArrivalRate: -3, ServiceRate: 1, Operative: op, Repair: rep}},
+		{"NaN arrival rate", System{ArrivalRate: math.NaN(), ServiceRate: 1, Operative: op, Repair: rep}},
+		{"infinite arrival rate", System{ArrivalRate: math.Inf(1), ServiceRate: 1, Operative: op, Repair: rep}},
+		{"zero service rate", System{ArrivalRate: 5, ServiceRate: 0, Operative: op, Repair: rep}},
+		{"negative service rate", System{ArrivalRate: 5, ServiceRate: -1, Operative: op, Repair: rep}},
+		{"NaN service rate", System{ArrivalRate: 5, ServiceRate: math.NaN(), Operative: op, Repair: rep}},
+		{"nil distributions", System{ArrivalRate: 5, ServiceRate: 1}},
+		{"zero repair rate", System{ArrivalRate: 5, ServiceRate: 1, Operative: op,
+			Repair: &dist.HyperExp{Weights: []float64{1}, Rates: []float64{0}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := MinServersForStability(tc.sys)
+			if err == nil {
+				t.Fatalf("MinServersForStability = %d, want error", n)
+			}
+		})
+	}
+}
+
+// TestMinServersForStabilityValid exercises a healthy configuration end to
+// end through the new error-returning signature.
+func TestMinServersForStabilityValid(t *testing.T) {
+	sys := System{
+		ArrivalRate: 7.5,
+		ServiceRate: 1,
+		Operative:   dist.MustHyperExp([]float64{0.7246, 0.2754}, []float64{0.1663, 0.0091}),
+		Repair:      dist.Exp(25),
+	}
+	n, err := MinServersForStability(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Servers = n
+	if !sys.Stable() {
+		t.Errorf("N = %d not stable", n)
+	}
+	sys.Servers = n - 1
+	if sys.Stable() {
+		t.Errorf("N = %d already stable; result not minimal", n-1)
+	}
+}
+
+// plateauBase is a nearly perfectly available system that is stable for
+// every N ≥ 1, so a synthetic cost curve is scanned without stability skips.
+func plateauBase() System {
+	return System{
+		ArrivalRate: 0.5,
+		ServiceRate: 1,
+		Operative:   dist.Exp(1e-6),
+		Repair:      dist.Exp(1),
+	}
+}
+
+// TestOptimizeServersPlateauEarlyStop feeds the search a cost curve whose
+// tail is perfectly flat: descending to the minimum at N = 3, then a long
+// equal-cost plateau. The three-rise cutoff must treat non-decreasing
+// steps as rises and stop after three plateau points instead of solving
+// every N to maxN.
+func TestOptimizeServersPlateauEarlyStop(t *testing.T) {
+	costs := make([]float64, 30)
+	costs[0], costs[1], costs[2] = 9, 6, 4
+	for i := 3; i < len(costs); i++ {
+		costs[i] = 4 // flat tail: never strictly above its predecessor
+	}
+	solves := 0
+	solve := func(sys System) (*Performance, error) {
+		solves++
+		return &Performance{MeanJobs: costs[sys.Servers-1]}, nil
+	}
+	best, err := optimizeServers(plateauBase(), CostModel{HoldingCost: 1}, 1, len(costs), solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Servers != 3 || best.Cost != 4 {
+		t.Errorf("best = N %d cost %v, want N 3 cost 4", best.Servers, best.Cost)
+	}
+	// N = 1..3 descend, N = 4, 5, 6 are the three plateau rises.
+	if solves != 6 {
+		t.Errorf("plateau tail did not trip the early stop: %d solves, want 6", solves)
+	}
+}
+
+// TestOptimizeServersDescendingScansAll guards the other side of the rule:
+// a strictly descending curve has no rises, so the search must scan the
+// whole range and return its end point.
+func TestOptimizeServersDescendingScansAll(t *testing.T) {
+	const maxN = 12
+	solves := 0
+	solve := func(sys System) (*Performance, error) {
+		solves++
+		return &Performance{MeanJobs: float64(maxN - sys.Servers)}, nil
+	}
+	best, err := optimizeServers(plateauBase(), CostModel{HoldingCost: 1}, 1, maxN, solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Servers != maxN {
+		t.Errorf("best = N %d, want N %d", best.Servers, maxN)
+	}
+	if solves != maxN {
+		t.Errorf("descending curve stopped early: %d solves, want %d", solves, maxN)
+	}
+}

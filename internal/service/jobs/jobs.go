@@ -117,14 +117,15 @@ type Config struct {
 
 // Scheduler runs jobs on an Engine. It is safe for concurrent use.
 type Scheduler struct {
-	eng    Engine
-	ttl    time.Duration
-	now    func() time.Time
-	depth  int
-	log    *olog.Logger
-	jlog   *store.JobLog
-	router Router
-	nodeID string
+	eng     Engine
+	ttl     time.Duration
+	now     func() time.Time
+	depth   int
+	workers int
+	log     *olog.Logger
+	jlog    *store.JobLog
+	router  Router
+	nodeID  string
 
 	// recovered counts jobs reconstructed from the write-ahead log at
 	// boot (terminal history and re-queued incomplete jobs alike).
@@ -217,18 +218,19 @@ func New(cfg Config) *Scheduler {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Scheduler{
-		eng:    cfg.Engine,
-		ttl:    cfg.TTL,
-		now:    cfg.Now,
-		depth:  cfg.QueueDepth,
-		log:    cfg.Logger,
-		jlog:   cfg.Log,
-		router: cfg.Router,
-		nodeID: cfg.NodeID,
-		jobs:   make(map[string]*job),
-		stop:   stop,
-		ctx:    ctx,
-		gcDone: make(chan struct{}),
+		eng:     cfg.Engine,
+		ttl:     cfg.TTL,
+		now:     cfg.Now,
+		depth:   cfg.QueueDepth,
+		workers: cfg.Workers,
+		log:     cfg.Logger,
+		jlog:    cfg.Log,
+		router:  cfg.Router,
+		nodeID:  cfg.NodeID,
+		jobs:    make(map[string]*job),
+		stop:    stop,
+		ctx:     ctx,
+		gcDone:  make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	// Replay before the first worker starts: recovered jobs re-enter the
@@ -498,6 +500,54 @@ func (s *Scheduler) Stats() api.JobStats {
 		}
 	}
 	return st
+}
+
+// FlowSample is the scheduler snapshot the admission controller fits into
+// its self-model: cumulative offered and terminal counts (rate-estimator
+// inputs) plus the current occupancy levels.
+type FlowSample struct {
+	// Offered counts every submission presented to the queue — accepted
+	// and rejected alike, because rejected work is still offered load λ.
+	Offered uint64
+	// Completed counts jobs that reached any terminal state.
+	Completed uint64
+	// Queued and Running are the current backlog split by state.
+	Queued, Running int
+	// Workers is the scheduler's worker count — the N of the fitted system.
+	Workers int
+}
+
+// Flow snapshots the counters the admission controller samples each refit.
+func (s *Scheduler) Flow() FlowSample {
+	completed := s.transDone.Load() + s.transFailed.Load() + s.transCanceled.Load()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := FlowSample{
+		Offered:   s.submitted + s.rejected,
+		Completed: completed,
+		Queued:    len(s.pending),
+		Workers:   s.workers,
+	}
+	for _, j := range s.jobs {
+		if j.state == api.JobStateRunning {
+			f.Running++
+		}
+	}
+	return f
+}
+
+// Backlog returns the number of jobs queued or running — the live queue
+// length the admission controller's Decide compares against its limit.
+func (s *Scheduler) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.pending)
+	for _, j := range s.jobs {
+		if j.state == api.JobStateRunning {
+			n++
+		}
+	}
+	return n
 }
 
 // worker executes queued jobs until the scheduler closes. On shutdown,
