@@ -151,6 +151,15 @@ type JobStatus struct {
 	// Node is the node that accepted the job and coordinates its
 	// execution (clustered daemons only).
 	Node string `json:"node,omitempty"`
+	// RequestID is the X-Request-ID of the submission that created the
+	// job, so a WaitJob poller can correlate its poll responses with the
+	// original submission's logs.
+	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the 32-hex-digit distributed trace the submission
+	// belonged to — the job's worker-side spans join the same trace, so
+	// GET /v1/traces/{trace_id} shows the submission and the execution
+	// as one tree, across restarts.
+	TraceID string `json:"trace_id,omitempty"`
 	// Detail qualifies State with recovery context; see
 	// DetailNodeRestarting.
 	Detail string `json:"detail,omitempty"`

@@ -1,6 +1,90 @@
 package api
 
-import "context"
+import (
+	"context"
+	"time"
+)
+
+// Distributed-tracing wire surface. The span model itself lives in
+// internal/obs/trace; these are the propagation headers the cluster
+// exchanges and the DTOs GET /v1/traces serves.
+const (
+	// PathTraces lists recently retained trace roots; PathTraces + "/{id}"
+	// (see TracePath) returns one assembled cross-node trace tree.
+	PathTraces = "/v1/traces"
+	// HeaderTraceparent is the W3C trace-context header
+	// (00-<trace id>-<span id>-<flags>) read by the server middleware and
+	// stamped by the client SDK on every outgoing request.
+	HeaderTraceparent = "Traceparent"
+	// HeaderMusTrace is the repo-native alias for HeaderTraceparent,
+	// honored on ingress when no traceparent is present.
+	HeaderMusTrace = "X-Mus-Trace"
+)
+
+// TracePath returns the URL path of one trace's assembled tree.
+func TracePath(id string) string { return PathTraces + "/" + id }
+
+// TraceSpan is one completed span in an assembled trace tree.
+type TraceSpan struct {
+	// TraceID is the 32-hex-digit trace the span belongs to.
+	TraceID string `json:"trace_id"`
+	// SpanID is the span's own 16-hex-digit ID.
+	SpanID string `json:"span_id"`
+	// Parent is the parent span's ID, empty for the trace root.
+	Parent string `json:"parent,omitempty"`
+	// Name is the operation name (mus.<subsystem>.<op>).
+	Name string `json:"name"`
+	// Node is the cluster node that recorded the span.
+	Node string `json:"node,omitempty"`
+	// Root marks a local root: the entry span a node started for an
+	// incoming request (its parent, if any, lives on another node).
+	Root bool `json:"root,omitempty"`
+	// Start is the span's start time.
+	Start time.Time `json:"start"`
+	// DurationMS is the span's elapsed time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Error is the failure message of a failed span.
+	Error string `json:"error,omitempty"`
+	// Attrs are the span's attributes, rendered as strings.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceSummary is one retained trace root in the GET /v1/traces listing.
+type TraceSummary struct {
+	// TraceID identifies the trace.
+	TraceID string `json:"trace_id"`
+	// Name is the root span's operation name.
+	Name string `json:"name"`
+	// Node is the node that completed the root span.
+	Node string `json:"node,omitempty"`
+	// Start is the root span's start time.
+	Start time.Time `json:"start"`
+	// DurationMS is the root span's elapsed time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Error is the root's failure message, empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// TraceListResponse is the GET /v1/traces payload: retained roots,
+// newest first, gathered across the cluster by the serving node.
+type TraceListResponse struct {
+	// Traces are the retained roots.
+	Traces []TraceSummary `json:"traces"`
+}
+
+// TraceResponse is the GET /v1/traces/{id} payload: every span of one
+// trace still buffered anywhere in the cluster, assembled into one tree.
+type TraceResponse struct {
+	// TraceID identifies the trace.
+	TraceID string `json:"trace_id"`
+	// Spans are the trace's spans, sorted by start time.
+	Spans []TraceSpan `json:"spans"`
+	// Nodes lists the cluster nodes that contributed spans.
+	Nodes []string `json:"nodes,omitempty"`
+	// Orphans counts spans whose parent is neither present nor a
+	// declared local root — 0 in a fully connected tree.
+	Orphans int `json:"orphans"`
+}
 
 // requestIDKey carries the request correlation ID through a context.
 type requestIDKey struct{}

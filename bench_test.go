@@ -15,6 +15,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/figures"
 	"repro/internal/markov"
+	"repro/internal/obs/trace"
 	"repro/internal/qbd"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -577,5 +578,29 @@ func BenchmarkAdmissionDecision(b *testing.B) {
 	b.StopTimer()
 	if got := solves.Load(); got != fitted {
 		b.Fatalf("Decide ran %d inline solves; the hot path must never solve", got-fitted)
+	}
+}
+
+// BenchmarkSpanRecord gates the tracing record path: StartLeaf/Set/End is
+// what every instrumented seam (HTTP request, store append, solver call)
+// pays per operation, so it must recycle spans through the pool and never
+// allocate. The CI benchjson gate pins 0 allocs/op (-zeroalloc).
+func BenchmarkSpanRecord(b *testing.B) {
+	tr := trace.New(trace.Config{Node: "bench"})
+	root, ctx := tr.StartRoot(context.Background(), "mus.http.request", trace.SpanContext{})
+	defer root.End()
+	// Warm the span pool outside the timer so steady state is measured.
+	for i := 0; i < 100; i++ {
+		sp := trace.StartLeaf(ctx, "mus.engine.solve")
+		sp.Set(trace.Int("servers", 12))
+		sp.End()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := trace.StartLeaf(ctx, "mus.engine.solve")
+		sp.Set(trace.Int("servers", 12))
+		sp.Set(trace.Float("lambda", 8))
+		sp.End()
 	}
 }

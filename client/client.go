@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/api"
+	"repro/internal/obs/trace"
 )
 
 // DefaultRetries is the number of times a call is re-sent after a 5xx or
@@ -292,6 +293,11 @@ func (c *Client) send(ctx context.Context, method, path string, in any, accept s
 		// its origin's trace ID — unless a fixed header already set one.
 		if id := api.RequestIDFrom(ctx); id != "" && req.Header.Get(api.HeaderRequestID) == "" {
 			req.Header.Set(api.HeaderRequestID, id)
+		}
+		// A live span on the context rides out as a W3C traceparent, so
+		// the receiving node's root span joins the caller's trace.
+		if sc := trace.SpanContextFrom(ctx); sc.Valid() && req.Header.Get(api.HeaderTraceparent) == "" {
+			req.Header.Set(api.HeaderTraceparent, sc.Traceparent())
 		}
 		if in != nil {
 			req.Header.Set("Content-Type", api.ContentTypeJSON)

@@ -1,0 +1,31 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"repro/api"
+)
+
+// Traces lists recently retained trace roots (GET /v1/traces), newest
+// first. A clustered daemon merges its peers' retained roots into the
+// listing.
+func (c *Client) Traces(ctx context.Context) (*api.TraceListResponse, error) {
+	var resp api.TraceListResponse
+	if err := c.call(ctx, http.MethodGet, api.PathTraces, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Trace fetches one trace's assembled span tree (GET /v1/traces/{id}).
+// The serving node gathers every peer's buffered spans for the trace and
+// returns them as one tree; a trace nobody retains any spans for
+// surfaces as code api.CodeJobNotFound-style not_found.
+func (c *Client) Trace(ctx context.Context, id string) (*api.TraceResponse, error) {
+	var resp api.TraceResponse
+	if err := c.call(ctx, http.MethodGet, api.TracePath(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

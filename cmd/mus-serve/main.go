@@ -69,6 +69,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/trace"
 	"repro/internal/service"
 	"repro/internal/service/jobs"
 	"repro/internal/store"
@@ -108,6 +109,8 @@ func run(args []string) error {
 		fsyncEvery   = fs.Duration("fsync-interval", store.DefaultFsyncInterval, "write-ahead-log fsync batching period (0 = fsync every append)")
 		snapEvery    = fs.Duration("snapshot-interval", 30*time.Second, "cache-snapshot period for warm restarts (needs -data-dir; 0 disables)")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests and running jobs")
+		traceBuffer  = fs.Int("trace-buffer", trace.DefaultBuffer, "completed-span ring-buffer capacity per node (negative disables tracing)")
+		traceSlow    = fs.Duration("trace-slow", trace.DefaultSlow, "latency at or above which a finished trace is always retained for GET /v1/traces")
 		logLevel     = fs.String("log-level", "info", "structured request/job log threshold: debug, info, warn, error or off")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty = disabled; never exposed on -addr)")
 	)
@@ -124,6 +127,9 @@ func run(args []string) error {
 	}
 	logger := olog.New(os.Stderr, lvl, olog.F{K: "node", V: node})
 	eng := service.NewEngine(service.Config{Workers: *workers, CacheSize: *cache})
+	// One tracer per node, built before the scheduler so the boot replay
+	// and every recovered job trace through it from the first instant.
+	tracer := trace.New(trace.Config{Buffer: *traceBuffer, Slow: *traceSlow, Node: node})
 
 	// The router is built before the scheduler: durable sweep jobs execute
 	// through it, so it must exist when the scheduler replays its log and
@@ -172,7 +178,7 @@ func run(args []string) error {
 	}
 
 	schedCfg := jobs.Config{Engine: eng, QueueDepth: *jobQueue, Workers: *jobWorkers, TTL: *jobTTL,
-		Logger: logger, Log: jlog, NodeID: node}
+		Logger: logger, Log: jlog, NodeID: node, Tracer: tracer}
 	if clu != nil {
 		schedCfg.Router = clu // typed-nil guard: only assign a live router
 	}
@@ -189,6 +195,7 @@ func run(args []string) error {
 		jlog.RegisterMetrics(hs.reg)
 	}
 	hs.log = logger
+	hs.tracer = tracer
 	if *admissionOn {
 		adm := hs.attachAdmission(admission.Config{
 			Interval:   *admInterval,

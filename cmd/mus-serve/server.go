@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/trace"
 	"repro/internal/service"
 	"repro/internal/service/jobs"
 )
@@ -55,6 +57,12 @@ type server struct {
 	// scheduler for transition lines). Defaults to discard; main swaps in
 	// the -log-level logger before building the handler.
 	log *olog.Logger
+	// tracer records this node's completed spans. instrument starts one
+	// root span per request (continuing an incoming traceparent, minting a
+	// trace otherwise); the /v1/traces handlers read it back. Constructors
+	// install a default so every server traces; main swaps in the
+	// flag-configured tracer before building the handler.
+	tracer *trace.Tracer
 	// draining flips at the start of graceful shutdown: every request from
 	// then on is rejected with 503 node_unavailable + Retry-After, so load
 	// balancers and cluster peers route around this node while in-flight
@@ -74,9 +82,11 @@ func newServerJobs(eng *service.Engine, sched *jobs.Scheduler) *server {
 		started: time.Now(),
 		reg:     obs.NewRegistry(),
 		log:     olog.Nop(),
+		tracer:  trace.New(trace.Config{}),
 	}
 	eng.RegisterMetrics(s.reg)
 	sched.RegisterMetrics(s.reg)
+	obs.RegisterRuntime(s.reg, "")
 	s.reg.GaugeFunc("mus_process_uptime_seconds",
 		"Seconds since the daemon started.",
 		func() float64 { return time.Since(s.started).Seconds() })
@@ -142,6 +152,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET "+api.PathJobs+"/{id}/result", s.instrument(http.MethodGet, api.PathJobs+"/{id}/result", s.handleJobResult))
 	mux.HandleFunc("DELETE "+api.PathJobs+"/{id}", s.instrument(http.MethodDelete, api.PathJobs+"/{id}", s.handleJobCancel))
 	mux.HandleFunc("GET "+api.PathStats, s.instrument(http.MethodGet, api.PathStats, s.handleStats))
+	// The trace read endpoints stay uninstrumented (like /v1/cluster):
+	// reading traces must not generate new ones, and peers gather through
+	// them continuously when a trace is inspected.
+	mux.HandleFunc("GET "+api.PathTraces, s.handleTraceList)
+	mux.HandleFunc("GET "+api.PathTraces+"/{id}", s.handleTrace)
 	mux.HandleFunc("GET "+api.PathCluster, s.handleCluster)
 	mux.HandleFunc("GET "+api.PathHealthz, s.handleHealthz)
 	mux.Handle("GET "+api.PathMetrics, s.reg.Handler())
@@ -236,33 +251,33 @@ func requestID(ctx context.Context) string {
 	return api.RequestIDFrom(ctx)
 }
 
-// trace is the per-request mutable slot handlers annotate (ring owner,
+// note is the per-request mutable slot handlers annotate (ring owner,
 // job ID) so the middleware's one summary line carries routing facts only
 // the handler knows. Stored by pointer in the request context.
-type trace struct {
+type note struct {
 	owner string // ring owner of the request's fingerprint ("" until known)
 	job   string // async job ID touched by this request
 }
 
-// traceKey carries the *trace slot through the request context.
-type traceKey struct{}
+// noteKey carries the *note slot through the request context.
+type noteKey struct{}
 
-// traceFrom recovers the trace slot, or nil outside instrumented routes.
-func traceFrom(ctx context.Context) *trace {
-	t, _ := ctx.Value(traceKey{}).(*trace)
+// noteFrom recovers the note slot, or nil outside instrumented routes.
+func noteFrom(ctx context.Context) *note {
+	t, _ := ctx.Value(noteKey{}).(*note)
 	return t
 }
 
-// setTraceOwner records the ring owner on the request's trace slot.
+// setTraceOwner records the ring owner on the request's note slot.
 func setTraceOwner(ctx context.Context, owner string) {
-	if t := traceFrom(ctx); t != nil {
+	if t := noteFrom(ctx); t != nil {
 		t.owner = owner
 	}
 }
 
-// setTraceJob records the async job ID on the request's trace slot.
+// setTraceJob records the async job ID on the request's note slot.
 func setTraceJob(ctx context.Context, id string) {
-	if t := traceFrom(ctx); t != nil {
+	if t := noteFrom(ctx); t != nil {
 		t.job = id
 	}
 }
@@ -348,17 +363,44 @@ func (s *server) instrument(method, route string, h http.HandlerFunc) http.Handl
 		s.requests.Add(1)
 		m.inflight.Inc()
 		start := time.Now()
-		tr := &trace{}
-		r = r.WithContext(context.WithValue(r.Context(), traceKey{}, tr))
+		tr := &note{}
+		ctx := context.WithValue(r.Context(), noteKey{}, tr)
+		// The root span continues an incoming trace context (W3C
+		// traceparent, or the repo-native alias) and mints a new trace
+		// otherwise; the span context rides r.Context() so every seam below
+		// — admission, engine, store, cluster forwards — parents to it, and
+		// the client SDK re-serializes it onto outgoing hops.
+		parent, ok := trace.ParseTraceparent(r.Header.Get(api.HeaderTraceparent))
+		if !ok {
+			parent, _ = trace.ParseTraceparent(r.Header.Get(api.HeaderMusTrace))
+		}
+		span, ctx := s.tracer.StartRoot(ctx, "mus.http.request", parent)
+		span.Set(trace.Str("route", route))
+		span.Set(trace.Str("method", method))
+		var traceID, spanID string
+		if sc := span.Context(); sc.Valid() {
+			traceID, spanID = sc.TraceID.String(), sc.SpanID.String()
+			// Echo the trace ID so any caller can go straight to
+			// GET /v1/traces/{id} without having minted the trace itself.
+			w.Header().Set(api.HeaderMusTrace, traceID)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
 		elapsed := time.Since(start)
 		m.inflight.Dec()
-		m.duration.Observe(elapsed.Seconds())
 		code := sw.code
 		if code == 0 {
 			code = http.StatusOK // handler wrote nothing: net/http sends 200
 		}
+		span.Set(trace.Int("status", int64(code)))
+		if code >= http.StatusInternalServerError {
+			span.FailMsg(http.StatusText(code))
+		}
+		span.End() // after End the span is recycled; only traceID/spanID survive
+		// The latency observation carries the trace ID as its exemplar, so
+		// a slow histogram bucket links straight to a retained trace.
+		m.duration.ObserveWithExemplar(elapsed.Seconds(), traceID)
 		m.counterFor(code).Inc()
 		if !s.log.Enabled(olog.Info) {
 			return
@@ -371,6 +413,9 @@ func (s *server) instrument(method, route string, h http.HandlerFunc) http.Handl
 			{K: "method", V: method},
 			{K: "status", V: code},
 			{K: "duration_ms", V: float64(elapsed) / float64(time.Millisecond)},
+		}
+		if traceID != "" {
+			fields = append(fields, olog.F{K: "trace", V: traceID}, olog.F{K: "span", V: spanID})
 		}
 		if tr.owner != "" {
 			fields = append(fields, olog.F{K: "owner", V: tr.owner})
@@ -891,11 +936,23 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// first. No model (first window, -admission off) admits everything —
 	// the scheduler's own queue_full gate stays the backstop either way.
 	if s.adm != nil {
-		if d := s.adm.Decide(s.sched.Backlog()); !d.Admit {
+		// The decision span lives here, not inside Decide: the controller's
+		// decision path is allocation-gated by BenchmarkAdmissionDecision,
+		// and a leaf span at the call site costs the request path nothing
+		// extra while keeping the gate honest.
+		backlog := s.sched.Backlog()
+		asp := trace.StartLeaf(r.Context(), "mus.admission.decide")
+		d := s.adm.Decide(backlog)
+		asp.Set(trace.Int("backlog", int64(backlog)))
+		asp.Set(trace.Bool("admit", d.Admit))
+		if !d.Admit {
 			secs := int(math.Ceil(d.RetryAfter.Seconds()))
 			if secs < 1 {
 				secs = 1
 			}
+			asp.Set(trace.Int("retry_after_s", int64(secs)))
+			asp.FailMsg("shed: backlog exceeds the model-derived limit")
+			asp.End()
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			writeJSON(w, http.StatusTooManyRequests, api.ErrorEnvelope{
 				Error: &api.Error{
@@ -907,6 +964,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
+		asp.End()
 	}
 	st, err := s.sched.Submit(r.Context(), req)
 	if err != nil {
@@ -980,6 +1038,121 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleTraceList lists retained trace roots (GET /v1/traces), newest
+// first. A clustered node merges every live peer's retained roots into
+// the listing (peer gathers arrive forwarded, so they answer from their
+// local index only and the fan-out stays one hop deep).
+func (s *server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	roots := s.tracer.Roots(0)
+	list := make([]api.TraceSummary, 0, len(roots))
+	for _, ri := range roots {
+		list = append(list, api.TraceSummary{
+			TraceID:    ri.TraceID.String(),
+			Name:       ri.Name,
+			Node:       ri.Node,
+			Start:      ri.Start,
+			DurationMS: float64(ri.Duration) / float64(time.Millisecond),
+			Error:      ri.Err,
+		})
+	}
+	if s.shouldRoute(r) {
+		list = append(list, s.clu.GatherTraceList(r.Context())...)
+	}
+	sort.Slice(list, func(a, b int) bool {
+		if !list[a].Start.Equal(list[b].Start) {
+			return list[a].Start.After(list[b].Start)
+		}
+		return list[a].TraceID < list[b].TraceID
+	})
+	writeJSON(w, http.StatusOK, api.TraceListResponse{Traces: list})
+}
+
+// handleTrace assembles one trace's span tree (GET /v1/traces/{id}): the
+// local ring's spans plus — on a clustered node serving the original
+// request — every live peer's, sorted by start time, with the contributing
+// nodes and the orphan count (spans whose parent is in no node's buffer).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	idStr := r.PathValue("id")
+	id, ok := trace.ParseTraceID(idStr)
+	if !ok {
+		s.writeError(w, r, api.InvalidArgument("id", "trace ID %q: want 32 hex digits", idStr))
+		return
+	}
+	var spans []api.TraceSpan
+	for _, rec := range s.tracer.Collect(id) {
+		spans = append(spans, traceSpanOf(rec))
+	}
+	if s.shouldRoute(r) {
+		spans = append(spans, s.clu.GatherTraces(r.Context(), idStr)...)
+	}
+	if len(spans) == 0 {
+		s.writeError(w, r, &api.Error{Code: api.CodeNotFound, Field: "id",
+			Message: fmt.Sprintf("no buffered spans for trace %q (not retained, or evicted from every node's ring)", idStr)})
+		return
+	}
+	sort.Slice(spans, func(a, b int) bool {
+		if !spans[a].Start.Equal(spans[b].Start) {
+			return spans[a].Start.Before(spans[b].Start)
+		}
+		return spans[a].SpanID < spans[b].SpanID
+	})
+	resp := api.TraceResponse{TraceID: idStr, Spans: spans, Orphans: orphanCount(spans)}
+	seen := make(map[string]bool)
+	for _, sp := range spans {
+		if sp.Node != "" && !seen[sp.Node] {
+			seen[sp.Node] = true
+			resp.Nodes = append(resp.Nodes, sp.Node)
+		}
+	}
+	sort.Strings(resp.Nodes)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// traceSpanOf converts one buffered span record to its wire form.
+func traceSpanOf(rec trace.SpanRecord) api.TraceSpan {
+	sp := api.TraceSpan{
+		TraceID:    rec.TraceID.String(),
+		SpanID:     rec.SpanID.String(),
+		Name:       rec.Name,
+		Node:       rec.Node,
+		Root:       rec.Root,
+		Start:      rec.Start,
+		DurationMS: float64(rec.Duration) / float64(time.Millisecond),
+		Error:      rec.Err,
+	}
+	if !rec.Parent.IsZero() {
+		sp.Parent = rec.Parent.String()
+	}
+	if rec.NAttrs > 0 {
+		sp.Attrs = make(map[string]string, rec.NAttrs)
+		for _, a := range rec.Attrs[:rec.NAttrs] {
+			sp.Attrs[a.Key] = a.Value()
+		}
+	}
+	return sp
+}
+
+// orphanCount counts spans whose parent is neither present in the
+// assembled set nor excused by the span being a declared local root —
+// zero means the tree is fully connected. Local roots are excused
+// because their parent legitimately lives where no gather can reach: on
+// a node killed mid-request, or in the pre-restart incarnation of a
+// replayed job's submitter. A non-root span with a missing parent is a
+// real hole (ring eviction, a dropped hop) and is what this counts.
+func orphanCount(spans []api.TraceSpan) int {
+	present := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		present[sp.SpanID] = true
+	}
+	n := 0
+	for _, sp := range spans {
+		if !sp.Root && sp.Parent != "" && !present[sp.Parent] {
+			n++
+		}
+	}
+	return n
 }
 
 // cacheStatsOf converts engine cache counters to their wire form.

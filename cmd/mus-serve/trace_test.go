@@ -1,0 +1,408 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/admission"
+	"repro/internal/cluster"
+	"repro/internal/obs/trace"
+	"repro/internal/service"
+	"repro/internal/service/jobs"
+	"repro/internal/store"
+)
+
+// traceNode is one member of a trace-instrumented in-process cluster: the
+// plain clusterNode harness plus the node's tracer and its short span
+// node name (distinct from the ring ID, which is the node's URL).
+type traceNode struct {
+	*clusterNode
+	tracer *trace.Tracer
+	name   string
+}
+
+// startTraceCluster boots n federated nodes wired the way main.go wires a
+// production daemon's observability: a per-node tracer (Sample: 1 so
+// every trace is retained and listable, not just the errored/slow tail),
+// a write-ahead job log (so submissions emit mus.store.* spans and jobs
+// survive restarts), the cluster router as the scheduler's sweep
+// executor, and the admission controller attached (model-less, so it
+// admits everything while still emitting mus.admission.decide spans).
+func startTraceCluster(t *testing.T, n int) []*traceNode {
+	t.Helper()
+	base := startTestClusterNodes(t, n)
+	nodes := make([]*traceNode, n)
+	cfgs := make([]cluster.NodeConfig, n)
+	for i, nd := range base {
+		cfgs[i] = cluster.NodeConfig{ID: nd.url, URL: nd.url}
+	}
+	for i, nd := range base {
+		name := fmt.Sprintf("n%d", i)
+		tracer := trace.New(trace.Config{Node: name, Sample: 1})
+		nd.eng = service.NewEngine(service.Config{})
+		jlog, err := store.OpenJobLog(t.TempDir(), store.Options{FsyncInterval: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { jlog.Close() })
+		clu, err := cluster.New(cluster.Config{SelfID: cfgs[i].ID, Nodes: cfgs, ProbeInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(clu.Close)
+		nd.clu = clu
+		sched := jobs.New(jobs.Config{
+			Engine: nd.eng, Log: jlog, Router: clu, NodeID: cfgs[i].ID, Tracer: tracer,
+		})
+		t.Cleanup(sched.Close)
+		srv := newServerCluster(nd.eng, sched, clu)
+		srv.tracer = tracer
+		srv.attachAdmission(admission.Config{Interval: -1})
+		inner := srv.handler()
+		me := nd
+		nd.swap.h.Store(http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if me.blockForwardedSweeps.Load() && r.URL.Path == api.PathSweep && r.Header.Get(api.HeaderForwarded) != "" {
+				select {
+				case <-me.release:
+				case <-r.Context().Done():
+				}
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})))
+		nodes[i] = &traceNode{clusterNode: nd, tracer: tracer, name: name}
+	}
+	return nodes
+}
+
+// startTestClusterNodes is the URL-bootstrap half of startTestCluster:
+// listeners up and ring configs known, wiring left to the caller.
+func startTestClusterNodes(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		sh := &swapHandler{}
+		ts := httptest.NewServer(sh)
+		t.Cleanup(ts.Close)
+		nodes[i] = &clusterNode{url: ts.URL, ts: ts, swap: sh, release: make(chan struct{})}
+	}
+	return nodes
+}
+
+// shardOwner learns which node owns the sweep family's environment
+// fingerprint from a tiny probe job, so tests can pick a coordinator that
+// is NOT the owner — guaranteeing the job's single shard really executes
+// remotely (and can be killed out from under the coordinator).
+func shardOwner(t *testing.T, ctx context.Context, nodes []*traceNode) int {
+	t.Helper()
+	c := client.New(nodes[0].url)
+	probe, err := c.SubmitJob(ctx, api.NewSweepJob(sweepReqN(2)))
+	if err != nil {
+		t.Fatalf("probe job: %v", err)
+	}
+	st, err := c.WaitJob(ctx, probe.ID, nil)
+	if err != nil || st.State != api.JobStateDone {
+		t.Fatalf("probe job: %+v, %v", st, err)
+	}
+	if len(st.Shards) != 1 {
+		t.Fatalf("probe shards %+v, want exactly one (single environment)", st.Shards)
+	}
+	for i, nd := range nodes {
+		if nd.url == st.Shards[0].Node {
+			return i
+		}
+	}
+	t.Fatalf("shard owner %q is not a member", st.Shards[0].Node)
+	return -1
+}
+
+// spansByName indexes an assembled trace's spans by operation name.
+func spansByName(tr *api.TraceResponse) map[string][]api.TraceSpan {
+	byName := make(map[string][]api.TraceSpan)
+	for _, sp := range tr.Spans {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	return byName
+}
+
+// waitForTrace polls the assembled trace until every wanted span name has
+// arrived — job execution and span recording are asynchronous with
+// respect to the job reaching its terminal state.
+func waitForTrace(t *testing.T, ctx context.Context, c *client.Client, id string, want []string) *api.TraceResponse {
+	t.Helper()
+	var tr *api.TraceResponse
+	waitFor(t, "trace "+id+" complete", func() bool {
+		var err error
+		tr, err = c.Trace(ctx, id)
+		if err != nil {
+			return false
+		}
+		byName := spansByName(tr)
+		for _, name := range want {
+			if len(byName[name]) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	return tr
+}
+
+// TestClusterJobTraceAssembly is the tracing acceptance criterion: a
+// sweep job submitted through the SDK to a 3-node cluster yields ONE
+// connected trace tree at GET /v1/traces/{id} — the root HTTP span, the
+// admission decision, the WAL append, the scatter and its per-shard
+// remote sub-stream, and the executing node's solver spans, assembled
+// across nodes by the serving node's peer gather.
+func TestClusterJobTraceAssembly(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	nodes := startTraceCluster(t, 3)
+	owner := shardOwner(t, ctx, nodes)
+	coord := nodes[(owner+1)%3]
+	c := client.New(coord.url)
+
+	sub, err := c.SubmitJob(ctx, api.NewSweepJob(sweepReqN(24)))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Satellite contract: the accepted job already knows which request —
+	// and which trace — created it.
+	if sub.RequestID == "" || sub.TraceID == "" {
+		t.Fatalf("submit status carries no provenance: request_id=%q trace_id=%q", sub.RequestID, sub.TraceID)
+	}
+	final, err := c.WaitJob(ctx, sub.ID, nil)
+	if err != nil || final.State != api.JobStateDone {
+		t.Fatalf("job: %+v, %v", final, err)
+	}
+	if final.TraceID != sub.TraceID {
+		t.Fatalf("terminal status trace %q, want submission trace %q", final.TraceID, sub.TraceID)
+	}
+
+	tr := waitForTrace(t, ctx, c, sub.TraceID, []string{
+		"mus.http.request",      // submission root on the coordinator
+		"mus.admission.decide",  // admission decision before the queue
+		"mus.store.append",      // WAL submit record
+		"mus.jobs.run",          // async execution re-attached to the trace
+		"mus.cluster.scatter",   // grid scattered by the router
+		"mus.cluster.substream", // the shard's remote sub-request
+		"mus.engine.sweep",      // the owner's batched solver
+	})
+	if tr.Orphans != 0 {
+		t.Fatalf("assembled trace has %d orphans, want 0: %+v", tr.Orphans, tr.Spans)
+	}
+	if len(tr.Nodes) < 2 {
+		t.Fatalf("trace touched nodes %v, want the coordinator AND the shard owner", tr.Nodes)
+	}
+	// One connected tree, literally: exactly one span has no parent at
+	// all, and every other span's parent is present in the assembled set —
+	// including the remote local-root spans, whose parents are the
+	// coordinator's substream spans.
+	present := make(map[string]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		present[sp.SpanID] = true
+	}
+	topRoots := 0
+	for _, sp := range tr.Spans {
+		if sp.Parent == "" {
+			topRoots++
+			if sp.Name != "mus.http.request" || !sp.Root {
+				t.Fatalf("trace top is %+v, want the submission's root HTTP span", sp)
+			}
+			continue
+		}
+		if !present[sp.Parent] {
+			t.Fatalf("span %s (%s) has absent parent %s", sp.SpanID, sp.Name, sp.Parent)
+		}
+	}
+	if topRoots != 1 {
+		t.Fatalf("trace has %d parentless spans, want exactly 1", topRoots)
+	}
+	byName := spansByName(tr)
+	for _, sub := range byName["mus.cluster.substream"] {
+		if sub.Error != "" {
+			t.Fatalf("healthy-cluster substream failed: %+v", sub)
+		}
+	}
+	// And the trace is discoverable: the cluster-gathered listing names it.
+	list, err := c.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range list.Traces {
+		if s.TraceID == sub.TraceID && s.Name == "mus.http.request" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("GET /v1/traces listing misses trace %s", sub.TraceID)
+	}
+}
+
+// TestClusterTraceSurvivesShardOwnerKill: when the node executing a
+// job's shard is hard-killed mid-sweep, the assembled trace must stay
+// connected — the dead substream appears as a failed span, its failover
+// replacement as a sibling, and the gather (which can no longer reach
+// the victim's buffer) reports zero orphans because cross-node parents
+// are only ever declared by local roots.
+func TestClusterTraceSurvivesShardOwnerKill(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	nodes := startTraceCluster(t, 3)
+	owner := shardOwner(t, ctx, nodes)
+	victim := nodes[owner]
+	coord := nodes[(owner+1)%3]
+	c := client.New(coord.url)
+
+	// The victim's forwarded sweep sub-requests hang, guaranteeing it
+	// still owes its whole shard when it dies.
+	victim.blockForwardedSweeps.Store(true)
+	sub, err := c.SubmitJob(ctx, api.NewSweepJob(sweepReqN(24)))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitFor(t, "job under way", func() bool {
+		st, err := c.JobStatus(ctx, sub.ID)
+		return err == nil && st.State == api.JobStateRunning
+	})
+	time.Sleep(300 * time.Millisecond) // let the scatter reach the victim
+	victim.kill()
+
+	final, err := c.WaitJob(ctx, sub.ID, nil)
+	if err != nil || final.State != api.JobStateDone {
+		t.Fatalf("job after kill: %+v, %v", final, err)
+	}
+	res, err := c.JobResult(ctx, sub.ID)
+	if err != nil || len(res.Sweep.Points) != 24 {
+		t.Fatalf("failover result: %+v, %v", res, err)
+	}
+
+	tr := waitForTrace(t, ctx, c, sub.TraceID, []string{
+		"mus.jobs.run", "mus.cluster.scatter", "mus.cluster.substream", "mus.engine.sweep",
+	})
+	if tr.Orphans != 0 {
+		t.Fatalf("post-failover trace has %d orphans, want 0: %+v", tr.Orphans, tr.Spans)
+	}
+	byName := spansByName(tr)
+	failed := 0
+	for _, sp := range byName["mus.cluster.substream"] {
+		if sp.Error != "" {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatalf("no failed substream span recorded for the killed shard owner: %+v",
+			byName["mus.cluster.substream"])
+	}
+	// The failover re-execution left solver spans on a SURVIVOR — either
+	// under a sibling substream (re-scattered to the third node) or
+	// directly under the scatter (absorbed by the coordinator's local
+	// path, which emits no substream span). The victim's own buffer died
+	// with it, so any engine span here is post-kill work by definition.
+	for _, sp := range byName["mus.engine.sweep"] {
+		if sp.Node == nodes[owner].name {
+			t.Fatalf("engine span attributed to the killed node %s: %+v", nodes[owner].name, sp)
+		}
+	}
+}
+
+// TestReplayedJobRejoinsItsSubmissionTrace: a job recovered from the
+// write-ahead log after a restart must execute under its ORIGINAL trace
+// — the span context persisted with the submit record — so the resumed
+// run's spans answer GET /v1/traces/{original id} with zero orphans,
+// and the replayed status still names the originating request. The
+// restart itself is traceable too, as a mus.jobs.replay boot trace.
+func TestReplayedJobRejoinsItsSubmissionTrace(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	dir := t.TempDir()
+	const (
+		traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+		spanID  = "00f067aa0ba902b7"
+	)
+	// Forge the WAL a crashed node would leave behind: an acknowledged
+	// submission — carrying its request ID and trace context — that went
+	// running and never finished.
+	l, err := store.OpenJobLog(dir, store.Options{FsyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := api.NewSweepJob(sweepReqN(5))
+	now := time.Unix(1_700_000_000, 0).UTC()
+	entries := []store.Entry{
+		{Kind: store.EntrySubmit, Job: "j-crashed", Time: now, Origin: "n1",
+			RequestID: "req-original", Trace: "00-" + traceID + "-" + spanID + "-01", Request: &req},
+		{Kind: store.EntryState, Job: "j-crashed", Time: now, State: api.JobStateRunning},
+	}
+	for _, e := range entries {
+		if err := l.Append(e); err != nil {
+			t.Fatalf("forge entry: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server over the same data dir.
+	l2, err := store.OpenJobLog(dir, store.Options{FsyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l2.Close() })
+	tracer := trace.New(trace.Config{Node: "n1", Sample: 1})
+	eng := service.NewEngine(service.Config{})
+	sched := jobs.New(jobs.Config{Engine: eng, Log: l2, NodeID: "n1", Tracer: tracer})
+	t.Cleanup(sched.Close)
+	srv := newServerJobs(eng, sched)
+	srv.tracer = tracer
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+
+	final, err := c.WaitJob(ctx, "j-crashed", nil)
+	if err != nil || final.State != api.JobStateDone {
+		t.Fatalf("resumed job: %+v, %v", final, err)
+	}
+	if final.RequestID != "req-original" {
+		t.Fatalf("replayed job forgot its request: %q", final.RequestID)
+	}
+	if final.TraceID != traceID {
+		t.Fatalf("replayed job trace %q, want the original %q", final.TraceID, traceID)
+	}
+
+	tr := waitForTrace(t, ctx, c, traceID, []string{"mus.jobs.run", "mus.engine.sweep"})
+	if tr.Orphans != 0 {
+		t.Fatalf("resumed trace has %d orphans, want 0 (the pre-restart parent is excused as a root's upstream): %+v",
+			tr.Orphans, tr.Spans)
+	}
+	var run *api.TraceSpan
+	for i := range tr.Spans {
+		if tr.Spans[i].Name == "mus.jobs.run" {
+			run = &tr.Spans[i]
+		}
+	}
+	if run == nil || !run.Root || run.Parent != spanID {
+		t.Fatalf("mus.jobs.run span %+v, want a local root parented on the persisted span %s", run, spanID)
+	}
+	// The recovery pass itself left a trace: the boot replay root.
+	list, err := c.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := false
+	for _, s := range list.Traces {
+		if s.Name == "mus.jobs.replay" {
+			replayed = true
+		}
+	}
+	if !replayed {
+		t.Fatalf("no mus.jobs.replay boot trace retained: %+v", list.Traces)
+	}
+}

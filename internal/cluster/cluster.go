@@ -471,6 +471,74 @@ func (r *Router) GatherObs(ctx context.Context) map[string]map[string]float64 {
 	return out
 }
 
+// GatherTraces fetches every live peer's buffered spans for one trace ID
+// concurrently and returns them flattened — the cross-node assembly
+// behind GET /v1/traces/{id}. Peer clients send api.HeaderForwarded, so
+// each peer answers from its local ring only and the gather stays one
+// hop deep. Best-effort like GatherObs: the self entry is omitted (the
+// caller reads its own tracer directly), and a down or failing peer —
+// including one that retained nothing for the trace and answers 404 —
+// contributes no spans rather than failing the assembly.
+func (r *Router) GatherTraces(ctx context.Context, id string) []api.TraceSpan {
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		out []api.TraceSpan
+	)
+	for _, n := range r.nodes {
+		if n.c == nil || !r.alive(n) {
+			continue
+		}
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			gctx, cancel := context.WithTimeout(ctx, r.probeTimeout)
+			defer cancel()
+			resp, err := n.c.Trace(gctx, id)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			out = append(out, resp.Spans...)
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	return out
+}
+
+// GatherTraceList fetches every live peer's retained trace roots
+// concurrently — the cluster-wide view behind GET /v1/traces. Same
+// best-effort contract as GatherTraces; the caller merges in its own
+// roots and sorts.
+func (r *Router) GatherTraceList(ctx context.Context) []api.TraceSummary {
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		out []api.TraceSummary
+	)
+	for _, n := range r.nodes {
+		if n.c == nil || !r.alive(n) {
+			continue
+		}
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			gctx, cancel := context.WithTimeout(ctx, r.probeTimeout)
+			defer cancel()
+			resp, err := n.c.Traces(gctx)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			out = append(out, resp.Traces...)
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	return out
+}
+
 // Stats snapshots the router's routing state: per-node health and
 // counters in ring order. The caller (the /v1/cluster handler) fills in
 // the local engine's cache-affinity fields.

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/api"
+	"repro/internal/obs/trace"
 )
 
 // ForwardSolve routes one solve request by its fingerprint: served is
@@ -30,6 +31,12 @@ func (r *Router) ForwardSimulate(ctx context.Context, fp string, req api.Simulat
 // fall back to local service when self is reached (or nothing is left).
 // Structured errors from a reachable owner are final — re-asking another
 // node would just recompute the same rejection.
+//
+// Each remote attempt gets its own mus.cluster.forward span — the span
+// whose context the SDK serializes into the outgoing Traceparent header,
+// so the remote node's spans parent under the attempt that carried them.
+// A failover thus reads as a failed forward span followed by a sibling
+// retry, never as a silent gap in the trace.
 func forwardUnary[R any](r *Router, ctx context.Context, fp string, call func(context.Context, *node) (*R, error)) (*R, bool, error) {
 	r.countOwned(fp)
 	excluded := make(map[string]bool)
@@ -47,10 +54,13 @@ func forwardUnary[R any](r *Router, ctx context.Context, fp string, call func(co
 		}
 		// A wedged peer can pass health probes forever; the per-forward
 		// deadline is what converts "hangs" into "fails over".
-		fctx, cancel := context.WithTimeout(ctx, r.forwardTimeout)
+		sp, sctx := trace.StartSpan(ctx, "mus.cluster.forward")
+		sp.Set(trace.Str("node", n.id))
+		fctx, cancel := context.WithTimeout(sctx, r.forwardTimeout)
 		resp, err := call(fctx, n)
 		cancel()
 		if err == nil {
+			sp.End()
 			n.forwarded.Add(1)
 			r.forwardedTotal.Add(1)
 			r.noteSuccess(n)
@@ -61,17 +71,22 @@ func forwardUnary[R any](r *Router, ctx context.Context, fp string, call func(co
 		}
 		if ctx.Err() != nil {
 			// The caller is gone; report that, not a fake node failure.
+			sp.Fail(ctx.Err())
+			sp.End()
 			return nil, true, ctx.Err()
 		}
 		if !api.NodeFailure(err) {
 			// The owner answered with a structured rejection (400, 422, …):
 			// an authoritative evaluation outcome, not a routing failure —
 			// and proof the node is reachable, clearing any stale probe miss.
+			sp.End()
 			r.noteSuccess(n)
 			n.forwarded.Add(1)
 			r.forwardedTotal.Add(1)
 			return nil, true, err
 		}
+		sp.Fail(err)
+		sp.End()
 		r.noteForwardFailure(n, err)
 		excluded[n.id] = true
 		sawFailover = true

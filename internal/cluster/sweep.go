@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/api"
+	"repro/internal/obs/trace"
 	"repro/internal/watchdog"
 )
 
@@ -41,6 +42,13 @@ func (r *Router) Sweep(ctx context.Context, req api.SweepRequest, fps []string, 
 		return nil
 	}
 	ctx, cancel := context.WithCancel(ctx)
+	// One scatter span covers the whole gather; each remote sub-stream
+	// (including failover re-dispatches) hangs a substream child off it.
+	// Registered before the cancel/wg.Wait defer below, so it ends last —
+	// after every sub-stream goroutine has drained.
+	scatter, ctx := trace.StartSpan(ctx, "mus.cluster.scatter")
+	scatter.Set(trace.Int("points", int64(n)))
+	defer scatter.End()
 	for i := 0; i < n; i++ {
 		r.countOwned(fps[i])
 	}
@@ -131,7 +139,10 @@ func (r *Router) Sweep(ctx context.Context, req api.SweepRequest, fps []string, 
 				// allowance, so a merely saturated peer is never punished
 				// as dead), turning the stall into an ordinary failover
 				// instead of hanging the gather.
-				subCtx, tick, stopWatchdog := watchdog.New(ctx, r.streamIdle)
+				sp, spctx := trace.StartSpan(ctx, "mus.cluster.substream")
+				sp.Set(trace.Str("node", nd.id))
+				sp.Set(trace.Int("points", int64(len(idxs))))
+				subCtx, tick, stopWatchdog := watchdog.New(spctx, r.streamIdle)
 				err := nd.sc.SweepStream(subCtx, sub, func(pt api.SweepPoint) error {
 					tick()
 					if pt.Index < 0 || pt.Index >= len(idxs) {
@@ -142,6 +153,7 @@ func (r *Router) Sweep(ctx context.Context, req api.SweepRequest, fps []string, 
 				})
 				stopWatchdog()
 				if ctx.Err() != nil {
+					sp.End()
 					return // sweep abandoned; the sequencer reports it
 				}
 				switch {
@@ -149,13 +161,18 @@ func (r *Router) Sweep(ctx context.Context, req api.SweepRequest, fps []string, 
 					r.noteSuccess(nd)
 				case api.NodeFailure(err):
 					// The node died or drained mid-stream: everything it
-					// already answered stays, the rest fails over.
+					// already answered stays, the rest fails over. The
+					// failed substream span is what makes the kill visible
+					// in the trace — its sibling re-dispatch spans below
+					// are the failover.
+					sp.Fail(err)
 					r.noteForwardFailure(nd, err)
 				default:
 					// A structured rejection (version skew, 400/422): the
 					// node is reachable and healthy — its points still fail
 					// over below (it declined them), but its health verdict
 					// must not change.
+					sp.Fail(err)
 					r.noteSuccess(nd)
 				}
 				// Fail over whatever is still unanswered — after an error,
@@ -164,8 +181,11 @@ func (r *Router) Sweep(ctx context.Context, req api.SweepRequest, fps []string, 
 				// peer): an unfilled point must never hang the gather.
 				missing := missingOf(idxs)
 				if len(missing) == 0 {
+					sp.End()
 					return
 				}
+				sp.Set(trace.Int("missing", int64(len(missing))))
+				sp.End()
 				r.rescatters.Add(1)
 				next := make(map[string]bool, len(excluded)+1)
 				for k := range excluded {

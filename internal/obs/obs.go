@@ -32,6 +32,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // nameRE is the accepted metric shape: mus_<subsystem>_<name>[_unit],
@@ -113,12 +114,25 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Histogram is a fixed-bucket distribution. Observe is lock-free and
 // allocation-free: one atomic add on the matching bucket and a CAS loop
 // folding the value into the running sum. Bucket bounds are set at
-// registration and never change.
+// registration and never change. ObserveWithExemplar additionally files
+// a per-bucket exemplar under a mutex — the exemplar path may lock and
+// allocate, the plain Observe path never does.
 type Histogram struct {
 	bounds  []float64 // upper bounds, ascending, +Inf implicit
 	counts  []atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // math.Float64bits of the running sum
+
+	exMu sync.Mutex
+	ex   []exemplar // lazily sized to len(bounds)+1; nil until first use
+}
+
+// exemplar is one retained sample reference: the trace that produced an
+// observation in a bucket, rendered only in the OpenMetrics exposition.
+type exemplar struct {
+	traceID string
+	value   float64
+	when    time.Time
 }
 
 // Observe records one value.
@@ -141,6 +155,39 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records one value and files traceID as the
+// exemplar of the bucket the value lands in, replacing that bucket's
+// previous exemplar. An empty traceID degrades to a plain Observe. Use
+// on request-shaped paths only (it locks); keep sweep hot loops on
+// Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]exemplar, len(h.bounds)+1)
+	}
+	h.ex[i] = exemplar{traceID: traceID, value: v, when: time.Now()}
+	h.exMu.Unlock()
+}
+
+// exemplarAt returns the exemplar of bucket i (the +Inf bucket is
+// i == len(bounds)); ok is false when none was filed.
+func (h *Histogram) exemplarAt(i int) (exemplar, bool) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.ex == nil || i >= len(h.ex) || h.ex[i].traceID == "" {
+		return exemplar{}, false
+	}
+	return h.ex[i], true
 }
 
 // Count returns how many values were observed.
@@ -204,6 +251,7 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string
+	hooks    []func() // OnScrape callbacks, run before every render
 }
 
 // NewRegistry builds an empty registry.
@@ -338,11 +386,33 @@ func escapeLabel(v string) string {
 	return strings.ReplaceAll(v, `"`, `\"`)
 }
 
+// OnScrape registers fn to run at the start of every exposition render
+// and Snapshot — the hook for telemetry that is refreshed at scrape time
+// only (runtime memory stats, GC pause deltas) instead of on a
+// background timer. fn must be safe for concurrent use.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// runHooks invokes every OnScrape callback outside the registry lock
+// (hooks typically update instruments, which never need it).
+func (r *Registry) runHooks() {
+	r.mu.Lock()
+	hooks := r.hooks
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
 // Snapshot flattens every series to name{labels} → value: counters and
 // gauges directly, histograms as their _count and _sum (buckets omitted)
 // — the compact form surfaced in /v1/stats' obs block and gathered
 // per-node by the cluster SDK.
 func (r *Registry) Snapshot() map[string]float64 {
+	r.runHooks()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]float64)

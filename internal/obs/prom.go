@@ -13,12 +13,31 @@ import (
 // format served by Handler.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// ContentTypeOpenMetrics is the Content-Type Handler serves when the
+// scrape negotiates OpenMetrics — the exposition variant that carries
+// histogram exemplars.
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // WritePrometheus renders every family in the text exposition format:
 // families sorted by name, one # HELP and # TYPE line each, series
 // sorted by label signature, histograms as cumulative _bucket lines plus
 // _sum and _count. Values are read live; a scrape concurrent with
 // recording sees each atomic's current value.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders the OpenMetrics flavor of the exposition:
+// the same families and samples, plus trace-ID exemplars on histogram
+// bucket lines and the terminating # EOF marker. Parsers of the 0.0.4
+// text format keep getting that format from WritePrometheus — exemplar
+// syntax never leaks into it.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.write(w, true)
+}
+
+func (r *Registry) write(w io.Writer, openmetrics bool) error {
+	r.runHooks()
 	bw := bufio.NewWriter(w)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -37,16 +56,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case s.gfn != nil:
 				fmt.Fprintf(bw, "%s%s %s\n", name, s.key, formatFloat(s.gfn()))
 			case s.hist != nil:
-				writeHistogram(bw, name, s)
+				writeHistogram(bw, name, s, openmetrics)
 			}
 		}
+	}
+	if openmetrics {
+		fmt.Fprintf(bw, "# EOF\n")
 	}
 	return bw.Flush()
 }
 
 // writeHistogram renders one histogram series: cumulative buckets with
-// le labels (the +Inf bucket equals _count), then _sum and _count.
-func writeHistogram(w io.Writer, name string, s *series) {
+// le labels (the +Inf bucket equals _count), then _sum and _count. In
+// OpenMetrics mode each bucket holding an exemplar gains the
+// " # {trace_id=...} value timestamp" suffix linking it to a concrete
+// trace.
+func writeHistogram(w io.Writer, name string, s *series, openmetrics bool) {
 	cum, total := s.hist.cumulative()
 	for i, bound := range s.hist.bounds {
 		// Clamp: concurrent Observes may have bumped a bucket between the
@@ -56,11 +81,25 @@ func writeHistogram(w io.Writer, name string, s *series) {
 		if c > total {
 			c = total
 		}
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.key, formatFloat(bound)), c)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, withLE(s.key, formatFloat(bound)), c, exemplarSuffix(s, i, openmetrics))
 	}
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.key, "+Inf"), total)
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, withLE(s.key, "+Inf"), total, exemplarSuffix(s, len(s.hist.bounds), openmetrics))
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.key, formatFloat(s.hist.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, s.key, total)
+}
+
+// exemplarSuffix renders bucket i's exemplar in the OpenMetrics syntax,
+// or "" outside OpenMetrics mode / when the bucket has none.
+func exemplarSuffix(s *series, i int, openmetrics bool) string {
+	if !openmetrics {
+		return ""
+	}
+	ex, ok := s.hist.exemplarAt(i)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %d.%03d",
+		ex.traceID, formatFloat(ex.value), ex.when.Unix(), ex.when.Nanosecond()/1e6)
 }
 
 // withLE splices the le label into an existing label signature.
@@ -83,10 +122,19 @@ func escapeHelp(h string) string {
 }
 
 // Handler serves the registry as a Prometheus scrape target — mount it
-// at GET /metrics.
+// at GET /metrics. A scrape whose Accept header names
+// application/openmetrics-text gets the OpenMetrics exposition with
+// histogram exemplars; everything else (including Accept: */*) gets the
+// 0.0.4 text format, byte-compatible with what Handler always served.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// Response writer errors below have no recovery path.
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", ContentType)
-		_ = r.WritePrometheus(w) // response writer errors have no recovery path
+		_ = r.WritePrometheus(w)
 	})
 }

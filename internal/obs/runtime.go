@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// GCPauseBuckets is the bucket layout for the stop-the-world GC pause
+// histogram (seconds): pauses live in the tens-of-microseconds to
+// low-milliseconds range on a healthy process.
+var GCPauseBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.05, 0.25, 1,
+}
+
+// RegisterRuntime registers Go runtime telemetry: goroutine count, heap
+// bytes, a GC pause histogram, and a build-info gauge. Everything is
+// refreshed at scrape time only (one ReadMemStats per scrape via the
+// registry's OnScrape hook); nothing ticks in the background and no hot
+// path is touched. version labels mus_build_info; pass the binary's own
+// version string ("dev" when unversioned).
+func RegisterRuntime(r *Registry, version string) {
+	if version == "" {
+		version = "dev"
+	}
+	var (
+		mu     sync.Mutex
+		ms     runtime.MemStats
+		lastGC uint32
+		primed bool
+	)
+	pause := r.Histogram("mus_runtime_gc_pause_seconds",
+		"Stop-the-world garbage collection pause durations, observed at scrape time from the runtime's pause ring.",
+		GCPauseBuckets)
+	r.OnScrape(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		runtime.ReadMemStats(&ms)
+		if !primed {
+			// First scrape: baseline only, so pauses from before
+			// registration are not attributed to this scrape interval.
+			lastGC, primed = ms.NumGC, true
+			return
+		}
+		// The runtime keeps the last 256 pauses; observe only the cycles
+		// since the previous scrape, clamped to that window.
+		from := lastGC
+		if ms.NumGC > from+256 {
+			from = ms.NumGC - 256
+		}
+		for i := from + 1; i <= ms.NumGC; i++ {
+			pause.Observe(float64(ms.PauseNs[(i+255)%256]) / 1e9)
+		}
+		lastGC = ms.NumGC
+	})
+	r.GaugeFunc("mus_runtime_goroutines",
+		"Live goroutines at scrape time.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("mus_runtime_heap_bytes",
+		"Heap bytes in use (MemStats.HeapAlloc) as of the last scrape.",
+		func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return float64(ms.HeapAlloc)
+		})
+	r.Gauge("mus_build_info",
+		"Always 1; the labels carry the build's version and Go toolchain.",
+		L("version", version), L("go_version", runtime.Version())).Set(1)
+}

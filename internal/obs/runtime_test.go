@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeExposesScrapeTimeTelemetry(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r, "v1.2.3")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE mus_runtime_goroutines gauge",
+		"# TYPE mus_runtime_heap_bytes gauge",
+		"# TYPE mus_runtime_gc_pause_seconds histogram",
+		"mus_runtime_gc_pause_seconds_count",
+		"# TYPE mus_build_info gauge",
+		`mus_build_info{go_version="` + runtime.Version() + `",version="v1.2.3"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["mus_runtime_goroutines"] < 1 {
+		t.Errorf("mus_runtime_goroutines = %v, want >= 1", snap["mus_runtime_goroutines"])
+	}
+	if snap["mus_runtime_heap_bytes"] <= 0 {
+		t.Errorf("mus_runtime_heap_bytes = %v, want > 0", snap["mus_runtime_heap_bytes"])
+	}
+}
+
+func TestOnScrapeRunsBeforeEveryRender(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.OnScrape(func() { calls++ })
+	_ = r.Snapshot()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("hook ran %d times, want 3", calls)
+	}
+}
+
+func TestExemplarsRenderOnlyInOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mus_test_latency_seconds", "test", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.ObserveWithExemplar(0.5, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveWithExemplar(0.01, "") // empty trace ID: plain observe
+
+	var plain strings.Builder
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "#  {") || strings.Contains(plain.String(), "trace_id") {
+		t.Fatalf("0.0.4 exposition leaked exemplar syntax:\n%s", plain.String())
+	}
+
+	var om strings.Builder
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	body := om.String()
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatal("OpenMetrics exposition missing # EOF")
+	}
+	wantLine := ""
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `mus_test_latency_seconds_bucket{le="1"}`) {
+			wantLine = line
+		}
+	}
+	if !strings.Contains(wantLine, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.5`) {
+		t.Fatalf("le=1 bucket carries no exemplar: %q", wantLine)
+	}
+	// The 0.1 bucket saw only exemplar-less observations.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `mus_test_latency_seconds_bucket{le="0.1"}`) && strings.Contains(line, "trace_id") {
+			t.Fatalf("le=0.1 bucket has an exemplar it never received: %q", line)
+		}
+	}
+}
+
+func TestHandlerNegotiatesOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mus_test_latency_seconds", "test", []float64{1})
+	h.ObserveWithExemplar(0.5, "abc123")
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(accept string) (string, string) {
+		req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), string(body)
+	}
+	ct, body := get("")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") || strings.Contains(body, "# EOF") {
+		t.Fatalf("default scrape: ct=%q, EOF present=%v", ct, strings.Contains(body, "# EOF"))
+	}
+	ct, body = get("application/openmetrics-text; version=1.0.0")
+	if !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("openmetrics scrape: ct=%q", ct)
+	}
+	if !strings.Contains(body, `trace_id="abc123"`) || !strings.Contains(body, "# EOF") {
+		t.Fatalf("openmetrics scrape missing exemplar or EOF:\n%s", body)
+	}
+}

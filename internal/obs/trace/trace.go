@@ -1,0 +1,212 @@
+// Package trace is the serving tier's distributed tracing substrate: a
+// dependency-free span model (trace ID + span ID + parent), typed
+// attributes, monotonic start/end timing, and an allocation-conscious
+// record path in the spirit of internal/obs's lock-free counters.
+//
+// Design constraints, in order:
+//
+//   - The record path rides the sweep hot loop. StartLeaf + Set + End
+//     touch a pooled span and one ring-buffer slot: no maps, no growing
+//     slices, no allocations once the pool is warm. CI gates this with
+//     BenchmarkSpanRecord under tools/benchjson -zeroalloc.
+//   - Propagation is by context, not plumbing. A span carries its Tracer;
+//     StartSpan/StartLeaf derive everything from the parent span found in
+//     ctx, so deep seams (WAL appends, solver calls) need no tracer
+//     handle and degrade to no-ops when tracing is off.
+//   - Retention is tail-based. Every completed span lands in a fixed ring
+//     buffer; when a local root ends, the whole trace is indexed for
+//     GET /v1/traces if it errored, ran slower than the configured
+//     threshold, or falls in the deterministic trace-ID sample — a hash
+//     of the trace ID, so every node keeps the same traces without
+//     coordination.
+//
+// Span names are contracts: mus.<subsystem>.<op>, lowercase — the same
+// convention as metric names with dots for underscores; tools/metriclint
+// enforces it at call sites.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+)
+
+// TraceID identifies one end-to-end request tree across every node it
+// touches. The zero value is invalid.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// ParseTraceID parses 32 hex digits; ok is false on malformed or
+// all-zero input.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return t, !t.IsZero()
+}
+
+// SpanID identifies one span within a trace. The zero value is invalid.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseSpanID parses 16 hex digits; ok is false on malformed or all-zero
+// input.
+func ParseSpanID(s string) (SpanID, bool) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, false
+	}
+	return id, !id.IsZero()
+}
+
+// FlagSampled is the traceparent flag bit marking a trace as selected by
+// the probabilistic sampler (errors and slow traces are retained
+// regardless, decided at root end).
+const FlagSampled byte = 0x01
+
+// SpanContext is the propagated identity of a span: what crosses process
+// boundaries in a traceparent header and what a job record persists
+// across a restart. The zero value is invalid.
+type SpanContext struct {
+	// TraceID is the trace the span belongs to.
+	TraceID TraceID
+	// SpanID is the span itself — the parent of whatever the receiving
+	// side starts.
+	SpanID SpanID
+	// Flags carries the W3C trace flags (FlagSampled).
+	Flags byte
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the context in the W3C traceparent format:
+// 00-<trace id>-<span id>-<flags>.
+func (sc SpanContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52] = '-'
+	hex.Encode(b[53:55], []byte{sc.Flags})
+	return string(b[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header (any version except
+// ff); ok is false on malformed input or zero IDs.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	s = strings.TrimSpace(s)
+	var sc SpanContext
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(s[0:2])); err != nil || ver[0] == 0xff {
+		return SpanContext{}, false
+	}
+	var ok bool
+	if sc.TraceID, ok = ParseTraceID(s[3:35]); !ok {
+		return SpanContext{}, false
+	}
+	if sc.SpanID, ok = ParseSpanID(s[36:52]); !ok {
+		return SpanContext{}, false
+	}
+	var fl [1]byte
+	if _, err := hex.Decode(fl[:], []byte(s[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	sc.Flags = fl[0]
+	return sc, true
+}
+
+// ctxKey keys the active span in a context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the active span, or nil when ctx carries none.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// SpanContextFrom returns the active span's propagation context, or the
+// zero SpanContext when ctx carries no live span — the value a caller
+// captures when the span itself will not outlive the request (the job
+// scheduler stores this across the Submit→worker boundary).
+func SpanContextFrom(ctx context.Context) SpanContext {
+	if s := FromContext(ctx); s != nil {
+		return s.Context()
+	}
+	return SpanContext{}
+}
+
+// StartSpan starts a child of the span in ctx and returns it along with
+// a derived context carrying it — the form for spans that will have
+// children of their own. When ctx carries no span the returned span is
+// nil (every method on a nil span is a no-op) and ctx is returned
+// unchanged.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	parent := FromContext(ctx)
+	if parent == nil || parent.t == nil {
+		return nil, ctx
+	}
+	s := parent.t.newSpan(name, parent.sc, false)
+	return s, ContextWithSpan(ctx, s)
+}
+
+// StartLeaf starts a child of the span in ctx without deriving a new
+// context — the allocation-free form for leaf spans (a WAL append, one
+// admission decision) that never have children. Returns nil when ctx
+// carries no span.
+func StartLeaf(ctx context.Context, name string) *Span {
+	parent := FromContext(ctx)
+	if parent == nil || parent.t == nil {
+		return nil
+	}
+	return parent.t.newSpan(name, parent.sc, false)
+}
+
+// newIDs seeds a splitmix64 stream from the OS entropy pool; ID
+// generation after that is one atomic increment plus arithmetic.
+func newSeed() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not a tracing-fatal condition; fall back
+		// to a fixed seed (IDs stay unique via the counter).
+		return 0x9e3779b97f4a7c15
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche
+// over the counter, so sequential tickets become well-spread IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

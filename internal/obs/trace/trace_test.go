@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Config{Node: "n1"})
+	root, _ := tr.StartRoot(context.Background(), "mus.test.root", SpanContext{})
+	sc := root.Context()
+	if !sc.Valid() {
+		t.Fatal("root span context invalid")
+	}
+	h := sc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("traceparent %q malformed", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+	root.End()
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"00-abc",
+		"00-00000000000000000000000000000000-0000000000000000-01", // zero ids
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	} {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+	sc, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok || sc.Flags != FlagSampled {
+		t.Fatalf("valid traceparent rejected: %+v ok=%v", sc, ok)
+	}
+}
+
+func TestSpanTreeAndCollect(t *testing.T) {
+	tr := New(Config{Node: "n1", Sample: -1, Slow: time.Hour})
+	root, ctx := tr.StartRoot(context.Background(), "mus.test.root", SpanContext{})
+	child, cctx := StartSpan(ctx, "mus.test.child")
+	leaf := StartLeaf(cctx, "mus.test.leaf")
+	leaf.Set(Str("k", "v"))
+	leaf.Set(Int("n", 42))
+	leaf.End()
+	child.End()
+	root.Fail(errors.New("boom"))
+	root.End()
+
+	// root.Context() after End reads recycled memory — find the trace ID
+	// by scanning the ring for the root name instead.
+	var tid TraceID
+	found := 0
+	for i := range tr.slots {
+		sl := &tr.slots[i]
+		sl.mu.Lock()
+		if sl.ok && sl.rec.Name == "mus.test.root" {
+			tid = sl.rec.TraceID
+		}
+		sl.mu.Unlock()
+	}
+	if tid.IsZero() {
+		t.Fatal("root span not recorded")
+	}
+	recs := tr.Collect(tid)
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+		found++
+	}
+	if found != 3 {
+		t.Fatalf("collected %d spans, want 3: %+v", found, recs)
+	}
+	rootRec, childRec, leafRec := byName["mus.test.root"], byName["mus.test.child"], byName["mus.test.leaf"]
+	if !rootRec.Root || !rootRec.Parent.IsZero() {
+		t.Errorf("root record: Root=%v Parent=%v", rootRec.Root, rootRec.Parent)
+	}
+	if rootRec.Err != "boom" {
+		t.Errorf("root Err = %q, want boom", rootRec.Err)
+	}
+	if childRec.Parent != rootRec.SpanID {
+		t.Error("child not parented to root")
+	}
+	if leafRec.Parent != childRec.SpanID {
+		t.Error("leaf not parented to child")
+	}
+	if leafRec.NAttrs != 2 || leafRec.Attrs[0].Value() != "v" || leafRec.Attrs[1].Value() != "42" {
+		t.Errorf("leaf attrs wrong: n=%d %+v", leafRec.NAttrs, leafRec.Attrs[:leafRec.NAttrs])
+	}
+	// The errored root must be retained despite sampling being off.
+	roots := tr.Roots(0)
+	if len(roots) != 1 || roots[0].TraceID != tid || roots[0].Err != "boom" {
+		t.Fatalf("retained roots = %+v, want the errored root", roots)
+	}
+}
+
+func TestRetentionKeepsErrorAndSlowOnly(t *testing.T) {
+	tr := New(Config{Node: "n1", Sample: -1, Slow: time.Nanosecond})
+	// Slow threshold of 1ns: every root is "slow", all retained.
+	for i := 0; i < 3; i++ {
+		root, _ := tr.StartRoot(context.Background(), "mus.test.slow", SpanContext{})
+		time.Sleep(time.Microsecond)
+		root.End()
+	}
+	if got := len(tr.Roots(0)); got != 3 {
+		t.Fatalf("retained %d slow roots, want 3", got)
+	}
+
+	tr2 := New(Config{Node: "n1", Sample: -1, Slow: time.Hour})
+	root, _ := tr2.StartRoot(context.Background(), "mus.test.fast", SpanContext{})
+	root.End()
+	if got := len(tr2.Roots(0)); got != 0 {
+		t.Fatalf("retained %d fast roots, want 0 with sampling off", got)
+	}
+	// Sampled flag from upstream forces retention regardless.
+	parent := SpanContext{Flags: FlagSampled}
+	parent.TraceID[0], parent.SpanID[0] = 1, 1
+	remote, _ := tr2.StartRoot(context.Background(), "mus.test.flagged", parent)
+	remote.End()
+	if got := len(tr2.Roots(0)); got != 1 {
+		t.Fatalf("retained %d flagged roots, want 1", got)
+	}
+}
+
+func TestRemoteParentContinuesTrace(t *testing.T) {
+	up := New(Config{Node: "edge", Sample: 1})
+	root, _ := up.StartRoot(context.Background(), "mus.test.edge", SpanContext{})
+	sc := root.Context()
+
+	down := New(Config{Node: "owner", Sample: -1, Slow: time.Hour})
+	sub, _ := down.StartRoot(context.Background(), "mus.test.owner", sc)
+	subRec := sub.Context()
+	if subRec.TraceID != sc.TraceID {
+		t.Fatal("remote root did not continue the trace")
+	}
+	sub.End()
+	root.End()
+	recs := down.Collect(sc.TraceID)
+	if len(recs) != 1 || recs[0].Parent != sc.SpanID || !recs[0].Root {
+		t.Fatalf("owner record %+v, want local root parented to edge span", recs)
+	}
+	// Sample: 1 upstream → flag set → downstream retains despite Sample: -1.
+	if got := len(down.Roots(0)); got != 1 {
+		t.Fatalf("downstream retained %d, want 1 (flag propagated)", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	s, ctx := tr.StartRoot(context.Background(), "mus.test.nil", SpanContext{})
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	s.Set(Str("k", "v"))
+	s.Fail(errors.New("x"))
+	s.FailMsg("y")
+	s.End()
+	if s.Context().Valid() {
+		t.Fatal("nil span has valid context")
+	}
+	c, _ := StartSpan(ctx, "mus.test.child")
+	c.End()
+	StartLeaf(ctx, "mus.test.leaf").End()
+	if tr.Roots(0) != nil || tr.Collect(TraceID{}) != nil {
+		t.Fatal("nil tracer returned data")
+	}
+	if SpanContextFrom(context.Background()).Valid() {
+		t.Fatal("empty ctx has span context")
+	}
+}
+
+func TestRingWrapEvictsOldest(t *testing.T) {
+	tr := New(Config{Node: "n1", Buffer: 4, Sample: -1, Slow: time.Hour})
+	root, ctx := tr.StartRoot(context.Background(), "mus.test.root", SpanContext{})
+	tid := root.Context().TraceID
+	for i := 0; i < 10; i++ {
+		StartLeaf(ctx, "mus.test.leaf").End()
+	}
+	root.End()
+	if got := len(tr.Collect(tid)); got > 4 {
+		t.Fatalf("ring of 4 holds %d spans", got)
+	}
+}
+
+// TestSpanRecordPathDoesNotAllocate is the in-repo half of the zeroalloc
+// gate: a warm leaf start/attr/end cycle must not allocate (CI's
+// benchjson -zeroalloc BenchmarkSpanRecord is the other half).
+func TestSpanRecordPathDoesNotAllocate(t *testing.T) {
+	tr := New(Config{Node: "n1", Sample: -1, Slow: time.Hour})
+	root, ctx := tr.StartRoot(context.Background(), "mus.test.root", SpanContext{})
+	defer root.End()
+	// Warm the pool.
+	for i := 0; i < 100; i++ {
+		StartLeaf(ctx, "mus.test.leaf").End()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		sp := StartLeaf(ctx, "mus.test.leaf")
+		sp.Set(Int("i", 7))
+		sp.Set(Str("node", "n1"))
+		sp.End()
+	})
+	if avg != 0 {
+		t.Fatalf("span record path allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestRootsNewestFirstAndLimit(t *testing.T) {
+	tr := New(Config{Node: "n1", Sample: -1, Slow: time.Nanosecond})
+	names := []string{"mus.test.a", "mus.test.b", "mus.test.c"}
+	for _, n := range names {
+		root, _ := tr.StartRoot(context.Background(), n, SpanContext{})
+		time.Sleep(time.Microsecond)
+		root.End()
+	}
+	roots := tr.Roots(2)
+	if len(roots) != 2 || roots[0].Name != "mus.test.c" || roots[1].Name != "mus.test.b" {
+		t.Fatalf("Roots(2) = %+v, want c then b", roots)
+	}
+}
+
+// TestSampleOneRetainsEveryTrace pins the Sample: 1 contract: the rate
+// threshold must be the full uint64 range, not the overflowing
+// uint64(1.0 * MaxUint64) conversion that silently halved it.
+func TestSampleOneRetainsEveryTrace(t *testing.T) {
+	tr := New(Config{Node: "n1", Sample: 1})
+	const n = 64
+	for i := 0; i < n; i++ {
+		root, _ := tr.StartRoot(context.Background(), "mus.test.root", SpanContext{})
+		root.End()
+	}
+	if got := tr.Retained(); got != n {
+		t.Fatalf("Sample 1 retained %d of %d roots, want all", got, n)
+	}
+}

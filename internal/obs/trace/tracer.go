@@ -1,0 +1,490 @@
+package trace
+
+import (
+	"context"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultBuffer is the default ring-buffer capacity in spans.
+	DefaultBuffer = 4096
+	// DefaultSlow is the default slow-trace retention threshold.
+	DefaultSlow = 250 * time.Millisecond
+	// DefaultSample is the default probabilistic retention rate for
+	// traces that neither errored nor ran slow.
+	DefaultSample = 0.10
+)
+
+// maxAttrs is the fixed per-span attribute capacity; Set drops attributes
+// beyond it rather than allocate.
+const maxAttrs = 8
+
+// rootCap is the capacity of the retained-roots index.
+const rootCap = 256
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Buffer is the completed-span ring capacity; 0 selects
+	// DefaultBuffer, negative disables recording entirely.
+	Buffer int
+	// Slow is the duration at or above which a finished trace is always
+	// retained; 0 selects DefaultSlow.
+	Slow time.Duration
+	// Sample is the fraction of remaining traces retained by the
+	// deterministic trace-ID hash (every node agrees); 0 selects
+	// DefaultSample, negative disables probabilistic retention.
+	Sample float64
+	// Node names this tracer's node on every span it records.
+	Node string
+}
+
+// attrKind discriminates the typed payload of an Attr.
+type attrKind uint8
+
+const (
+	attrNone attrKind = iota
+	attrStr
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// Attr is one typed key/value attribute on a span. Build attrs with Str,
+// Int, Float or Bool; the typed payload avoids fmt on the record path.
+type Attr struct {
+	// Key is the attribute name.
+	Key  string
+	kind attrKind
+	s    string
+	i    int64
+	f    float64
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, kind: attrStr, s: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int64) Attr { return Attr{Key: key, kind: attrInt, i: value} }
+
+// Float builds a float attribute.
+func Float(key string, value float64) Attr { return Attr{Key: key, kind: attrFloat, f: value} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr {
+	a := Attr{Key: key, kind: attrBool}
+	if value {
+		a.i = 1
+	}
+	return a
+}
+
+// Value renders the attribute value as a string — the export path, not
+// the record path (it may allocate).
+func (a Attr) Value() string {
+	switch a.kind {
+	case attrStr:
+		return a.s
+	case attrInt:
+		return strconv.FormatInt(a.i, 10)
+	case attrFloat:
+		return strconv.FormatFloat(a.f, 'g', -1, 64)
+	case attrBool:
+		if a.i != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return ""
+}
+
+// SpanRecord is one completed span as it lands in the ring buffer: plain
+// values only, so recording is a struct copy.
+type SpanRecord struct {
+	// TraceID is the trace the span belongs to.
+	TraceID TraceID
+	// SpanID identifies the span.
+	SpanID SpanID
+	// Parent is the parent span, zero for a trace root.
+	Parent SpanID
+	// Name is the span's operation name (mus.<subsystem>.<op>).
+	Name string
+	// Node is the recording node.
+	Node string
+	// Start is when the span started.
+	Start time.Time
+	// Duration is the monotonic start→end elapsed time.
+	Duration time.Duration
+	// Err is the failure message of a failed span, empty on success.
+	Err string
+	// Attrs holds the typed attributes; entries past NAttrs are unset.
+	Attrs [maxAttrs]Attr
+	// NAttrs is the number of set attributes.
+	NAttrs uint8
+	// Root marks a local root: the entry span this node started for a
+	// request (its Parent, if any, lives on another node or in an
+	// earlier incarnation of this one).
+	Root bool
+}
+
+// RootInfo is one retained trace in the tail-based index.
+type RootInfo struct {
+	// TraceID identifies the retained trace.
+	TraceID TraceID
+	// Name is the root span's operation name.
+	Name string
+	// Node is the node that completed the root.
+	Node string
+	// Start is the root span's start time.
+	Start time.Time
+	// Duration is the root span's elapsed time.
+	Duration time.Duration
+	// Err is the root's failure message, empty on success.
+	Err string
+}
+
+// slot is one ring-buffer cell. The per-slot mutex keeps the write a
+// plain struct copy while staying race-detector clean against readers; a
+// slot is uncontended except when a reader overlaps the writer on the
+// same cell.
+type slot struct {
+	mu  sync.Mutex
+	ok  bool
+	rec SpanRecord
+}
+
+// Tracer records completed spans into a fixed ring buffer and keeps the
+// tail-based retention index. One Tracer serves one node; the zero value
+// is unusable, use New.
+type Tracer struct {
+	node   string
+	slow   time.Duration
+	thresh uint64 // sampled when maphash(traceID) <= thresh
+
+	seed uint64
+	ids  atomic.Uint64
+	hash maphash.Seed
+
+	slots []slot
+	pos   atomic.Uint64
+
+	rootMu  sync.Mutex
+	roots   [rootCap]RootInfo
+	rootPos uint64
+
+	recorded atomic.Uint64
+	retained atomic.Uint64
+
+	pool sync.Pool
+}
+
+// New builds a Tracer; see Config for defaults.
+func New(cfg Config) *Tracer {
+	buf := cfg.Buffer
+	if buf == 0 {
+		buf = DefaultBuffer
+	}
+	if buf < 0 {
+		buf = 0
+	}
+	slow := cfg.Slow
+	if slow == 0 {
+		slow = DefaultSlow
+	}
+	sample := cfg.Sample
+	if sample == 0 {
+		sample = DefaultSample
+	}
+	if sample < 0 {
+		sample = 0
+	}
+	if sample > 1 {
+		sample = 1
+	}
+	// Sample 1 must mean "every trace": float64 rounds MaxUint64 up to
+	// 2^64, and converting that back to uint64 is out of range (2^63 on
+	// amd64) — which would silently halve the rate.
+	thresh := uint64(math.MaxUint64)
+	if sample < 1 {
+		thresh = uint64(sample * math.MaxUint64)
+	}
+	t := &Tracer{
+		node:   cfg.Node,
+		slow:   slow,
+		thresh: thresh,
+		seed:   newSeed(),
+		hash:   maphash.MakeSeed(),
+		slots:  make([]slot, buf),
+	}
+	t.pool.New = func() any { return new(Span) }
+	return t
+}
+
+// Node returns the node name stamped on this tracer's spans.
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// SlowThreshold returns the always-retain duration threshold.
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.slow
+}
+
+// Recorded returns how many spans have been recorded (including ones the
+// ring has since overwritten).
+func (t *Tracer) Recorded() uint64 { return t.recorded.Load() }
+
+// Retained returns how many roots the tail-based index has kept.
+func (t *Tracer) Retained() uint64 { return t.retained.Load() }
+
+// newTraceID mints a fresh trace ID from the splitmix64 stream.
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		n := t.ids.Add(2)
+		putbe(id[0:8], splitmix64(t.seed+n))
+		putbe(id[8:16], splitmix64(t.seed+n+1))
+	}
+	return id
+}
+
+// newSpanID mints a fresh span ID.
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		putbe(id[:], splitmix64(t.seed^t.ids.Add(1)))
+	}
+	return id
+}
+
+// putbe writes x big-endian into b (len 8) without pulling
+// encoding/binary onto the hot path's inliner budget.
+func putbe(b []byte, x uint64) {
+	_ = b[7]
+	b[0] = byte(x >> 56)
+	b[1] = byte(x >> 48)
+	b[2] = byte(x >> 40)
+	b[3] = byte(x >> 32)
+	b[4] = byte(x >> 24)
+	b[5] = byte(x >> 16)
+	b[6] = byte(x >> 8)
+	b[7] = byte(x)
+}
+
+// Sampled reports this node's probabilistic retention decision for a
+// trace ID: a keyed hash compared against the configured rate, so the
+// decision is deterministic for the process lifetime (a trace does not
+// flap in and out of the sample between scrapes). Cross-node agreement
+// does not rely on it: the node that mints a trace propagates its
+// decision in the traceparent sampled flag, and downstream nodes honor
+// the flag.
+func (t *Tracer) Sampled(id TraceID) bool {
+	if t == nil || t.thresh == 0 {
+		return false
+	}
+	return maphash.Bytes(t.hash, id[:]) <= t.thresh
+}
+
+// Span is one in-flight operation. Spans are pooled: after End the
+// object is recycled, so callers must not retain a *Span past End, and
+// children must start before their parent ends. All methods are nil-safe
+// no-ops so call sites need no tracing-enabled checks.
+type Span struct {
+	t      *Tracer
+	sc     SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	err    string
+	attrs  [maxAttrs]Attr
+	nattrs uint8
+	root   bool
+}
+
+// newSpan starts a span under parent (same trace, parent's span as
+// parent). root marks a local root span.
+func (t *Tracer) newSpan(name string, parent SpanContext, root bool) *Span {
+	s := t.pool.Get().(*Span)
+	s.t = t
+	s.sc = SpanContext{TraceID: parent.TraceID, SpanID: t.newSpanID(), Flags: parent.Flags}
+	s.parent = parent.SpanID
+	s.name = name
+	s.start = time.Now()
+	s.err = ""
+	s.nattrs = 0
+	s.root = root
+	return s
+}
+
+// StartRoot starts a local root span: the entry span for a request on
+// this node. parent is the propagated remote context (zero to mint a new
+// trace). The returned context carries the span for StartSpan/StartLeaf
+// children. Safe on a nil Tracer (returns a nil span and ctx unchanged).
+func (t *Tracer) StartRoot(ctx context.Context, name string, parent SpanContext) (*Span, context.Context) {
+	if t == nil {
+		return nil, ctx
+	}
+	if parent.TraceID.IsZero() {
+		parent.TraceID = t.newTraceID()
+		parent.SpanID = SpanID{}
+		if t.Sampled(parent.TraceID) {
+			parent.Flags = FlagSampled
+		}
+	}
+	s := t.newSpan(name, parent, true)
+	return s, ContextWithSpan(ctx, s)
+}
+
+// Context returns the span's propagation context (what goes on the wire
+// as traceparent). Zero on a nil span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// Set attaches one attribute, dropping it silently once the fixed
+// capacity is full.
+func (s *Span) Set(a Attr) {
+	if s == nil || int(s.nattrs) >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = a
+	s.nattrs++
+}
+
+// Fail marks the span failed with err's message. A nil err is ignored.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.err = err.Error()
+}
+
+// FailMsg marks the span failed with a literal message.
+func (s *Span) FailMsg(msg string) {
+	if s == nil {
+		return
+	}
+	s.err = msg
+}
+
+// End completes the span: its record is copied into the ring buffer and,
+// for local roots, the tail-based retention decision is made. The span
+// object is recycled — do not use it after End.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	t := s.t
+	rec := SpanRecord{
+		TraceID:  s.sc.TraceID,
+		SpanID:   s.sc.SpanID,
+		Parent:   s.parent,
+		Name:     s.name,
+		Node:     t.node,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Err:      s.err,
+		Attrs:    s.attrs,
+		NAttrs:   s.nattrs,
+		Root:     s.root,
+	}
+	sampled := s.sc.Flags&FlagSampled != 0
+	*s = Span{}
+	t.pool.Put(s)
+	t.record(&rec, sampled)
+}
+
+// record copies one completed span into the ring and, for local roots,
+// applies retention.
+func (t *Tracer) record(rec *SpanRecord, sampled bool) {
+	if len(t.slots) > 0 {
+		ticket := t.pos.Add(1) - 1
+		sl := &t.slots[ticket%uint64(len(t.slots))]
+		sl.mu.Lock()
+		sl.rec = *rec
+		sl.ok = true
+		sl.mu.Unlock()
+	}
+	t.recorded.Add(1)
+	if !rec.Root {
+		return
+	}
+	// Tail-based retention: keep every errored trace, every trace at or
+	// over the slow threshold, and the deterministic sample of the rest.
+	if rec.Err == "" && rec.Duration < t.slow && !sampled && !t.Sampled(rec.TraceID) {
+		return
+	}
+	t.retain(rec)
+}
+
+// retain indexes one kept root, overwriting the oldest entry once the
+// fixed index is full.
+func (t *Tracer) retain(rec *SpanRecord) {
+	t.rootMu.Lock()
+	t.roots[t.rootPos%rootCap] = RootInfo{
+		TraceID:  rec.TraceID,
+		Name:     rec.Name,
+		Node:     rec.Node,
+		Start:    rec.Start,
+		Duration: rec.Duration,
+		Err:      rec.Err,
+	}
+	t.rootPos++
+	t.rootMu.Unlock()
+	t.retained.Add(1)
+}
+
+// Roots returns up to limit retained roots, newest first (limit <= 0
+// selects the whole index).
+func (t *Tracer) Roots(limit int) []RootInfo {
+	if t == nil {
+		return nil
+	}
+	t.rootMu.Lock()
+	defer t.rootMu.Unlock()
+	n := int(t.rootPos)
+	if n > rootCap {
+		n = rootCap
+	}
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]RootInfo, 0, limit)
+	for i := 0; i < limit; i++ {
+		out = append(out, t.roots[(t.rootPos-1-uint64(i))%rootCap])
+	}
+	return out
+}
+
+// Collect returns every span of one trace still present in the ring
+// buffer, in ring order (callers sort by Start for display). Best
+// effort: spans evicted by ring wrap-around are gone.
+func (t *Tracer) Collect(id TraceID) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	var out []SpanRecord
+	for i := range t.slots {
+		sl := &t.slots[i]
+		sl.mu.Lock()
+		if sl.ok && sl.rec.TraceID == id {
+			out = append(out, sl.rec)
+		}
+		sl.mu.Unlock()
+	}
+	return out
+}

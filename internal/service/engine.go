@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs/trace"
 )
 
 // Config tunes an Engine. The zero value selects a worker per CPU, a
@@ -136,9 +137,18 @@ func jobKey(j Job) string {
 
 // Evaluate solves one configuration through the cache. Identical
 // configurations evaluated concurrently share a single solver run; waiting
-// callers respect context cancellation.
+// callers respect context cancellation. When ctx carries a live trace the
+// solve is recorded as a mus.engine.solve child span (cache hits
+// included — a hit's microsecond span is what makes the cache visible in
+// a trace).
 func (e *Engine) Evaluate(ctx context.Context, sys core.System, m core.Method) (*core.Performance, error) {
-	return e.evaluate(ctx, sys, m, nil)
+	sp := trace.StartLeaf(ctx, "mus.engine.solve")
+	sp.Set(trace.Int("servers", int64(sys.Servers)))
+	sp.Set(trace.Float("lambda", sys.ArrivalRate))
+	perf, err := e.evaluate(ctx, sys, m, nil)
+	sp.Fail(err)
+	sp.End()
+	return perf, err
 }
 
 // evaluate is Evaluate with a pluggable solver: when solve is non-nil it
@@ -222,6 +232,12 @@ func (e *Engine) EvaluateBatch(ctx context.Context, jobs []Job) []Result {
 	if len(jobs) == 0 {
 		return results
 	}
+	// One batch-level span, never one per point: a 10k-point sweep must
+	// not flood the trace buffer (or pay per-point span overhead in the
+	// hot loop).
+	sp := trace.StartLeaf(ctx, "mus.engine.sweep")
+	sp.Set(trace.Int("points", int64(len(jobs))))
+	defer sp.End()
 	workers := e.workers
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -272,6 +288,10 @@ func (e *Engine) EvaluateStream(ctx context.Context, jobs []Job, emit func(Resul
 	if len(jobs) == 0 {
 		return nil
 	}
+	// Batch-level span, as in EvaluateBatch: one per stream, not per point.
+	sp := trace.StartLeaf(ctx, "mus.engine.sweep")
+	sp.Set(trace.Int("points", int64(len(jobs))))
+	defer sp.End()
 	ctx, cancel := context.WithCancel(ctx)
 	workers := e.workers
 	if workers > len(jobs) {

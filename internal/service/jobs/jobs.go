@@ -52,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/trace"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -113,6 +114,12 @@ type Config struct {
 	// NodeID names this node in persisted records and job statuses
 	// (default: the Router's Self, or "" standalone).
 	NodeID string
+	// Tracer, when set, re-attaches each job's execution to the
+	// distributed trace its submission belonged to: the worker starts a
+	// mus.jobs.run root span parented on the submission's propagated
+	// span context — across process restarts, since the context is
+	// persisted with the submit record. Nil disables job spans.
+	Tracer *trace.Tracer
 }
 
 // Scheduler runs jobs on an Engine. It is safe for concurrent use.
@@ -126,6 +133,7 @@ type Scheduler struct {
 	jlog    *store.JobLog
 	router  Router
 	nodeID  string
+	tracer  *trace.Tracer
 
 	// recovered counts jobs reconstructed from the write-ahead log at
 	// boot (terminal history and re-queued incomplete jobs alike).
@@ -170,6 +178,11 @@ type job struct {
 	// execution runs under a context carrying it, so engine-level traces
 	// join back to the submission.
 	origin string
+	// trace is the submission's propagated span context, captured by
+	// value at Submit (never the span itself — spans are pooled and
+	// recycled at End). The worker parents its mus.jobs.run root span on
+	// it, joining the execution to the submission's distributed trace.
+	trace trace.SpanContext
 
 	state            string
 	total, completed int
@@ -227,6 +240,7 @@ func New(cfg Config) *Scheduler {
 		jlog:    cfg.Log,
 		router:  cfg.Router,
 		nodeID:  cfg.NodeID,
+		tracer:  cfg.Tracer,
 		jobs:    make(map[string]*job),
 		stop:    stop,
 		ctx:     ctx,
@@ -321,6 +335,7 @@ func (s *Scheduler) Submit(ctx context.Context, req api.JobRequest) (api.JobStat
 		id:     newJobID(),
 		req:    req,
 		origin: api.RequestIDFrom(ctx),
+		trace:  trace.SpanContextFrom(ctx),
 		state:  api.JobStateQueued,
 		node:   s.nodeID,
 		done:   make(chan struct{}),
@@ -343,7 +358,7 @@ func (s *Scheduler) Submit(ctx context.Context, req api.JobRequest) (api.JobStat
 	// The acknowledgement below promises the job survives a crash, so the
 	// submit record must be on disk — not merely buffered — before it is
 	// sent. A log that cannot make that promise rejects the submission.
-	if err := s.persistSubmit(j); err != nil {
+	if err := s.persistSubmit(ctx, j); err != nil {
 		s.mu.Unlock()
 		return api.JobStatus{}, err
 	}
@@ -580,8 +595,23 @@ func (s *Scheduler) worker() {
 		s.log.Info("job running", olog.F{K: "job", V: j.id}, olog.F{K: "kind", V: j.req.Kind},
 			olog.F{K: "id", V: j.origin})
 		// The execution context carries the submitting request's ID, so
-		// engine work done on the job's behalf traces back to its origin.
-		s.run(api.ContextWithRequestID(ctx, j.origin), j)
+		// engine work done on the job's behalf traces back to its origin —
+		// and a mus.jobs.run root span parented on the submission's
+		// propagated span context, so the async execution (including a
+		// WAL-recovered one, whose context was replayed from the submit
+		// record) appears in the same distributed trace as the POST that
+		// created it.
+		rctx := api.ContextWithRequestID(ctx, j.origin)
+		root, rctx := s.tracer.StartRoot(rctx, "mus.jobs.run", j.trace)
+		root.Set(trace.Str("job", j.id))
+		root.Set(trace.Str("kind", j.req.Kind))
+		s.run(rctx, j)
+		s.mu.Lock()
+		if j.err != nil {
+			root.FailMsg(j.err.Message)
+		}
+		s.mu.Unlock()
+		root.End()
 		cancel()
 	}
 }
@@ -824,7 +854,11 @@ func (s *Scheduler) statusLocked(j *job) api.JobStatus {
 		CreatedAt: j.created,
 		Error:     j.err,
 		Node:      j.node,
+		RequestID: j.origin,
 		Detail:    j.detail,
+	}
+	if j.trace.Valid() {
+		st.TraceID = j.trace.TraceID.String()
 	}
 	if len(j.shards) > 0 {
 		st.Shards = make([]api.JobShard, len(j.shards))

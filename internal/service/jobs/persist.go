@@ -1,12 +1,14 @@
 package jobs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/api"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/trace"
 	"repro/internal/store"
 )
 
@@ -31,21 +33,30 @@ import (
 
 // persistSubmit makes an accepted job durable before it is acknowledged.
 // Callers hold s.mu. A log that cannot store the record fails the
-// submission — the acknowledgement is a durability promise.
-func (s *Scheduler) persistSubmit(j *job) error {
+// submission — the acknowledgement is a durability promise. The append
+// and fsync run under ctx so their spans (mus.store.append,
+// mus.store.fsync) land inside the submission's trace; the submission's
+// request ID and span context ride the record, so a restarted node's
+// recovered job still knows which request — and which trace — created it.
+func (s *Scheduler) persistSubmit(ctx context.Context, j *job) error {
 	if s.jlog == nil {
 		return nil
 	}
 	req := j.req
-	err := s.jlog.Append(store.Entry{
-		Kind:    store.EntrySubmit,
-		Job:     j.id,
-		Time:    j.created,
-		Origin:  s.nodeID,
-		Request: &req,
-	})
+	e := store.Entry{
+		Kind:      store.EntrySubmit,
+		Job:       j.id,
+		Time:      j.created,
+		Origin:    s.nodeID,
+		RequestID: j.origin,
+		Request:   &req,
+	}
+	if j.trace.Valid() {
+		e.Trace = j.trace.Traceparent()
+	}
+	err := s.jlog.AppendCtx(ctx, e)
 	if err == nil {
-		err = s.jlog.Sync()
+		err = s.jlog.SyncCtx(ctx)
 	}
 	if err != nil {
 		s.log.Warn("job submit not persisted; rejecting", olog.F{K: "job", V: j.id}, olog.F{K: "error", V: err.Error()})
@@ -96,20 +107,30 @@ func (s *Scheduler) replay() {
 	if s.jlog == nil {
 		return
 	}
-	err := s.jlog.Replay(func(e store.Entry) error {
+	// The replay runs under its own boot root span, so a restart's
+	// recovery work is itself traceable; each recovered job additionally
+	// re-attaches to its original submission trace when it runs.
+	boot, ctx := s.tracer.StartRoot(context.Background(), "mus.jobs.replay", trace.SpanContext{})
+	defer boot.End()
+	err := s.jlog.ReplayCtx(ctx, func(e store.Entry) error {
 		switch e.Kind {
 		case store.EntrySubmit:
 			if e.Job == "" || e.Request == nil {
 				return nil
 			}
-			s.jobs[e.Job] = &job{
+			j := &job{
 				id:      e.Job,
 				req:     *e.Request,
+				origin:  e.RequestID,
 				state:   api.JobStateQueued,
 				created: e.Time,
 				node:    e.Origin,
 				done:    make(chan struct{}),
 			}
+			if sc, ok := trace.ParseTraceparent(e.Trace); ok {
+				j.trace = sc
+			}
+			s.jobs[e.Job] = j
 		case store.EntryState:
 			j := s.jobs[e.Job]
 			if j == nil {

@@ -1,11 +1,13 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
 
 	"repro/api"
+	"repro/internal/obs/trace"
 )
 
 // EntryKind names one job-log record type.
@@ -42,6 +44,14 @@ type Entry struct {
 	Time time.Time `json:"time"`
 	// Origin is the node that accepted the job (submit entries).
 	Origin string `json:"origin,omitempty"`
+	// RequestID is the X-Request-ID of the submission that created the
+	// job (submit entries), replayed so a restarted node's job records
+	// still answer "which request started this".
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the submission's W3C traceparent (submit entries): the
+	// distributed trace context a resumed job re-attaches to after a
+	// restart, so its recovery spans join the original trace.
+	Trace string `json:"trace,omitempty"`
 	// Request is the submitted payload (submit entries).
 	Request *api.JobRequest `json:"request,omitempty"`
 	// State is the entered state (state entries).
@@ -81,8 +91,32 @@ func (l *JobLog) Append(e Entry) error {
 	return l.wal.Append(payload)
 }
 
+// AppendCtx is Append with a child span (mus.store.append) when ctx
+// carries a live trace — the seam that makes WAL writes visible inside a
+// request's trace tree. Tracing off degrades to a plain Append.
+func (l *JobLog) AppendCtx(ctx context.Context, e Entry) error {
+	sp := trace.StartLeaf(ctx, "mus.store.append")
+	sp.Set(trace.Str("kind", string(e.Kind)))
+	sp.Set(trace.Str("job", e.Job))
+	err := l.Append(e)
+	sp.Fail(err)
+	sp.End()
+	return err
+}
+
 // Sync forces appended entries to disk.
 func (l *JobLog) Sync() error { return l.wal.Sync() }
+
+// SyncCtx is Sync with a child span (mus.store.fsync) when ctx carries a
+// live trace — fsync waits are the dominant cost of a durable submit, so
+// they get their own span.
+func (l *JobLog) SyncCtx(ctx context.Context) error {
+	sp := trace.StartLeaf(ctx, "mus.store.fsync")
+	err := l.Sync()
+	sp.Fail(err)
+	sp.End()
+	return err
+}
 
 // Replay streams every logged entry, oldest first. Entries that fail to
 // decode as JSON are skipped (they passed the CRC, so they are a
@@ -96,6 +130,22 @@ func (l *JobLog) Replay(fn func(Entry) error) error {
 		}
 		return fn(e)
 	})
+}
+
+// ReplayCtx is Replay with a child span (mus.store.replay) when ctx
+// carries a live trace, annotated with how many entries streamed — the
+// boot-time seam of a node restart's recovery trace.
+func (l *JobLog) ReplayCtx(ctx context.Context, fn func(Entry) error) error {
+	sp := trace.StartLeaf(ctx, "mus.store.replay")
+	var n int64
+	err := l.Replay(func(e Entry) error {
+		n++
+		return fn(e)
+	})
+	sp.Set(trace.Int("entries", n))
+	sp.Fail(err)
+	sp.End()
+	return err
 }
 
 // Compact rewrites the log keeping only entries whose job retain accepts

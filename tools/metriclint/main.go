@@ -11,6 +11,15 @@
 // moves the failure to CI, before any process starts, and additionally
 // demands a non-empty help string.
 //
+// It also enforces the span naming contract: every literal span name
+// passed to a tracer StartRoot/StartSpan/StartLeaf call must match
+//
+//	mus.<subsystem>.<op>
+//
+// (dot-separated, lowercase). Span names are grep keys across node
+// boundaries — a misspelled one silently detaches a subtree from every
+// assembled trace, which no runtime check can catch.
+//
 //	go run ./tools/metriclint ./...
 //
 // Exit status 1 with one line per violation; 0 when clean.
@@ -31,6 +40,18 @@ import (
 
 // nameRE mirrors internal/obs: lowercase mus_<subsystem>_<name>[_unit].
 var nameRE = regexp.MustCompile(`^mus_[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// spanNameRE mirrors internal/obs/trace: dot-separated lowercase
+// mus.<subsystem>.<op>, with underscores allowed past the first segment.
+var spanNameRE = regexp.MustCompile(`^mus\.[a-z][a-z0-9]*(\.[a-z0-9_]+)+$`)
+
+// spanMethods are the tracer span-creation entry points; the span name is
+// the second argument of each (after the context / parent context).
+var spanMethods = map[string]bool{
+	"StartRoot": true,
+	"StartSpan": true,
+	"StartLeaf": true,
+}
 
 // registryMethods are the obs.Registry registration entry points, mapped
 // to their metric kind.
@@ -108,6 +129,13 @@ func lintFile(path string) ([]string, error) {
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
 		if !ok {
+			return true
+		}
+		if spanMethods[sel.Sel.Name] && len(call.Args) >= 2 {
+			if name, ok := stringLit(call.Args[1]); ok && !spanNameRE.MatchString(name) {
+				pos := fset.Position(call.Pos())
+				out = append(out, fmt.Sprintf("%s:%d: span %q does not match mus.<subsystem>.<op>", pos.Filename, pos.Line, name))
+			}
 			return true
 		}
 		kind, ok := registryMethods[sel.Sel.Name]
